@@ -1,0 +1,41 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every experiment writes its regenerated table to
+``benchmarks/results/<experiment>.txt`` so the artifacts survive the
+pytest run (EXPERIMENTS.md references them), and also prints it when
+pytest runs with ``-s``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result(name: str, text: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "%s.txt" % name)
+    with open(path, "w") as handle:
+        handle.write(text)
+    print("\n" + text)
+    return path
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Monospace table with per-column widths."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+
+    def format_row(cells):
+        return "  ".join(
+            str(cell).ljust(width) for cell, width in zip(cells, widths)
+        ).rstrip()
+
+    lines.append(format_row(headers))
+    lines.append(format_row(["-" * width for width in widths]))
+    for row in rows:
+        lines.append(format_row(row))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,215 @@
+"""A1 -- ablations of the reproduction's design choices (DESIGN.md §5).
+
+Four dials, each regenerated as a curve:
+
+1. the k dial of k-weaker causal ordering: delivery delays fall as the
+   guarantee relaxes (k = 0 is causal ordering, large k approaches the
+   do-nothing protocol);
+2. tag garbage collection: pruning known-delivered messages from the
+   k-weaker tags bounds tag growth;
+3. matrix vs vector causal tags (RST vs SES) as the process count grows;
+4. the rendezvous retry backoff: short backoffs burn control messages on
+   refusals, long backoffs trade them for latency.
+"""
+
+import pytest
+
+from repro.protocols import (
+    CausalRstProtocol,
+    CausalSesProtocol,
+    KWeakerCausalProtocol,
+    SyncRendezvousProtocol,
+)
+from repro.protocols.base import make_factory
+from repro.simulation import UniformLatency, broadcast_storm, random_traffic, run_simulation
+from repro.verification import check_simulation
+from repro.predicates.catalog import k_weaker_causal_spec
+
+from conftest import format_table, write_result
+
+LATENCY = UniformLatency(low=1.0, high=50.0)
+SEEDS = range(4)
+
+
+def k_dial_rows():
+    rows = []
+    for k in (0, 1, 2, 4, 8):
+        delayed = 0
+        tags = 0.0
+        ok = True
+        for seed in SEEDS:
+            result = run_simulation(
+                make_factory(KWeakerCausalProtocol, k),
+                broadcast_storm(4, rounds=8, seed=seed),
+                seed=seed,
+                latency=LATENCY,
+            )
+            delayed += result.stats.delayed_deliveries
+            tags += result.stats.mean_tag_bytes
+            ok = ok and check_simulation(result, k_weaker_causal_spec(k)).ok
+        count = len(list(SEEDS))
+        rows.append((k, "yes" if ok else "NO", delayed // count, "%.0f" % (tags / count)))
+    return rows
+
+
+def test_a1_k_dial(benchmark):
+    rows = benchmark(k_dial_rows)
+    table = format_table(
+        ["k", "spec ok", "delayed deliveries/run", "tag bytes/msg"], rows
+    )
+    write_result("a1_k_weaker_dial", table)
+    delays = [row[2] for row in rows]
+    assert all(row[1] == "yes" for row in rows)
+    assert delays[0] >= delays[-1]
+    assert delays[0] > 0 and delays[-1] == 0
+
+
+def gc_rows():
+    rows = []
+    for prune in (True, False):
+        tags = max_tags = 0.0
+        for seed in SEEDS:
+            result = run_simulation(
+                make_factory(KWeakerCausalProtocol, 1, prune),
+                random_traffic(4, 60, seed=seed),
+                seed=seed,
+                latency=LATENCY,
+            )
+            tags += result.stats.mean_tag_bytes
+            max_tags = max(max_tags, result.stats.max_tag_bytes)
+        count = len(list(SEEDS))
+        rows.append(
+            (
+                "with GC" if prune else "without GC",
+                "%.0f" % (tags / count),
+                "%.0f" % max_tags,
+            )
+        )
+    return rows
+
+
+def test_a1_tag_gc(benchmark):
+    rows = benchmark(gc_rows)
+    table = format_table(["variant", "mean tag bytes", "max tag bytes"], rows)
+    write_result("a1_tag_gc", table)
+    with_gc = float(rows[0][1])
+    without_gc = float(rows[1][1])
+    assert with_gc < without_gc
+
+
+def matrix_vs_vector_rows():
+    rows = []
+    for n in (3, 5, 8):
+        rst = ses = 0.0
+        for seed in SEEDS:
+            workload = random_traffic(n, 10 * n, seed=seed)
+            rst += run_simulation(
+                make_factory(CausalRstProtocol), workload, seed=seed
+            ).stats.mean_tag_bytes
+            ses += run_simulation(
+                make_factory(CausalSesProtocol), workload, seed=seed
+            ).stats.mean_tag_bytes
+        count = len(list(SEEDS))
+        rows.append((n, "%.0f" % (rst / count), "%.0f" % (ses / count)))
+    return rows
+
+
+def test_a1_matrix_vs_vector_tags(benchmark):
+    rows = benchmark(matrix_vs_vector_rows)
+    table = format_table(
+        ["processes", "RST matrix bytes/msg", "SES bytes/msg"], rows
+    )
+    write_result("a1_matrix_vs_vector", table)
+    # The matrix grows quadratically with n, the vectors roughly linearly:
+    # SES may cost slightly more at tiny n (per-entry overhead) but wins
+    # as n grows, and the gap widens -- a crossover, not a uniform win.
+    gaps = [float(r[1]) - float(r[2]) for r in rows]
+    assert gaps[-1] > 0
+    assert gaps[-1] > gaps[0]
+
+
+def minimality_rows():
+    """The generated engine's exact mode delays only what its predicate
+    needs; enforcing full causal order for a FIFO-strength spec delays
+    (and orders) much more."""
+    from repro.predicates.catalog import FIFO, FIFO_ORDERING
+    from repro.protocols import GeneratedTaggedProtocol
+    from repro.runs.metrics import run_metrics
+
+    rows = []
+    entries = [
+        ("generated FIFO (exact)", make_factory(GeneratedTaggedProtocol, [FIFO])),
+        ("causal-rst (blanket CO)", make_factory(CausalRstProtocol)),
+    ]
+    for name, factory in entries:
+        delayed = 0
+        concurrency = 0.0
+        ok = True
+        for seed in SEEDS:
+            result = run_simulation(
+                factory,
+                random_traffic(4, 30, seed=seed),
+                seed=seed,
+                latency=LATENCY,
+            )
+            from repro.verification import check_simulation as check
+
+            ok = ok and check(result, FIFO_ORDERING).ok
+            delayed += result.stats.delayed_deliveries
+            concurrency += run_metrics(result.user_run).concurrency_ratio
+        count = len(list(SEEDS))
+        rows.append(
+            (name, "yes" if ok else "NO", delayed // count,
+             "%.3f" % (concurrency / count))
+        )
+    return rows
+
+
+def test_a1_minimality_of_generated_protocol(benchmark):
+    rows = benchmark(minimality_rows)
+    table = format_table(
+        ["protocol", "fifo ok", "delayed/run", "concurrency kept"], rows
+    )
+    write_result("a1_generated_minimality", table)
+    generated, blanket = rows
+    assert generated[1] == blanket[1] == "yes"
+    # The FIFO-specific engine inhibits no more than blanket causal order.
+    # (Concurrency ratios are reported as data: delivery placement
+    # reshuffles the pair counts, so they are close rather than ordered.)
+    assert generated[2] <= blanket[2]
+
+
+def backoff_rows():
+    rows = []
+    for low, high in ((0.5, 1.0), (1.0, 8.0), (8.0, 30.0)):
+        control = 0
+        e2e = 0.0
+        for seed in SEEDS:
+            result = run_simulation(
+                make_factory(SyncRendezvousProtocol, low, high),
+                random_traffic(4, 30, seed=seed),
+                seed=seed,
+                latency=LATENCY,
+            )
+            assert result.delivered_all
+            control += result.stats.control_messages
+            e2e += result.stats.mean_end_to_end_latency
+        count = len(list(SEEDS))
+        rows.append(
+            (
+                "%.1f-%.1f" % (low, high),
+                control // count,
+                "%.0f" % (e2e / count),
+            )
+        )
+    return rows
+
+
+def test_a1_rendezvous_backoff(benchmark):
+    rows = benchmark(backoff_rows)
+    table = format_table(
+        ["retry backoff", "ctrl msgs/run", "invoke->deliver latency"], rows
+    )
+    write_result("a1_rendezvous_backoff", table)
+    controls = [row[1] for row in rows]
+    assert controls[0] > controls[-1]  # shorter backoff, more refusals

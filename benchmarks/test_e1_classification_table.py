@@ -1,0 +1,57 @@
+"""E1 -- the §4.3 classification table.
+
+Regenerates, for every catalogue specification, the paper's table:
+
+    cycle exists?  ->  implementable
+    min cycle order 0 / 1 / >=2  ->  tagless / tagged / general
+
+and times the classifier on representative predicates.
+"""
+
+import pytest
+
+from repro.core.classifier import classify, classify_specification
+from repro.predicates.catalog import CATALOG, CAUSAL_B2, EXAMPLE_1, crown
+
+from conftest import format_table, write_result
+
+
+def build_classification_table():
+    rows = []
+    for entry in CATALOG:
+        verdict = classify_specification(entry.specification)
+        strongest = max(
+            verdict.members, key=lambda m: m.protocol_class.strength
+        )
+        rows.append(
+            (
+                entry.name,
+                entry.paper_ref,
+                "yes" if strongest.cycles else "no",
+                strongest.min_order if strongest.min_order is not None else "-",
+                verdict.protocol_class.value,
+                entry.expected_class,
+                "OK" if verdict.protocol_class.value == entry.expected_class else "DIFF",
+            )
+        )
+    return rows
+
+
+def test_e1_regenerate_table(benchmark):
+    rows = benchmark(build_classification_table)
+    table = format_table(
+        ["specification", "paper", "cycle", "min order", "classified", "paper class", "match"],
+        rows,
+    )
+    write_result("e1_classification_table", table)
+    assert all(row[-1] == "OK" for row in rows)
+
+
+@pytest.mark.parametrize(
+    "predicate",
+    [CAUSAL_B2, EXAMPLE_1, crown(2), crown(6)],
+    ids=["causal", "example-1", "crown-2", "crown-6"],
+)
+def test_e1_classifier_speed(benchmark, predicate):
+    verdict = benchmark(classify, predicate)
+    assert verdict.protocol_class is not None

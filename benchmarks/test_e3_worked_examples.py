@@ -1,0 +1,70 @@
+"""E3 -- the worked examples of §4.2 (Examples 1-3 and Figure 6).
+
+Regenerates, as data:
+
+- Example 1: the predicate graph G_B(V, E) of the five-conjunct predicate;
+- Example 2: its (single) cycle and the cycle's predicate B_c;
+- Example 3: the β analysis (only x4 is β; order 1) and the Lemma 4
+  contraction chain down to the two-vertex canonical form B'.
+"""
+
+import pytest
+
+from repro.graphs.beta import beta_vertices, cycle_order
+from repro.graphs.cycles import resolved_cycles
+from repro.graphs.predicate_graph import PredicateGraph
+from repro.graphs.reduction import cycle_to_predicate, reduce_cycle
+from repro.predicates.catalog import EXAMPLE_1
+
+from conftest import format_table, write_result
+
+
+def test_e3_regenerate_examples(benchmark):
+    graph = benchmark(PredicateGraph, EXAMPLE_1)
+    lines = []
+    lines.append("Example 1 predicate: %r" % EXAMPLE_1)
+    lines.append("V = %s" % list(graph.vertices))
+    lines.append("E = %s" % [(e.tail, e.head) for e in graph.edges])
+    lines.append("")
+
+    cycles = resolved_cycles(graph)
+    assert len(cycles) == 2  # the 4-cycle of Example 2 plus the x1<->x4 2-cycle
+    (cycle,) = [c for c in cycles if c.length == 4]
+    lines.append("cycles found: %d" % len(cycles))
+    lines.append("Example 2 cycle: %r" % cycle)
+    lines.append("B_c = %r" % cycle_to_predicate(cycle))
+    lines.append("")
+
+    betas = beta_vertices(cycle)
+    lines.append("Example 3 β vertices: %s (order %d)" % (betas, cycle_order(cycle)))
+    reduction = reduce_cycle(cycle)
+    for step in reduction.steps:
+        lines.append("  %r" % step)
+    lines.append("reduced cycle: %r" % reduction.reduced)
+    lines.append("B' = %r" % cycle_to_predicate(reduction.reduced))
+
+    write_result("e3_worked_examples", "\n".join(lines) + "\n")
+
+    # The paper's stated facts.
+    assert set(graph.vertices) == {"x1", "x2", "x3", "x4", "x5"}
+    assert len(graph.edges) == 6
+    assert cycle.vertices == ("x1", "x2", "x3", "x4")
+    assert betas == ["x4"]
+    assert cycle_order(cycle) == 1
+    assert reduction.reduced.length == 2
+    assert reduction.order == 1
+    assert "x4" in reduction.reduced.vertices
+
+
+def test_e3_cycle_enumeration_speed(benchmark):
+    graph = PredicateGraph(EXAMPLE_1)
+    cycles = benchmark(resolved_cycles, graph)
+    assert len(cycles) == 2
+
+
+def test_e3_reduction_speed(benchmark):
+    (cycle,) = [
+        c for c in resolved_cycles(PredicateGraph(EXAMPLE_1)) if c.length == 4
+    ]
+    reduction = benchmark(reduce_cycle, cycle)
+    assert reduction.order == 1

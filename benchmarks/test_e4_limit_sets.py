@@ -1,0 +1,82 @@
+"""E4 -- §3.4 / Theorem 1: the limit-set chain X_sync ⊆ X_co ⊆ X_async.
+
+Regenerates the chain as counted data over exhaustive universes of
+increasing size, and times limit-set membership on simulated runs.
+"""
+
+import pytest
+
+from repro.protocols import CausalRstProtocol
+from repro.protocols.base import make_factory
+from repro.runs.enumeration import enumerate_universe
+from repro.runs.limit_sets import (
+    is_logically_synchronous,
+    limit_set_memberships,
+)
+from repro.simulation import random_traffic, run_simulation
+
+from conftest import format_table, write_result
+
+
+def count_universe(n_processes, n_messages):
+    total = async_count = co_count = sync_count = 0
+    for run in enumerate_universe(n_processes, n_messages):
+        member = limit_set_memberships(run)
+        total += 1
+        async_count += member["async"]
+        co_count += member["co"]
+        sync_count += member["sync"]
+    return total, async_count, co_count, sync_count
+
+
+UNIVERSES = [(2, 1), (2, 2), (3, 2), (2, 3)]
+
+
+def test_e4_regenerate_chain(benchmark):
+    benchmark(lambda: count_universe(2, 2))
+    rows = []
+    for n, m in UNIVERSES:
+        total, async_count, co_count, sync_count = count_universe(n, m)
+        rows.append((("%dp/%dm" % (n, m)), total, async_count, co_count, sync_count))
+        assert total == async_count  # every realizable complete run is async
+        assert sync_count <= co_count <= async_count
+    table = format_table(
+        ["universe", "runs", "|X_async|", "|X_co|", "|X_sync|"], rows
+    )
+    write_result("e4_limit_set_chain", table)
+    # The hierarchy is strict on every non-trivial universe.
+    for row in rows[1:]:
+        assert row[4] < row[3] < row[2]
+
+
+def test_e4_strictness_witnesses(benchmark):
+    benchmark(lambda: None)
+    found_co_only = found_async_only = False
+    for run in enumerate_universe(2, 2):
+        member = limit_set_memberships(run)
+        if member["co"] and not member["sync"]:
+            found_co_only = True
+        if member["async"] and not member["co"]:
+            found_async_only = True
+    assert found_co_only and found_async_only
+
+
+def test_e4_membership_speed(benchmark):
+    result = run_simulation(
+        make_factory(CausalRstProtocol), random_traffic(4, 40, seed=0), seed=0
+    )
+    run = result.user_run
+
+    def member():
+        return limit_set_memberships(run)
+
+    outcome = benchmark(member)
+    assert outcome["co"]
+
+
+def test_e4_universe_enumeration_speed(benchmark):
+    def sweep():
+        return count_universe(2, 2)
+
+    total, *_ = benchmark(sweep)
+    assert total == 14

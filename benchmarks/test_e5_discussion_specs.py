@@ -1,0 +1,52 @@
+"""E5 -- the §6 discussion: classification of the application specs.
+
+Regenerates the paper's closing claims:
+
+- FIFO, k-weaker causal, local/global forward-flush: tagging suffices;
+- the mobile handoff condition: control messages are required;
+- "deliver the second message before the first": not implementable.
+"""
+
+import pytest
+
+from repro.core.classifier import classify, classify_specification
+from repro.predicates.catalog import catalog_by_name, k_weaker_causal
+
+from conftest import format_table, write_result
+
+CLAIMS = [
+    ("fifo", "tagged", "tagging sufficient"),
+    ("k-weaker-causal-1", "tagged", "tagging sufficient"),
+    ("k-weaker-causal-2", "tagged", "tagging sufficient"),
+    ("local-forward-flush", "tagged", "tagging sufficient"),
+    ("global-forward-flush", "tagged", "tagging sufficient"),
+    ("mobile-handoff", "general", "control messages required"),
+    ("second-before-first", "not_implementable", "would require knowing the future"),
+]
+
+
+def test_e5_regenerate_claims(benchmark):
+    benchmark(lambda: None)
+    rows = []
+    by_name = catalog_by_name()
+    for name, expected, paper_claim in CLAIMS:
+        verdict = classify_specification(by_name[name].specification)
+        rows.append(
+            (
+                name,
+                paper_claim,
+                verdict.protocol_class.value,
+                "OK" if verdict.protocol_class.value == expected else "DIFF",
+            )
+        )
+    table = format_table(["specification", "paper claim", "classified", "match"], rows)
+    write_result("e5_discussion_specs", table)
+    assert all(row[-1] == "OK" for row in rows)
+
+
+@pytest.mark.parametrize("k", [0, 1, 2, 4])
+def test_e5_k_weaker_scaling(benchmark, k):
+    """Classifier cost across the k-weaker family (arity k + 2)."""
+    predicate = k_weaker_causal(k)
+    verdict = benchmark(classify, predicate)
+    assert verdict.protocol_class.value == "tagged"

@@ -1,0 +1,115 @@
+"""E7 -- Lemma 2 / §3.2.1: the system-level hierarchy X_U ⊆ X_td ⊆ X_gn.
+
+Two regenerations:
+
+1. *Constructions* (the proof of Theorem 1): expanding every enumerated
+   user run with adjacent star events (Figure 5) lands in ``X_U``; if the
+   user run is causally ordered the expansion is in ``X_td``; if it is
+   logically synchronous the expansion is in ``X_gn`` -- these are exactly
+   the runs each protocol class can be forced into.
+2. *Recorded runs*: the do-nothing protocol's executions are always in
+   ``X_U`` (it never delays, so star events stay adjacent), while
+   inhibiting protocols leave ``X_U`` precisely when they delay; the
+   adversarial network keeps some tagless runs outside ``X_td``.
+"""
+
+import pytest
+
+from repro.protocols import (
+    CausalRstProtocol,
+    FifoProtocol,
+    SyncCoordinatorProtocol,
+    TaglessProtocol,
+)
+from repro.protocols.base import make_factory
+from repro.runs.construction import system_run_from_user_run
+from repro.runs.enumeration import enumerate_universe
+from repro.runs.limit_sets import is_causally_ordered, is_logically_synchronous
+from repro.runs.system_run import in_x_gn, in_x_td, in_x_u
+from repro.simulation import UniformLatency, random_traffic, run_simulation
+
+from conftest import format_table, write_result
+
+LATENCY = UniformLatency(low=1.0, high=40.0)
+
+
+def test_e7_constructions_realize_the_hierarchy(benchmark):
+    benchmark(lambda: None)
+    rows = []
+    total = u = td = gn = co_user = sync_user = 0
+    for run in enumerate_universe(2, 2):
+        system = system_run_from_user_run(run)
+        assert system.users_view() == run
+        total += 1
+        assert in_x_u(system)
+        u += 1
+        if is_causally_ordered(run):
+            co_user += 1
+            assert in_x_td(system)
+        if is_logically_synchronous(run):
+            sync_user += 1
+            assert in_x_gn(system)
+        td += in_x_td(system)
+        gn += in_x_gn(system)
+    rows.append(("2p/2m universe", total, u, td, gn))
+    table = format_table(
+        ["source", "runs", "in X_U", "in X_td", "in X_gn"], rows
+    )
+    write_result("e7_lemma2_constructions", table)
+    assert gn <= td <= u == total
+    assert gn == sync_user and td == co_user
+
+
+def classify_system_runs(factory, seeds=range(5)):
+    u = td = gn = total = delayed = 0
+    for seed in seeds:
+        result = run_simulation(
+            factory, random_traffic(3, 25, seed=seed), seed=seed, latency=LATENCY
+        )
+        run = result.system_run
+        total += 1
+        u += in_x_u(run)
+        td += in_x_td(run)
+        gn += in_x_gn(run)
+        delayed += result.stats.delayed_deliveries > 0
+    return total, u, td, gn, delayed
+
+
+def test_e7_recorded_runs(benchmark):
+    benchmark(lambda: None)
+    rows = []
+    for name, factory in [
+        ("tagless", make_factory(TaglessProtocol)),
+        ("fifo", make_factory(FifoProtocol)),
+        ("causal-rst", make_factory(CausalRstProtocol)),
+        ("sync-coordinator", make_factory(SyncCoordinatorProtocol)),
+    ]:
+        total, u, td, gn, delayed = classify_system_runs(factory)
+        rows.append((name, total, u, td, gn, delayed))
+    table = format_table(
+        ["protocol", "runs", "in X_U", "in X_td", "in X_gn", "runs w/ delays"],
+        rows,
+    )
+    write_result("e7_lemma2_recorded_runs", table)
+
+    by_name = {row[0]: row for row in rows}
+    for row in rows:
+        assert row[4] <= row[3] <= row[2]  # hierarchy on every protocol
+    # The do-nothing protocol never delays: every run is in X_U, yet the
+    # adversarial network keeps some outside X_td.
+    assert by_name["tagless"][2] == by_name["tagless"][1]
+    assert by_name["tagless"][3] < by_name["tagless"][1]
+    # Inhibiting protocols leave X_U exactly when they delayed something.
+    for name in ("fifo", "causal-rst"):
+        total, u, _, _, delayed = by_name[name][1:]
+        assert u == total - delayed
+
+
+def test_e7_construction_speed(benchmark):
+    runs = list(enumerate_universe(2, 2))
+
+    def expand_all():
+        return [system_run_from_user_run(run) for run in runs]
+
+    systems = benchmark(expand_all)
+    assert len(systems) == 14

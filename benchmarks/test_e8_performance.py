@@ -1,0 +1,85 @@
+"""E8 -- performance of the reproduction's own machinery.
+
+Not a paper artifact: scaling curves for the classifier, predicate
+evaluation, projection and the simulator, so regressions in the
+implementation are visible.
+"""
+
+import pytest
+
+from repro.core.classifier import classify
+from repro.predicates.catalog import CAUSAL_B2, FIFO, crown
+from repro.predicates.evaluation import run_admitted
+from repro.protocols import CausalRstProtocol, GeneratedTaggedProtocol, TaglessProtocol
+from repro.protocols.base import make_factory
+from repro.simulation import UniformLatency, random_traffic, run_simulation
+
+
+@pytest.mark.parametrize("k", [2, 4, 8, 12])
+def test_e8_classifier_vs_crown_size(benchmark, k):
+    predicate = crown(k)
+    verdict = benchmark(classify, predicate)
+    assert verdict.min_order == k
+
+
+@pytest.mark.parametrize("messages", [20, 60, 120])
+def test_e8_predicate_evaluation_vs_run_size(benchmark, messages):
+    result = run_simulation(
+        make_factory(CausalRstProtocol),
+        random_traffic(4, messages, seed=1),
+        seed=1,
+    )
+    run = result.user_run
+
+    def evaluate():
+        return run_admitted(run, CAUSAL_B2)
+
+    assert benchmark(evaluate)
+
+
+@pytest.mark.parametrize("messages", [50, 150, 400])
+def test_e8_simulator_throughput(benchmark, messages):
+    workload = random_traffic(5, messages, seed=2)
+
+    def simulate():
+        return run_simulation(
+            make_factory(TaglessProtocol),
+            workload,
+            seed=2,
+            latency=UniformLatency(1.0, 20.0),
+        )
+
+    result = benchmark(simulate)
+    assert result.delivered_all
+
+
+@pytest.mark.parametrize("messages", [30, 60])
+def test_e8_projection_and_checking(benchmark, messages):
+    result = run_simulation(
+        make_factory(CausalRstProtocol),
+        random_traffic(4, messages, seed=3),
+        seed=3,
+    )
+    system = result.system_run
+
+    def project():
+        return system.users_view()
+
+    run = benchmark(project)
+    assert run.is_complete()
+
+
+def test_e8_generated_protocol_cost(benchmark):
+    """The knowledge-complete generated protocol vs its specification."""
+    workload = random_traffic(3, 25, seed=4)
+
+    def simulate():
+        return run_simulation(
+            make_factory(GeneratedTaggedProtocol, [FIFO]),
+            workload,
+            seed=4,
+            latency=UniformLatency(1.0, 20.0),
+        )
+
+    result = benchmark(simulate)
+    assert result.delivered_all

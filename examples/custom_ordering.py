@@ -1,0 +1,79 @@
+"""Design a *new* message ordering and get a protocol for free.
+
+The paper's framework is generative: write any forbidden predicate, the
+classifier tells you what implementing it takes, and for the tagged class
+the generated knowledge protocol implements it directly.
+
+Here we invent "priority fences": no ordinary message that causally
+precedes a *priority* message's send may be delivered after it, anywhere
+in the system (a global, colour-guarded forward barrier -- stronger than
+a flush channel, weaker than causal ordering).
+
+Usage:  python examples/custom_ordering.py
+"""
+
+import repro
+from repro.core.containment import check_limit_containments
+from repro.predicates.spec import Specification
+from repro.simulation import UniformLatency, random_traffic
+from repro.protocols import TaglessProtocol
+from repro.protocols.base import make_factory
+
+
+def main() -> None:
+    fence = repro.parse_predicate(
+        "color(y) = priority :: x.s < y.s & y.r < x.r",
+        name="priority-fence",
+    )
+    print("specification:", fence)
+
+    # Classify symbolically...
+    verdict = repro.classify(fence)
+    print("\nclassifier verdict:", verdict.protocol_class.value)
+    print("witness cycle:", verdict.witness)
+
+    # ...and double-check against the exhaustively enumerated universe.
+    spec = Specification(name="priority-fence", predicates=(fence,))
+    report = check_limit_containments(
+        spec, n_processes=2, n_messages=2, colors=(None, "priority")
+    )
+    print(
+        "universe check: X_async ⊆ Y: %s, X_co ⊆ Y: %s, X_sync ⊆ Y: %s"
+        % (report.async_contained, report.co_contained, report.sync_contained)
+    )
+    assert report.empirical_class is verdict.protocol_class
+
+    # Synthesize the protocol and run it under heavy reordering.
+    workload = random_traffic(4, 40, seed=5, color_every=6, color="priority")
+    result = repro.simulate(
+        fence, workload, seed=5, latency=UniformLatency(1.0, 60.0)
+    )
+    outcome = repro.verify(result, fence)
+    print("\ngenerated protocol:", result.protocol_name)
+    print("verification:", outcome.summary())
+    print(
+        "tag bytes/message: %.0f (knowledge-complete tags; a hand-"
+        "optimized protocol would compress them)" % result.stats.mean_tag_bytes
+    )
+    assert outcome.ok
+
+    # The do-nothing protocol breaks the fence somewhere in a seed sweep.
+    print("\n--- necessity: do-nothing protocol under the same spec ---")
+    for seed in range(20):
+        result = repro.simulate(
+            fence,
+            random_traffic(4, 40, seed=seed, color_every=6, color="priority"),
+            seed=seed,
+            protocol_factory=make_factory(TaglessProtocol),
+            latency=UniformLatency(1.0, 60.0),
+        )
+        outcome = repro.verify(result, fence)
+        if not outcome.safe:
+            print("seed %d: %s" % (seed, outcome.summary()))
+            break
+    else:
+        print("(no violation in this sweep)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Chandy-Lamport snapshots need FIFO channels -- the paper's §1 claim, live.
+
+Processes exchange token transfers; a Chandy-Lamport snapshot records
+process balances and in-channel transfers.  Over the FIFO protocol the
+recorded total always equals the true total; over the do-nothing protocol
+(markers may overtake in-flight transfers) the snapshot books don't
+balance.
+
+Usage:  python examples/global_snapshot.py
+"""
+
+from repro.apps import run_snapshot_experiment
+from repro.protocols import FifoProtocol, TaglessProtocol
+from repro.protocols.base import make_factory
+from repro.simulation import UniformLatency
+
+LATENCY = UniformLatency(low=1.0, high=30.0)
+
+
+def main() -> None:
+    print("--- snapshots over FIFO channels (sequence-number tags) ---")
+    for seed in range(5):
+        report = run_snapshot_experiment(
+            make_factory(FifoProtocol), seed=seed, latency=LATENCY
+        )
+        print("seed %d: %s" % (seed, report.summary()))
+        assert report.consistent
+
+    print("\n--- snapshots over the do-nothing protocol ---")
+    broke = 0
+    for seed in range(5):
+        report = run_snapshot_experiment(
+            make_factory(TaglessProtocol), seed=seed, latency=LATENCY
+        )
+        print("seed %d: %s" % (seed, report.summary()))
+        broke += not report.consistent
+    print(
+        "\n%d of 5 snapshots inconsistent without FIFO -- the ordering "
+        "guarantee is what makes the algorithm correct." % broke
+    )
+
+
+if __name__ == "__main__":
+    main()

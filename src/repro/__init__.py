@@ -1,0 +1,103 @@
+"""repro -- a reproduction of Murty & Garg, "Characterization of Message
+Ordering Specifications and Protocols" (ICDCS 1997).
+
+The library answers, for any message-ordering specification written as a
+*forbidden predicate*: can it be implemented at all, and does it need
+tagging or control messages?  It ships the full substrate the paper
+assumes -- runs as decomposed posets, the three limit sets, a predicate
+DSL, predicate graphs with β-vertex analysis -- plus a deterministic
+discrete-event simulator and concrete protocols from all three classes.
+
+Quickstart
+----------
+>>> import repro
+>>> co = repro.parse_predicate("x.s < y.s & y.r < x.r", name="causal")
+>>> repro.classify(co).protocol_class.value
+'tagged'
+"""
+
+from repro.events import DELIVER, INVOKE, RECEIVE, SEND, Event, EventKind, Message
+from repro.predicates import (
+    ColorGuard,
+    Conjunct,
+    EventTerm,
+    ForbiddenPredicate,
+    PredicateFamily,
+    ProcessGuard,
+    Specification,
+    parse_predicate,
+)
+from repro.predicates import catalog
+from repro.runs import (
+    SystemRun,
+    UserRun,
+    causal_past,
+    enumerate_universe,
+    is_async,
+    is_causally_ordered,
+    is_logically_synchronous,
+    run_from_predicate_instance,
+)
+from repro.graphs import PredicateGraph, beta_vertices, cycle_order, resolved_cycles
+from repro.core import (
+    Classification,
+    ProtocolClass,
+    check_limit_containments,
+    classify,
+    classify_specification,
+    protocol_for,
+    simulate,
+    verify,
+)
+from repro.verification import CheckResult, check_run, check_simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # events
+    "Event",
+    "EventKind",
+    "Message",
+    "INVOKE",
+    "SEND",
+    "RECEIVE",
+    "DELIVER",
+    # predicates
+    "EventTerm",
+    "Conjunct",
+    "ForbiddenPredicate",
+    "ProcessGuard",
+    "ColorGuard",
+    "Specification",
+    "PredicateFamily",
+    "parse_predicate",
+    "catalog",
+    # runs
+    "UserRun",
+    "SystemRun",
+    "causal_past",
+    "is_async",
+    "is_causally_ordered",
+    "is_logically_synchronous",
+    "enumerate_universe",
+    "run_from_predicate_instance",
+    # graphs
+    "PredicateGraph",
+    "resolved_cycles",
+    "beta_vertices",
+    "cycle_order",
+    # core
+    "ProtocolClass",
+    "Classification",
+    "classify",
+    "classify_specification",
+    "check_limit_containments",
+    "protocol_for",
+    "simulate",
+    "verify",
+    # verification
+    "CheckResult",
+    "check_run",
+    "check_simulation",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Reactive applications on top of ordering protocols.
+
+The paper motivates message-ordering guarantees by the algorithms that
+need them ("many distributed algorithms work correctly only in the
+presence of FIFO channels", §1; snapshot and recovery protocols, §2).
+This package provides the application layer -- processes that *react* to
+deliveries by sending more messages -- and the classic consumer:
+Chandy-Lamport global snapshots, which are consistent exactly when the
+underlying channels are FIFO.
+"""
+
+from repro.apps.base import AppContext, Application, run_application
+from repro.apps.snapshot import (
+    SnapshotReport,
+    TokenTransferApp,
+    run_snapshot_experiment,
+)
+from repro.apps.chat import ChatApp, ChatReport, run_chat_experiment
+
+__all__ = [
+    "Application",
+    "AppContext",
+    "run_application",
+    "TokenTransferApp",
+    "SnapshotReport",
+    "run_snapshot_experiment",
+    "ChatApp",
+    "ChatReport",
+    "run_chat_experiment",
+]

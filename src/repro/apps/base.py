@@ -1,0 +1,145 @@
+"""The application layer: reactive processes above a protocol.
+
+An :class:`Application` instance runs at each process.  It may send
+messages at start-up, on timers, and in reaction to deliveries; the
+ordering protocol underneath decides when sends and deliveries execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.events import Message
+from repro.runs.system_run import SystemRun
+from repro.runs.user_run import UserRun
+from repro.simulation.host import ProtocolHost
+from repro.simulation.network import LatencyModel, Network, UniformLatency
+from repro.simulation.sim import Simulator
+from repro.simulation.trace import SimulationStats, Trace
+
+
+class AppContext:
+    """Services for one application instance."""
+
+    def __init__(self, host: ProtocolHost):
+        self._host = host
+        self._sent = 0
+
+    @property
+    def process_id(self) -> int:
+        return self._host.process_id
+
+    @property
+    def n_processes(self) -> int:
+        return self._host.n_processes
+
+    @property
+    def now(self) -> float:
+        return self._host.sim.now
+
+    def send(
+        self,
+        receiver: int,
+        color: Optional[str] = None,
+        group: Optional[str] = None,
+        payload: Any = None,
+    ) -> Message:
+        """Request a send (the user event ``x.s*``); the protocol decides
+        when the message actually leaves."""
+        self._sent += 1
+        message = Message(
+            id="p%d-%d" % (self.process_id, self._sent),
+            sender=self.process_id,
+            receiver=receiver,
+            color=color,
+            group=group,
+            payload=payload,
+        )
+        self._host.invoke(message)
+        return message
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` after ``delay`` virtual time units."""
+        self._host.sim.schedule(delay, action)
+
+
+class Application:
+    """Base application; override the hooks."""
+
+    def on_start(self, ctx: AppContext) -> None:
+        """Called once at time zero."""
+
+    def on_deliver(self, ctx: AppContext, message: Message) -> None:
+        """Called after the protocol delivers ``message`` here."""
+
+
+@dataclass
+class ApplicationResult:
+    """Everything an application run produced."""
+
+    apps: List[Application]
+    trace: Trace
+    stats: SimulationStats
+    system_run: SystemRun
+    user_run: UserRun
+    delivered_all: bool
+
+
+def run_application(
+    protocol_factory: Callable[[int, int], object],
+    app_factory: Callable[[int, int], Application],
+    n_processes: int,
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+    fifo_channels: bool = False,
+    max_events: int = 1_000_000,
+) -> ApplicationResult:
+    """Run reactive applications over a protocol and record the execution."""
+    sim = Simulator()
+    network = Network(
+        sim,
+        n_processes,
+        latency=latency or UniformLatency(low=1.0, high=10.0),
+        seed=seed,
+        fifo_channels=fifo_channels,
+    )
+    trace = Trace(n_processes)
+    stats = SimulationStats()
+    hosts = []
+    apps = []
+    for process_id in range(n_processes):
+        host = ProtocolHost(
+            sim,
+            network,
+            trace,
+            stats,
+            process_id,
+            protocol_factory(process_id, n_processes),
+        )
+        app = app_factory(process_id, n_processes)
+        ctx = AppContext(host)
+        host.delivery_listener = (
+            lambda message, app=app, ctx=ctx: app.on_deliver(ctx, message)
+        )
+        hosts.append(host)
+        apps.append((app, ctx))
+    for host in hosts:
+        host.start()
+    for app, ctx in apps:
+        sim.schedule(0.0, lambda app=app, ctx=ctx: app.on_start(ctx))
+
+    executed = sim.run(max_events=max_events)
+    if executed >= max_events:
+        raise RuntimeError("application run exceeded %d events" % max_events)
+
+    system_run = trace.to_system_run()
+    undelivered = trace.undelivered_messages()
+    return ApplicationResult(
+        apps=[app for app, _ in apps],
+        trace=trace,
+        stats=stats,
+        system_run=system_run,
+        user_run=system_run.users_view(),
+        delivered_all=not undelivered,
+    )

@@ -1,0 +1,195 @@
+"""Chandy-Lamport global snapshots over token transfers.
+
+The classic conservation experiment: processes start with equal token
+balances and transfer random amounts; a snapshot must capture a global
+state whose total balance (process states + in-channel transfers) equals
+the true total.  The algorithm records:
+
+- the local balance when the first marker arrives (or when initiating),
+- per incoming channel, the transfers arriving between the snapshot start
+  and that channel's marker.
+
+Chandy and Lamport's correctness argument *requires FIFO channels* -- the
+paper's §1 motivation in executable form.  Run it over the FIFO protocol
+and totals always balance; run it over the do-nothing protocol on a
+reordering network and markers overtake in-flight transfers, so totals
+drift.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.apps.base import AppContext, Application, run_application
+from repro.events import Message
+from repro.simulation.network import LatencyModel
+
+MARKER = "marker"
+
+
+class TokenTransferApp(Application):
+    """Random token transfers plus the Chandy-Lamport snapshot role."""
+
+    def __init__(
+        self,
+        initial_balance: int = 100,
+        transfers: int = 12,
+        mean_gap: float = 2.0,
+        seed: int = 0,
+        snapshot_at: Optional[float] = None,
+        initiator: int = 0,
+    ):
+        self.balance = initial_balance
+        self.transfers_left = transfers
+        self.mean_gap = mean_gap
+        self.snapshot_at = snapshot_at
+        self.initiator = initiator
+        self._rng = random.Random(seed)
+        # Snapshot state.
+        self.snapshot_started = False
+        self.recorded_balance: Optional[int] = None
+        self.channel_recordings: Dict[int, List[int]] = {}
+        self.channels_closed: Set[int] = set()
+
+    # -- token traffic -----------------------------------------------------
+
+    def on_start(self, ctx: AppContext) -> None:
+        self._schedule_next_transfer(ctx)
+        if self.snapshot_at is not None and ctx.process_id == self.initiator:
+            ctx.schedule(self.snapshot_at, lambda: self._start_snapshot(ctx))
+
+    def _schedule_next_transfer(self, ctx: AppContext) -> None:
+        if self.transfers_left <= 0:
+            return
+        self.transfers_left -= 1
+        delay = self._rng.expovariate(1.0 / self.mean_gap)
+        ctx.schedule(delay, lambda: self._transfer(ctx))
+
+    def _transfer(self, ctx: AppContext) -> None:
+        if self.balance > 0:
+            amount = self._rng.randint(1, max(1, self.balance // 4))
+            receiver = self._rng.randrange(ctx.n_processes - 1)
+            if receiver >= ctx.process_id:
+                receiver += 1
+            self.balance -= amount
+            ctx.send(receiver, payload=("transfer", amount))
+        self._schedule_next_transfer(ctx)
+
+    # -- Chandy-Lamport ----------------------------------------------------
+
+    def _start_snapshot(self, ctx: AppContext) -> None:
+        if self.snapshot_started:
+            return
+        self.snapshot_started = True
+        self.recorded_balance = self.balance
+        for process in range(ctx.n_processes):
+            if process != ctx.process_id:
+                self.channel_recordings[process] = []
+                ctx.send(process, color=MARKER, payload=(MARKER,))
+
+    def on_deliver(self, ctx: AppContext, message: Message) -> None:
+        if message.color == MARKER:
+            if not self.snapshot_started:
+                self._start_snapshot(ctx)
+                # The channel the first marker arrived on is empty.
+            self.channels_closed.add(message.sender)
+            return
+        kind, amount = message.payload
+        assert kind == "transfer"
+        self.balance += amount
+        if self.snapshot_started and message.sender not in self.channels_closed:
+            self.channel_recordings.setdefault(message.sender, []).append(amount)
+
+    # -- results --------------------------------------------------------------
+
+    @property
+    def snapshot_complete(self) -> bool:
+        return self.snapshot_started and len(self.channels_closed) >= len(
+            self.channel_recordings
+        )
+
+    def recorded_state(self) -> int:
+        """The balance captured when the snapshot started here."""
+        assert self.recorded_balance is not None
+        return self.recorded_balance
+
+    def recorded_in_flight(self) -> int:
+        """Total of the transfers recorded on incoming channels."""
+        return sum(sum(amounts) for amounts in self.channel_recordings.values())
+
+
+@dataclass
+class SnapshotReport:
+    """Outcome of one snapshot experiment."""
+
+    expected_total: int
+    recorded_total: int
+    all_started: bool
+    all_complete: bool
+    final_total: int
+
+    @property
+    def consistent(self) -> bool:
+        return self.recorded_total == self.expected_total
+
+    def summary(self) -> str:
+        """One line: expected vs recorded totals."""
+        return (
+            "expected %d, snapshot recorded %d (%s), final balances %d"
+            % (
+                self.expected_total,
+                self.recorded_total,
+                "consistent" if self.consistent else "INCONSISTENT",
+                self.final_total,
+            )
+        )
+
+
+def run_snapshot_experiment(
+    protocol_factory: Callable[[int, int], object],
+    n_processes: int = 4,
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+    initial_balance: int = 100,
+    transfers: int = 12,
+    snapshot_at: float = 10.0,
+) -> SnapshotReport:
+    """Token traffic + one snapshot over the given ordering protocol."""
+    apps: List[TokenTransferApp] = []
+
+    def app_factory(process_id: int, n: int) -> TokenTransferApp:
+        app = TokenTransferApp(
+            initial_balance=initial_balance,
+            transfers=transfers,
+            seed=seed * 1000 + process_id,
+            snapshot_at=snapshot_at if process_id == 0 else None,
+            initiator=0,
+        )
+        apps.append(app)
+        return app
+
+    result = run_application(
+        protocol_factory,
+        app_factory,
+        n_processes,
+        seed=seed,
+        latency=latency,
+    )
+    assert result.delivered_all
+
+    expected = initial_balance * n_processes
+    all_started = all(app.snapshot_started for app in apps)
+    recorded = sum(
+        app.recorded_state() + app.recorded_in_flight()
+        for app in apps
+        if app.snapshot_started
+    )
+    return SnapshotReport(
+        expected_total=expected,
+        recorded_total=recorded,
+        all_started=all_started,
+        all_complete=all(app.snapshot_complete for app in apps),
+        final_total=sum(app.balance for app in apps),
+    )

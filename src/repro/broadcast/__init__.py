@@ -1,0 +1,57 @@
+"""Multicast extension (the paper's §7: "the results in this paper can be
+extended to incorporate multicast messages").
+
+A logical broadcast is modelled as a *group* of unicast copies sharing
+``Message.group``.  This package provides:
+
+- grouped workload generators,
+- broadcast orderings: causal broadcast (still the unicast causal
+  predicate) and total-order / atomic broadcast (a *grouped* forbidden
+  predicate plus a direct polynomial checker),
+- protocols: Birman-Schiper-Stephenson causal broadcast (tagged) and a
+  fixed-sequencer total-order broadcast (general -- control messages,
+  exactly as the characterization predicts, since a logically
+  synchronous run is always totally ordered and total order fails for
+  merely causal runs).
+
+Boundary of the base theory: the predicate-graph classifier treats
+variables as independent messages, so it cannot see that group-equal
+variables share a send; grouped predicates are therefore classified by
+:func:`classify_broadcast` (which collapses each group to one
+super-message) rather than by ``repro.classify``.
+"""
+
+from repro.broadcast.orderings import (
+    ATOMIC_BROADCAST,
+    TOTAL_ORDER_VIOLATION,
+    classify_broadcast,
+)
+from repro.broadcast.checkers import (
+    broadcast_groups,
+    check_agreement,
+    check_total_order,
+    delivery_order_at,
+)
+from repro.broadcast.protocols import (
+    CausalBroadcastProtocol,
+    CausalMulticastProtocol,
+    FifoBroadcastProtocol,
+    SequencerBroadcastProtocol,
+)
+from repro.broadcast.workloads import group_broadcasts, random_multicasts
+
+__all__ = [
+    "ATOMIC_BROADCAST",
+    "TOTAL_ORDER_VIOLATION",
+    "classify_broadcast",
+    "broadcast_groups",
+    "delivery_order_at",
+    "check_total_order",
+    "check_agreement",
+    "CausalBroadcastProtocol",
+    "CausalMulticastProtocol",
+    "FifoBroadcastProtocol",
+    "SequencerBroadcastProtocol",
+    "group_broadcasts",
+    "random_multicasts",
+]

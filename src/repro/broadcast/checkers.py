@@ -1,0 +1,91 @@
+"""Direct checkers for broadcast orderings.
+
+These run in polynomial time on recorded runs; the grouped forbidden
+predicate in :mod:`repro.broadcast.orderings` is the declarative
+counterpart (and the two are cross-checked in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.events import Event, Message
+from repro.runs.user_run import UserRun
+
+
+def broadcast_groups(run: UserRun) -> Dict[str, List[Message]]:
+    """Messages by group; ungrouped messages form singleton groups named
+    after the message id."""
+    groups: Dict[str, List[Message]] = {}
+    for message in run.messages():
+        key = message.group if message.group is not None else message.id
+        groups.setdefault(key, []).append(message)
+    return groups
+
+
+def delivery_order_at(run: UserRun, process: int) -> List[str]:
+    """The sequence of *groups* delivered at ``process`` (delivery order
+    is total within one process)."""
+    deliveries = [
+        event
+        for event in run.events_of_process(process)
+        if event.kind.name == "DELIVER" and run.has_event(event)
+    ]
+    # Compute ranks first: list.sort() empties the list while running, so
+    # a key function that scans `deliveries` would see nothing.
+    ranks = {
+        event: sum(1 for other in deliveries if run.before(other, event))
+        for event in deliveries
+    }
+    deliveries.sort(key=ranks.__getitem__)
+    order = []
+    for event in deliveries:
+        message = run.message(event.message_id)
+        order.append(message.group if message.group is not None else message.id)
+    return order
+
+
+def check_total_order(run: UserRun) -> List[Tuple[str, str, int, int]]:
+    """Total-order violations: ``(group_a, group_b, p, q)`` such that
+    process ``p`` delivered (a copy of) ``a`` before ``b`` while ``q``
+    delivered ``b`` before ``a``."""
+    positions: Dict[int, Dict[str, int]] = {}
+    for process in run.processes():
+        order = delivery_order_at(run, process)
+        positions[process] = {group: i for i, group in enumerate(order)}
+    violations = []
+    processes = sorted(positions)
+    for i, p in enumerate(processes):
+        for q in processes[i + 1 :]:
+            shared = sorted(set(positions[p]) & set(positions[q]))
+            for a_index, a in enumerate(shared):
+                for b in shared[a_index + 1 :]:
+                    p_says = positions[p][a] < positions[p][b]
+                    q_says = positions[q][a] < positions[q][b]
+                    if p_says != q_says:
+                        if p_says:
+                            violations.append((a, b, p, q))
+                        else:
+                            violations.append((b, a, p, q))
+    return violations
+
+
+def check_agreement(
+    run: UserRun, n_processes: Optional[int] = None
+) -> List[Tuple[str, int]]:
+    """Broadcast agreement: every process other than the broadcaster
+    receives a copy of every group.  Returns missing ``(group, process)``
+    pairs.  (Trivial under a reliable network; a sanity check on the
+    workload encoding.)"""
+    groups = broadcast_groups(run)
+    processes = run.processes()
+    if n_processes is not None:
+        processes = list(range(n_processes))
+    missing = []
+    for group, copies in groups.items():
+        sender = copies[0].sender
+        covered = {message.receiver for message in copies}
+        for process in processes:
+            if process != sender and process not in covered:
+                missing.append((group, process))
+    return missing

@@ -1,0 +1,344 @@
+"""Broadcast protocols: causal (tagged) and total-order (general).
+
+Both operate on *grouped* workloads: one logical broadcast is invoked as
+one unicast copy per destination, back to back, all sharing
+``Message.group``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.events import Message
+from repro.protocols.base import Protocol
+from repro.simulation.host import HostContext
+
+
+def _group_of(message: Message) -> str:
+    return message.group if message.group is not None else message.id
+
+
+class CausalBroadcastProtocol(Protocol):
+    """Birman-Schiper-Stephenson causal broadcast (tagged).
+
+    Each process keeps a vector ``delivered[k]`` counting broadcasts by
+    ``Pk`` it has delivered, and a broadcast counter of its own.  A copy
+    carries the broadcaster's vector timestamp ``tm``; the receiver holds
+    it until ``tm[sender] == delivered[sender] + 1`` (FIFO per
+    broadcaster) and ``tm[k] <= delivered[k]`` for every other ``k``
+    (everything the broadcaster had delivered is delivered here too).
+    """
+
+    name = "causal-broadcast-bss"
+    protocol_class = "tagged"
+
+    def __init__(self) -> None:
+        # delivered[k] counts Pk's broadcasts delivered here; our own slot
+        # counts our own broadcasts (self-delivery is implicit at the
+        # moment of broadcasting).
+        self._delivered: Optional[List[int]] = None
+        self._stamped: Dict[str, Tuple[int, ...]] = {}
+        self._pending: List[Tuple[Message, Tuple[int, ...]]] = []
+
+    def _ensure_state(self, ctx: HostContext) -> None:
+        if self._delivered is None:
+            self._delivered = [0] * ctx.n_processes
+
+    def on_invoke(self, ctx: HostContext, message: Message) -> None:
+        self._ensure_state(ctx)
+        assert self._delivered is not None
+        group = _group_of(message)
+        timestamp = self._stamped.get(group)
+        if timestamp is None:
+            # First copy of this broadcast: stamp with our delivered
+            # vector, our own slot advanced to this broadcast's index.
+            self._delivered[ctx.process_id] += 1
+            timestamp = tuple(self._delivered)
+            self._stamped[group] = timestamp
+        ctx.release(message, tag=timestamp)
+
+    def on_user_message(self, ctx: HostContext, message: Message, tag: Any) -> None:
+        self._ensure_state(ctx)
+        self._pending.append((message, tuple(tag)))
+        self._drain(ctx)
+
+    def _deliverable(self, ctx: HostContext, sender: int, tm: Tuple[int, ...]) -> bool:
+        assert self._delivered is not None
+        if tm[sender] != self._delivered[sender] + 1:
+            return False
+        return all(
+            tm[k] <= self._delivered[k]
+            for k in range(ctx.n_processes)
+            if k != sender
+        )
+
+    def _drain(self, ctx: HostContext) -> None:
+        assert self._delivered is not None
+        progress = True
+        while progress:
+            progress = False
+            for index, (message, tm) in enumerate(self._pending):
+                if self._deliverable(ctx, message.sender, tm):
+                    del self._pending[index]
+                    self._delivered[message.sender] = tm[message.sender]
+                    ctx.deliver(message)
+                    progress = True
+                    break
+
+
+class CausalMulticastProtocol(Protocol):
+    """Causal multicast to *arbitrary destination subsets* (tagged).
+
+    BSS assumes broadcast-to-all; this protocol handles overlapping
+    groups, in the style of matrix-clock causal multicast (Raynal &
+    Schiper).  Every copy of one multicast carries the same matrix
+    snapshot **plus the multicast's destination set**, so a receiver
+    learns about the *sibling copies* too: delivering a reply then
+    correctly waits for the question's copy even though that copy
+    travelled on a different channel.
+
+    State at ``Pi``: ``M[j][k]`` = copies sent from ``Pj`` to ``Pk`` that
+    ``Pi`` knows about; ``delivered[k]`` = copies from ``Pk`` delivered
+    here.  A multicast to destinations ``D`` snapshots ``M``, bumps
+    ``M[i][d]`` for every ``d ∈ D``, and sends each copy with
+    ``(snapshot, D)``.  Delivery of a copy from ``Pj`` at ``Pq`` waits for
+    ``snapshot[k][q] <= delivered[k]`` for every ``k``; on delivery the
+    receiver merges the snapshot and accounts all sibling copies
+    (``M[j][d] = max(M[j][d], snapshot[j][d] + 1)`` for ``d ∈ D``).
+    """
+
+    name = "causal-multicast"
+    protocol_class = "tagged"
+
+    def __init__(self) -> None:
+        self._matrix: Optional[List[List[int]]] = None
+        self._delivered: Optional[List[int]] = None
+        self._stamped: Dict[str, Tuple[Tuple[Tuple[int, ...], ...], Tuple[int, ...]]] = {}
+        self._group_dests: Dict[str, List[int]] = {}
+        self._group_copies: Dict[str, List[Message]] = {}
+        self._pending: List[Tuple[Message, Tuple[Tuple[int, ...], ...], Tuple[int, ...]]] = []
+
+    def _ensure_state(self, ctx: HostContext) -> None:
+        if self._matrix is None:
+            n = ctx.n_processes
+            self._matrix = [[0] * n for _ in range(n)]
+            self._delivered = [0] * n
+
+    def on_invoke(self, ctx: HostContext, message: Message) -> None:
+        """Copies of one multicast must be invoked back to back; the first
+        copy of a new group closes the *previous* group and stamps it.
+
+        Because the host releases what the protocol tells it to, we buffer
+        the group's copies and release them together once the next group
+        starts (or rely on per-copy stamping when copies arrive
+        interleaved with other groups -- then each group is stamped when
+        first seen, which still gives all copies one snapshot)."""
+        self._ensure_state(ctx)
+        assert self._matrix is not None
+        group = _group_of(message)
+        stamped = self._stamped.get(group)
+        if stamped is None:
+            snapshot = tuple(tuple(row) for row in self._matrix)
+            # Destinations are discovered per copy; stamp now, account
+            # incrementally as copies appear.
+            self._stamped[group] = (snapshot, ())
+            self._group_dests[group] = []
+        snapshot, _ = self._stamped[group]
+        self._group_dests[group].append(message.receiver)
+        self._matrix[ctx.process_id][message.receiver] += 1
+        self._group_copies.setdefault(group, []).append(message)
+        # Release with the shared snapshot and the destinations known so
+        # far; the final destination list is attached lazily below.
+        ctx.schedule(0.0, lambda m=message, g=group: self._release(ctx, m, g))
+
+    def _release(self, ctx: HostContext, message: Message, group: str) -> None:
+        snapshot, _ = self._stamped[group]
+        destinations = tuple(self._group_dests[group])
+        ctx.release(message, tag=(snapshot, destinations))
+
+    def on_user_message(self, ctx: HostContext, message: Message, tag: Any) -> None:
+        self._ensure_state(ctx)
+        snapshot, destinations = tag
+        self._pending.append(
+            (message, tuple(tuple(row) for row in snapshot), tuple(destinations))
+        )
+        self._drain(ctx)
+
+    def _deliverable(self, ctx: HostContext, snapshot) -> bool:
+        assert self._delivered is not None
+        me = ctx.process_id
+        return all(
+            snapshot[k][me] <= self._delivered[k]
+            for k in range(ctx.n_processes)
+        )
+
+    def _drain(self, ctx: HostContext) -> None:
+        assert self._matrix is not None and self._delivered is not None
+        progress = True
+        while progress:
+            progress = False
+            for index, (message, snapshot, destinations) in enumerate(
+                self._pending
+            ):
+                if self._deliverable(ctx, snapshot):
+                    del self._pending[index]
+                    sender = message.sender
+                    self._delivered[sender] += 1
+                    n = ctx.n_processes
+                    for j in range(n):
+                        for k in range(n):
+                            if snapshot[j][k] > self._matrix[j][k]:
+                                self._matrix[j][k] = snapshot[j][k]
+                    # Account every sibling copy of this multicast.
+                    for destination in destinations:
+                        floor = snapshot[sender][destination] + 1
+                        if self._matrix[sender][destination] < floor:
+                            self._matrix[sender][destination] = floor
+                    ctx.deliver(message)
+                    progress = True
+                    break
+
+
+class FifoBroadcastProtocol(Protocol):
+    """FIFO broadcast: per-origin delivery order only (tagged).
+
+    Each broadcaster numbers its broadcasts; every site delivers each
+    origin's broadcasts in that order, with no cross-origin constraint.
+    The weakest rung of the broadcast ladder: FIFO ⊂ causal ⊂ total
+    order.
+    """
+
+    name = "fifo-broadcast"
+    protocol_class = "tagged"
+
+    def __init__(self) -> None:
+        self._next_out: Dict[str, int] = {}  # group -> assigned seq (mine)
+        self._my_count = 0
+        self._expected: Dict[int, int] = {}  # origin -> next seq to deliver
+        self._held: Dict[Tuple[int, int], Message] = {}
+
+    def on_invoke(self, ctx: HostContext, message: Message) -> None:
+        group = _group_of(message)
+        if group not in self._next_out:
+            self._next_out[group] = self._my_count
+            self._my_count += 1
+        ctx.release(message, tag=self._next_out[group])
+
+    def on_user_message(self, ctx: HostContext, message: Message, tag: Any) -> None:
+        self._held[(message.sender, int(tag))] = message
+        self._drain(ctx, message.sender)
+
+    def _drain(self, ctx: HostContext, origin: int) -> None:
+        expected = self._expected.get(origin, 0)
+        while (origin, expected) in self._held:
+            ctx.deliver(self._held.pop((origin, expected)))
+            expected += 1
+        self._expected[origin] = expected
+
+
+SEQ_REQ = "seq-req"
+SEQ_ASSIGN = "seq-assign"
+SEQUENCER = 0
+
+
+class SequencerBroadcastProtocol(Protocol):
+    """Fixed-sequencer total-order broadcast (general).
+
+    Before releasing a broadcast's copies, the broadcaster asks process 0
+    for a global sequence number (control round trip); every site
+    delivers broadcasts strictly in sequence order.  Requires
+    broadcast-to-all traffic so no site waits forever on a gap it will
+    never fill (asserted against the workload by the delivery rule:
+    copies destined elsewhere do not block).
+    """
+
+    name = "sequencer-broadcast"
+    protocol_class = "general"
+
+    def __init__(self) -> None:
+        self._waiting: Dict[str, List[Message]] = {}
+        # Groups whose number is already assigned (copies invoked after
+        # the assignment -- e.g. at the sequencer itself, whose request
+        # resolves synchronously -- release immediately with that number).
+        self._assigned: Dict[str, int] = {}
+        # One outstanding sequence request at a time: two in-flight
+        # requests from one broadcaster could be reordered, inverting the
+        # sequence order against the broadcaster's own causal order.
+        self._request_queue: Deque[str] = deque()
+        self._requesting: bool = False
+        # Sequencer state (process 0 only).
+        self._next_seq = 0
+        # Receiver state.
+        self._next_to_deliver = 0
+        self._held: Dict[int, Message] = {}
+        self._known_gaps: Dict[int, bool] = {}
+
+    def on_invoke(self, ctx: HostContext, message: Message) -> None:
+        group = _group_of(message)
+        if group in self._assigned:
+            ctx.release(message, tag=self._assigned[group])
+            return
+        if group in self._waiting:
+            self._waiting[group].append(message)
+            return
+        self._waiting[group] = [message]
+        self._request_queue.append(group)
+        self._pump_requests(ctx)
+
+    def _pump_requests(self, ctx: HostContext) -> None:
+        if self._requesting or not self._request_queue:
+            return
+        self._requesting = True
+        group = self._request_queue.popleft()
+        if ctx.process_id == SEQUENCER:
+            self.on_control(ctx, ctx.process_id, (SEQ_REQ, group))
+        else:
+            ctx.send_control(SEQUENCER, (SEQ_REQ, group))
+
+    def on_control(self, ctx: HostContext, src: int, payload: Any) -> None:
+        kind = payload[0]
+        if kind == SEQ_REQ:
+            if ctx.process_id != SEQUENCER:
+                raise RuntimeError("sequence request reached a non-sequencer")
+            group = payload[1]
+            seq = self._next_seq
+            self._next_seq += 1
+            if src == SEQUENCER:
+                self.on_control(ctx, src, (SEQ_ASSIGN, group, seq))
+            else:
+                ctx.send_control(src, (SEQ_ASSIGN, group, seq))
+        elif kind == SEQ_ASSIGN:
+            group, seq = payload[1], payload[2]
+            self._assigned[group] = seq
+            copies = self._waiting.pop(group)
+            # The broadcaster itself "delivers" at sequence position seq
+            # implicitly; it releases every copy stamped with seq.
+            self._note_own_position(seq)
+            for copy in copies:
+                ctx.release(copy, tag=seq)
+            self._drain(ctx)  # the cursor may step over the new own slot
+            self._requesting = False
+            self._pump_requests(ctx)
+        else:
+            raise ValueError("unknown control payload %r" % (payload,))
+
+    def _note_own_position(self, seq: int) -> None:
+        """The broadcaster never receives its own copy; mark the slot so
+        its delivery cursor can move past it."""
+        self._known_gaps[seq] = True
+
+    def on_user_message(self, ctx: HostContext, message: Message, tag: Any) -> None:
+        self._held[int(tag)] = message
+        self._drain(ctx)
+
+    def _drain(self, ctx: HostContext) -> None:
+        while True:
+            seq = self._next_to_deliver
+            if seq in self._held:
+                ctx.deliver(self._held.pop(seq))
+                self._next_to_deliver += 1
+            elif seq in self._known_gaps:
+                self._next_to_deliver += 1
+            else:
+                return

@@ -1,0 +1,68 @@
+"""Grouped (broadcast) workload generation."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.simulation.workloads import SendRequest, Workload
+
+
+def group_broadcasts(
+    n_processes: int, rounds: int, seed: int = 0
+) -> Workload:
+    """Each round a random process broadcasts to every other process;
+    the copies of one broadcast share a ``group`` id."""
+    if n_processes < 2:
+        raise ValueError("broadcasts need at least two processes")
+    rng = random.Random(seed)
+    requests: List[SendRequest] = []
+    t = 0.0
+    for round_index in range(rounds):
+        t += rng.uniform(0.5, 2.0)
+        origin = rng.randrange(n_processes)
+        group = "b%d" % (round_index + 1)
+        for receiver in range(n_processes):
+            if receiver != origin:
+                requests.append(
+                    SendRequest(
+                        time=t,
+                        sender=origin,
+                        receiver=receiver,
+                        group=group,
+                    )
+                )
+    return Workload(
+        name="broadcasts-%dp-%dr-seed%d" % (n_processes, rounds, seed),
+        n_processes=n_processes,
+        requests=tuple(requests),
+    )
+
+
+def random_multicasts(
+    n_processes: int, rounds: int, seed: int = 0, min_size: int = 1
+) -> Workload:
+    """Each round a random process multicasts to a random *subset* of the
+    others (overlapping groups -- the case broadcast-to-all protocols do
+    not cover)."""
+    if n_processes < 2:
+        raise ValueError("multicasts need at least two processes")
+    rng = random.Random(seed)
+    requests: List[SendRequest] = []
+    t = 0.0
+    for round_index in range(rounds):
+        t += rng.uniform(0.5, 2.0)
+        origin = rng.randrange(n_processes)
+        others = [p for p in range(n_processes) if p != origin]
+        size = rng.randint(min(min_size, len(others)), len(others))
+        destinations = rng.sample(others, size)
+        group = "g%d" % (round_index + 1)
+        for receiver in sorted(destinations):
+            requests.append(
+                SendRequest(time=t, sender=origin, receiver=receiver, group=group)
+            )
+    return Workload(
+        name="multicasts-%dp-%dr-seed%d" % (n_processes, rounds, seed),
+        n_processes=n_processes,
+        requests=tuple(requests),
+    )

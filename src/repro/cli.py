@@ -1,0 +1,257 @@
+"""Command-line interface.
+
+::
+
+    python -m repro classify "x.s < y.s & y.r < x.r"
+    python -m repro classify "color(y) = red :: x.s < y.s & y.r < x.r"
+    python -m repro catalog
+    python -m repro simulate "x.s < y.s & y.r < x.r" --messages 30 --seed 7
+    python -m repro simulate fifo --diagram
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.api import protocol_for, simulate as run_simulate, verify
+from repro.core.classifier import classify, classify_specification
+from repro.predicates.catalog import CATALOG, catalog_by_name
+from repro.predicates.dsl import parse_predicate
+from repro.predicates.spec import Specification
+from repro.runs.diagram import render_user_run
+from repro.simulation import UniformLatency, random_traffic
+
+
+def _resolve_spec(text: str, distinct: bool) -> Specification:
+    """A catalogue name, or predicate DSL text."""
+    by_name = catalog_by_name()
+    if text in by_name:
+        return by_name[text].specification
+    predicate = parse_predicate(text, name="cli", distinct=distinct)
+    return Specification(name="cli", predicates=(predicate,))
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    specification = _resolve_spec(args.predicate, args.distinct)
+    if args.broadcast:
+        from repro.broadcast import classify_broadcast
+
+        for predicate in specification.all_predicates(max_arity=6):
+            verdict = classify_broadcast(predicate)
+            print("predicate:  %r" % (predicate,))
+            print("class:      %s (grouped analysis)" % verdict.protocol_class.value)
+            for cycle in verdict.cycles:
+                print("  cycle order %d:" % cycle.order)
+                for item in cycle.breaks:
+                    print("    %s" % item)
+            for note in verdict.notes:
+                print("  note: %s" % note)
+        return 0
+    if len(specification.predicates) == 1 and not specification.families:
+        verdict = classify(specification.predicates[0])
+        print(verdict.summary())
+        if verdict.reduction is not None and verdict.reduction.steps:
+            print("lemma-4 contraction:")
+            for step in verdict.reduction.steps:
+                print("  %r" % (step,))
+    else:
+        verdict = classify_specification(specification)
+        print("specification: %s" % specification.name)
+        print("class:         %s" % verdict.protocol_class.value)
+        for member in verdict.members:
+            print(
+                "  member %-12s -> %s"
+                % (member.predicate.name, member.protocol_class.value)
+            )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.report import explain
+
+    specification = _resolve_spec(args.predicate, args.distinct)
+    for predicate in specification.all_predicates(max_arity=4):
+        print(explain(predicate))
+        print()
+    return 0
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    print("%-25s %-18s %s" % ("specification", "class", "paper ref"))
+    print("-" * 60)
+    for entry in CATALOG:
+        verdict = classify_specification(entry.specification)
+        print(
+            "%-25s %-18s %s"
+            % (entry.name, verdict.protocol_class.value, entry.paper_ref)
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    specification = _resolve_spec(args.predicate, args.distinct)
+    color_every = args.color_every
+    needs_colors = any(
+        guard for p in specification.predicates for guard in p.guards
+    )
+    if color_every is None and needs_colors:
+        color_every = 5
+    workload = random_traffic(
+        args.processes,
+        args.messages,
+        seed=args.seed,
+        color_every=color_every,
+        color=args.color,
+    )
+    result = run_simulate(
+        specification,
+        workload,
+        seed=args.seed,
+        latency=UniformLatency(low=1.0, high=args.max_latency),
+    )
+    print(result.summary())
+    outcome = verify(result, specification)
+    print("verification:      %s" % outcome.summary())
+    if args.diagram:
+        print()
+        print(render_user_run(result.user_run))
+    return 0 if outcome.ok else 1
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    from repro.core.selftest import run_paper_selftest
+
+    report = run_paper_selftest()
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.predicates.catalog import (
+        ASYNC_ORDERING,
+        CAUSAL_ORDERING,
+        FIFO_ORDERING,
+        LOGICALLY_SYNCHRONOUS,
+        TWO_WAY_FLUSH,
+        k_weaker_causal_spec,
+    )
+    from repro.protocols import (
+        CausalRstProtocol,
+        CausalSesProtocol,
+        FifoProtocol,
+        FlushChannelProtocol,
+        KWeakerCausalProtocol,
+        SyncCoordinatorProtocol,
+        SyncRendezvousProtocol,
+        TaglessProtocol,
+    )
+    from repro.protocols.base import make_factory
+    from repro.verification.compare import ProtocolRow, compare_protocols
+
+    entries = [
+        ("tagless", make_factory(TaglessProtocol), ASYNC_ORDERING),
+        ("fifo", make_factory(FifoProtocol), FIFO_ORDERING),
+        ("flush", make_factory(FlushChannelProtocol), TWO_WAY_FLUSH),
+        ("k-weaker(2)", make_factory(KWeakerCausalProtocol, 2), k_weaker_causal_spec(2)),
+        ("causal-rst", make_factory(CausalRstProtocol), CAUSAL_ORDERING),
+        ("causal-ses", make_factory(CausalSesProtocol), CAUSAL_ORDERING),
+        ("sync-coord", make_factory(SyncCoordinatorProtocol), LOGICALLY_SYNCHRONOUS),
+        ("sync-rdv", make_factory(SyncRendezvousProtocol), LOGICALLY_SYNCHRONOUS),
+    ]
+    workloads = [
+        random_traffic(args.processes, args.messages, seed=s, color_every=6)
+        for s in range(args.seeds)
+    ]
+    rows = compare_protocols(entries, workloads, seed=args.seed)
+    widths = [max(len(str(c)) for c in col) for col in
+              zip(ProtocolRow.HEADERS, *[row.as_tuple() for row in rows])]
+
+    def show(cells):
+        print("  ".join(str(c).ljust(w) for c, w in zip(cells, widths)).rstrip())
+
+    show(ProtocolRow.HEADERS)
+    show(["-" * w for w in widths])
+    for row in rows:
+        show(row.as_tuple())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Message-ordering specifications: classify, simulate, verify.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_classify = sub.add_parser(
+        "classify", help="classify a predicate (DSL text or catalogue name)"
+    )
+    p_classify.add_argument("predicate")
+    p_classify.add_argument(
+        "--distinct",
+        action="store_true",
+        help="quantify over distinct messages",
+    )
+    p_classify.add_argument(
+        "--broadcast",
+        action="store_true",
+        help="use the grouped (multicast) classifier of repro.broadcast",
+    )
+    p_classify.set_defaults(func=_cmd_classify)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="full §4 walkthrough: graph, cycles, β vertices, contraction",
+    )
+    p_explain.add_argument("predicate")
+    p_explain.add_argument("--distinct", action="store_true")
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_catalog = sub.add_parser("catalog", help="classify the whole catalogue")
+    p_catalog.set_defaults(func=_cmd_catalog)
+
+    p_sim = sub.add_parser(
+        "simulate",
+        help="synthesize a protocol for the spec and run a random workload",
+    )
+    p_sim.add_argument("predicate")
+    p_sim.add_argument("--distinct", action="store_true")
+    p_sim.add_argument("--processes", type=int, default=3)
+    p_sim.add_argument("--messages", type=int, default=20)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--max-latency", type=float, default=40.0)
+    p_sim.add_argument("--color-every", type=int, default=None)
+    p_sim.add_argument("--color", default="red")
+    p_sim.add_argument(
+        "--diagram", action="store_true", help="print the run's time diagram"
+    )
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_self = sub.add_parser(
+        "selftest",
+        help="verify the paper's logical artifacts (E1-E7) in one go",
+    )
+    p_self.set_defaults(func=_cmd_selftest)
+
+    p_cmp = sub.add_parser(
+        "compare",
+        help="cost table: every protocol against its own specification",
+    )
+    p_cmp.add_argument("--processes", type=int, default=4)
+    p_cmp.add_argument("--messages", type=int, default=30)
+    p_cmp.add_argument("--seeds", type=int, default=3)
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

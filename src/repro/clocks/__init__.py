@@ -1,0 +1,17 @@
+"""Logical clocks over the run model.
+
+The tags of the causal protocols are views of these structures; the
+module makes them first-class so the classic characterizations can be
+stated and tested against recorded runs:
+
+- Lamport clocks respect causality (``e ▷ f ⇒ L(e) < L(f)``);
+- vector clocks characterize it exactly (``e ▷ f ⇔ V(e) < V(f)``).
+"""
+
+from repro.clocks.vector import (
+    VectorClock,
+    assign_lamport_clocks,
+    assign_vector_clocks,
+)
+
+__all__ = ["VectorClock", "assign_vector_clocks", "assign_lamport_clocks"]

@@ -1,0 +1,31 @@
+"""The paper's primary contribution: deciding, from a forbidden predicate,
+whether a message-ordering specification is implementable and which class
+of protocol (tagless / tagged / general) it needs."""
+
+from repro.core.classifier import (
+    Classification,
+    CycleReport,
+    ProtocolClass,
+    classify,
+    classify_specification,
+)
+from repro.core.containment import (
+    ContainmentReport,
+    check_limit_containments,
+    empirical_class,
+)
+from repro.core.api import protocol_for, simulate, verify
+
+__all__ = [
+    "ProtocolClass",
+    "Classification",
+    "CycleReport",
+    "classify",
+    "classify_specification",
+    "ContainmentReport",
+    "check_limit_containments",
+    "empirical_class",
+    "protocol_for",
+    "simulate",
+    "verify",
+]

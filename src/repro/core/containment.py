@@ -1,0 +1,151 @@
+"""Empirical limit-set containment (the experimental side of Theorem 1).
+
+The classifier decides ``X_lim ⊆ X_B`` symbolically; here we *check* the
+same containments by exhaustively enumerating every realizable complete
+run of a bounded universe (``n`` processes, ``m`` messages) and testing
+
+- ``X_async ⊆ X_B``  (tagless sufficient),
+- ``X_co ⊆ X_B``     (tagged sufficient),
+- ``X_sync ⊆ X_B``   (implementable at all).
+
+``empirical_class`` then mirrors Theorem 1: the weakest protocol class
+whose limit set is contained in the specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.classifier import ProtocolClass
+from repro.predicates.spec import Specification
+from repro.runs.enumeration import enumerate_universe
+from repro.runs.limit_sets import limit_set_memberships
+from repro.runs.user_run import UserRun
+
+
+@dataclass(frozen=True)
+class ContainmentReport:
+    """Counts from sweeping a finite universe of runs."""
+
+    specification_name: str
+    n_processes: int
+    n_messages: int
+    total_runs: int
+    admitted_runs: int
+    async_runs: int
+    co_runs: int
+    sync_runs: int
+    async_contained: bool  # X_async ⊆ Y on this universe
+    co_contained: bool  # X_co ⊆ Y
+    sync_contained: bool  # X_sync ⊆ Y
+    async_counterexample: Optional[UserRun]
+    co_counterexample: Optional[UserRun]
+    sync_counterexample: Optional[UserRun]
+
+    @property
+    def empirical_class(self) -> ProtocolClass:
+        """Theorem 1 read off the universe sweep."""
+        if self.async_contained:
+            return ProtocolClass.TAGLESS
+        if self.co_contained:
+            return ProtocolClass.TAGGED
+        if self.sync_contained:
+            return ProtocolClass.GENERAL
+        return ProtocolClass.NOT_IMPLEMENTABLE
+
+
+def check_limit_containments(
+    specification: Specification,
+    n_processes: int = 2,
+    n_messages: int = 2,
+    colors: Sequence[Optional[str]] = (None,),
+    allow_self: bool = False,
+) -> ContainmentReport:
+    """Sweep the bounded universe and test all three containments.
+
+    ``colors`` widens the universe for colour-guarded specifications (e.g.
+    ``(None, "red")`` so runs with and without marker messages appear).
+    """
+    total = admitted = 0
+    async_count = co_count = sync_count = 0
+    async_contained = co_contained = sync_contained = True
+    async_cx: Optional[UserRun] = None
+    co_cx: Optional[UserRun] = None
+    sync_cx: Optional[UserRun] = None
+
+    for run in enumerate_universe(
+        n_processes, n_messages, allow_self=allow_self, colors=colors
+    ):
+        total += 1
+        member = limit_set_memberships(run)
+        run_ok = specification.admits(run)
+        if run_ok:
+            admitted += 1
+        if member["async"]:
+            async_count += 1
+            if not run_ok and async_contained:
+                async_contained = False
+                async_cx = run
+        if member["co"]:
+            co_count += 1
+            if not run_ok and co_contained:
+                co_contained = False
+                co_cx = run
+        if member["sync"]:
+            sync_count += 1
+            if not run_ok and sync_contained:
+                sync_contained = False
+                sync_cx = run
+
+    return ContainmentReport(
+        specification_name=specification.name,
+        n_processes=n_processes,
+        n_messages=n_messages,
+        total_runs=total,
+        admitted_runs=admitted,
+        async_runs=async_count,
+        co_runs=co_count,
+        sync_runs=sync_count,
+        async_contained=async_contained,
+        co_contained=co_contained,
+        sync_contained=sync_contained,
+        async_counterexample=async_cx,
+        co_counterexample=co_cx,
+        sync_counterexample=sync_cx,
+    )
+
+
+def empirical_class(
+    specification: Specification,
+    n_processes: int = 2,
+    n_messages: int = 2,
+    colors: Sequence[Optional[str]] = (None,),
+) -> ProtocolClass:
+    """The protocol class read off a bounded-universe sweep."""
+    report = check_limit_containments(
+        specification,
+        n_processes=n_processes,
+        n_messages=n_messages,
+        colors=colors,
+    )
+    return report.empirical_class
+
+
+def spec_sets_equal(
+    left: Specification,
+    right: Specification,
+    n_processes: int = 2,
+    n_messages: int = 2,
+    colors: Sequence[Optional[str]] = (None,),
+) -> Tuple[bool, Optional[UserRun]]:
+    """Whether two specifications admit exactly the same runs of a bounded
+    universe; returns a distinguishing run when they differ.
+
+    Used to check the Lemma 3 identities (``B1 ≡ B2 ≡ B3`` and the async
+    family) empirically.
+    """
+    for run in enumerate_universe(n_processes, n_messages, colors=colors):
+        if left.admits(run) != right.admits(run):
+            return False, run
+    return True, None

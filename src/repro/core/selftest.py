@@ -1,0 +1,147 @@
+"""One-call verification of the paper's logical artifacts.
+
+``run_paper_selftest()`` executes the decisive checks behind experiments
+E1-E7 (classification table, Lemma 3 identities, limit-set chain,
+Corollary 1, Lemma 2 constructions) and returns a structured report --
+the "did the reproduction reproduce?" one-liner, also exposed as
+``python -m repro selftest``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass
+class SelfTestItem:
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class SelfTestReport:
+    items: List[SelfTestItem] = field(default_factory=list)
+
+    def add(self, name: str, passed: bool, detail: str = "") -> None:
+        self.items.append(SelfTestItem(name=name, passed=passed, detail=detail))
+
+    @property
+    def ok(self) -> bool:
+        return all(item.passed for item in self.items)
+
+    def summary(self) -> str:
+        lines = []
+        for item in self.items:
+            status = "PASS" if item.passed else "FAIL"
+            line = "%s  %s" % (status, item.name)
+            if item.detail:
+                line += "  (%s)" % item.detail
+            lines.append(line)
+        lines.append(
+            "%d/%d checks passed" % (
+                sum(item.passed for item in self.items), len(self.items))
+        )
+        return "\n".join(lines)
+
+
+def run_paper_selftest() -> SelfTestReport:
+    """Execute the logical core of the reproduction (fast: seconds)."""
+    from repro.core.classifier import ProtocolClass, classify_specification
+    from repro.core.containment import check_limit_containments, spec_sets_equal
+    from repro.predicates.catalog import (
+        ASYNC_FORMS,
+        CATALOG,
+        CAUSAL_FORMS,
+    )
+    from repro.predicates.spec import Specification
+    from repro.runs.construction import system_run_from_user_run
+    from repro.runs.enumeration import enumerate_universe
+    from repro.runs.lemma2 import check_a1_staging
+    from repro.runs.limit_sets import limit_set_memberships
+    from repro.runs.system_run import in_x_gn, in_x_td, in_x_u
+
+    report = SelfTestReport()
+
+    # E1: the classification table.
+    mismatches = [
+        entry.name
+        for entry in CATALOG
+        if classify_specification(entry.specification).protocol_class.value
+        != entry.expected_class
+    ]
+    report.add(
+        "E1 classification table (%d specs)" % len(CATALOG),
+        not mismatches,
+        "mismatches: %s" % ", ".join(mismatches) if mismatches else "",
+    )
+
+    # E2: Lemma 3 identities on the 2p/2m universe.
+    def single(predicate):
+        return Specification(name=predicate.name, predicates=(predicate,))
+
+    causal_equal = all(
+        spec_sets_equal(single(CAUSAL_FORMS[0]), single(p), 2, 2)[0]
+        for p in CAUSAL_FORMS[1:]
+    )
+    async_total = all(
+        check_limit_containments(single(p), 2, 2).admitted_runs
+        == check_limit_containments(single(p), 2, 2).total_runs
+        for p in ASYNC_FORMS
+    )
+    report.add("E2 Lemma 3: B1 = B2 = B3", causal_equal)
+    report.add("E2 Lemma 3: async forms = X_async", async_total)
+
+    # E4: the limit-set chain, strict.
+    counts = {"async": 0, "co": 0, "sync": 0}
+    hierarchy_ok = True
+    for run in enumerate_universe(2, 2):
+        member = limit_set_memberships(run)
+        hierarchy_ok &= (not member["sync"] or member["co"]) and (
+            not member["co"] or member["async"]
+        )
+        for key in counts:
+            counts[key] += member[key]
+    strict = counts["sync"] < counts["co"] < counts["async"]
+    report.add(
+        "E4 limit-set chain X_sync ⊂ X_co ⊂ X_async",
+        hierarchy_ok and strict,
+        "|async|=%d |co|=%d |sync|=%d" % (
+            counts["async"], counts["co"], counts["sync"]),
+    )
+
+    # Corollary 1 on the catalogue (sync containment ⇔ implementable).
+    corollary_ok = True
+    for entry in CATALOG:
+        colors: Tuple[Optional[str], ...] = (None,)
+        if "flush" in entry.name or "marker" in entry.name:
+            colors = (None, "red")
+        if entry.name == "mobile-handoff":
+            colors = (None, "handoff")
+        if entry.name == "priority-classes":
+            colors = (None, "red", "blue")
+        contained = check_limit_containments(
+            entry.specification, 2, 2, colors=colors
+        ).sync_contained
+        corollary_ok &= contained == (
+            entry.expected_class != "not_implementable"
+        )
+    report.add("Corollary 1: implementable ⇔ X_sync ⊆ Y", corollary_ok)
+
+    # E7 / Lemma 2: Figure 5 constructions land at the right level.
+    lemma2_ok = True
+    a1_ok = True
+    for run in enumerate_universe(2, 2):
+        system = system_run_from_user_run(run)
+        member = limit_set_memberships(run)
+        lemma2_ok &= in_x_u(system)
+        lemma2_ok &= in_x_td(system) == member["co"]
+        lemma2_ok &= in_x_gn(system) == member["sync"]
+        if member["sync"]:
+            stages, forced = check_a1_staging(system)
+            a1_ok &= stages == forced
+    report.add("Lemma 2: constructions realize X_U/X_td/X_gn", lemma2_ok)
+    report.add("Appendix A.1: singleton pending at every stage", a1_ok)
+
+    return report

@@ -1,0 +1,34 @@
+"""Event and message model for decomposed-poset runs.
+
+The paper models every user-level message ``x`` as four system events:
+
+- ``x.s*`` -- the *invoke* event (the user requests the send),
+- ``x.s``  -- the *send* event (the protocol releases the message),
+- ``x.r*`` -- the *receive* event (the message arrives at the destination),
+- ``x.r``  -- the *delivery* event (the protocol hands it to the user).
+
+The user's view of a run only retains ``x.s`` and ``x.r``.
+"""
+
+from repro.events.events import (
+    DELIVER,
+    INVOKE,
+    RECEIVE,
+    SEND,
+    USER_KINDS,
+    Event,
+    EventKind,
+)
+from repro.events.message import Message, MessageId
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "INVOKE",
+    "SEND",
+    "RECEIVE",
+    "DELIVER",
+    "USER_KINDS",
+    "Message",
+    "MessageId",
+]

@@ -1,0 +1,130 @@
+"""Event kinds and event identities.
+
+An :class:`Event` is an immutable pair ``(message_id, kind)``.  Events are
+hashable and totally ordered (lexicographically) so they can serve as keys
+of partial-order structures and be printed deterministically.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class EventKind(enum.Enum):
+    """The four system-event kinds of a message.
+
+    The enum values are chosen so that sorting by value yields the order in
+    which the events of a single message must occur:
+    ``INVOKE < SEND < RECEIVE < DELIVER``.
+    """
+
+    INVOKE = 0  # x.s* : the user requests the send
+    SEND = 1  # x.s  : the protocol releases the message
+    RECEIVE = 2  # x.r* : the message arrives at the destination process
+    DELIVER = 3  # x.r  : the protocol delivers the message to the user
+
+    def __lt__(self, other: "EventKind") -> bool:
+        if not isinstance(other, EventKind):
+            return NotImplemented
+        return self.value < other.value
+
+    @property
+    def is_user_visible(self) -> bool:
+        """``True`` for the events retained by ``UsersView`` (send, deliver)."""
+        return self in USER_KINDS
+
+    @property
+    def is_star(self) -> bool:
+        """``True`` for the request events ``x.s*`` and ``x.r*``."""
+        return self in (EventKind.INVOKE, EventKind.RECEIVE)
+
+    @property
+    def symbol(self) -> str:
+        """The paper's notation for this kind (``s*``, ``s``, ``r*``, ``r``)."""
+        return _SYMBOLS[self]
+
+
+INVOKE = EventKind.INVOKE
+SEND = EventKind.SEND
+RECEIVE = EventKind.RECEIVE
+DELIVER = EventKind.DELIVER
+
+USER_KINDS = frozenset({EventKind.SEND, EventKind.DELIVER})
+
+_SYMBOLS = {
+    EventKind.INVOKE: "s*",
+    EventKind.SEND: "s",
+    EventKind.RECEIVE: "r*",
+    EventKind.DELIVER: "r",
+}
+
+_SYMBOL_TO_KIND = {symbol: kind for kind, symbol in _SYMBOLS.items()}
+
+
+def kind_from_symbol(symbol: str) -> EventKind:
+    """Parse the paper's notation (``s*``, ``s``, ``r*``, ``r``) to a kind.
+
+    >>> kind_from_symbol("s") is EventKind.SEND
+    True
+    """
+    try:
+        return _SYMBOL_TO_KIND[symbol]
+    except KeyError:
+        raise ValueError(
+            "unknown event symbol %r; expected one of %s"
+            % (symbol, sorted(_SYMBOL_TO_KIND))
+        ) from None
+
+
+@functools.total_ordering
+@dataclass(frozen=True)
+class Event:
+    """An event of a run: a specific kind of a specific message.
+
+    ``Event`` compares and hashes by ``(message_id, kind.value)`` so that
+    collections of events are deterministic regardless of insertion order.
+    """
+
+    message_id: str
+    kind: EventKind
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, EventKind):
+            raise TypeError("kind must be an EventKind, got %r" % (self.kind,))
+
+    @property
+    def sort_key(self) -> Tuple[str, int]:
+        return (self.message_id, self.kind.value)
+
+    def __lt__(self, other: "Event") -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.sort_key < other.sort_key
+
+    def __repr__(self) -> str:
+        return "%s.%s" % (self.message_id, self.kind.symbol)
+
+    # Convenience constructors -------------------------------------------------
+
+    @staticmethod
+    def invoke(message_id: str) -> "Event":
+        """The ``x.s*`` event of the message."""
+        return Event(message_id, EventKind.INVOKE)
+
+    @staticmethod
+    def send(message_id: str) -> "Event":
+        """The ``x.s`` event of the message."""
+        return Event(message_id, EventKind.SEND)
+
+    @staticmethod
+    def receive(message_id: str) -> "Event":
+        """The ``x.r*`` event of the message."""
+        return Event(message_id, EventKind.RECEIVE)
+
+    @staticmethod
+    def deliver(message_id: str) -> "Event":
+        """The ``x.r`` event of the message."""
+        return Event(message_id, EventKind.DELIVER)

@@ -1,0 +1,42 @@
+"""β vertices and cycle order (Definition 4.3).
+
+A vertex ``x`` on a cycle is a **β vertex** when its incoming edge ends at
+``x.r`` (conjunct ``y.p ▷ x.r``) and its outgoing edge starts at ``x.s``
+(conjunct ``x.s ▷ z.q``).  At a β vertex the causal chain through the
+cycle must pass "backwards" through the message -- from its delivery to
+its send -- which no single message provides; each β vertex therefore
+costs the chain one message boundary.  The *order* of a cycle is its
+number of β vertices.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.events import DELIVER, SEND
+from repro.graphs.cycles import ResolvedCycle
+from repro.graphs.predicate_graph import LabeledEdge
+
+
+def is_beta_between(incoming: LabeledEdge, outgoing: LabeledEdge) -> bool:
+    """β test for the vertex where ``incoming`` ends and ``outgoing`` starts."""
+    return incoming.q is DELIVER and outgoing.p is SEND
+
+
+def is_beta_at(cycle: ResolvedCycle, position: int) -> bool:
+    """β test for the cycle vertex at ``position``."""
+    return is_beta_between(cycle.incoming_edge(position), cycle.outgoing_edge(position))
+
+
+def beta_vertices(cycle: ResolvedCycle) -> List[str]:
+    """The β vertices of the cycle, in cycle order."""
+    return [
+        cycle.vertices[i]
+        for i in range(cycle.length)
+        if is_beta_at(cycle, i)
+    ]
+
+
+def cycle_order(cycle: ResolvedCycle) -> int:
+    """The number of β vertices (the paper's "order" of the cycle)."""
+    return len(beta_vertices(cycle))

@@ -1,0 +1,91 @@
+"""The predicate graph ``G_B(V, E)`` of a forbidden predicate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.events import DELIVER, SEND, EventKind
+from repro.poset import Digraph
+from repro.predicates.ast import Conjunct, ForbiddenPredicate
+
+
+@dataclass(frozen=True, order=True)
+class LabeledEdge:
+    """One edge of the multigraph: conjunct ``tail.p ▷ head.q``.
+
+    ``index`` is the position of the conjunct in the predicate, which keeps
+    parallel edges distinct.
+    """
+
+    tail: str
+    head: str
+    p: EventKind  # kind at the tail (s or r)
+    q: EventKind  # kind at the head (s or r)
+    index: int
+
+    @property
+    def is_self_loop(self) -> bool:
+        return self.tail == self.head
+
+    @property
+    def is_degenerate(self) -> bool:
+        """The ``x.s ▷ x.r`` self-loop (see DESIGN.md caveat)."""
+        return self.is_self_loop and self.p is SEND and self.q is DELIVER
+
+    def __repr__(self) -> str:
+        return "%s.%s>%s.%s" % (
+            self.tail,
+            self.p.symbol,
+            self.head,
+            self.q.symbol,
+        )
+
+
+class PredicateGraph:
+    """Multigraph over the predicate's variables, one edge per conjunct."""
+
+    def __init__(self, predicate: ForbiddenPredicate):
+        self.predicate = predicate
+        self.vertices: Tuple[str, ...] = predicate.variables
+        self.edges: List[LabeledEdge] = [
+            LabeledEdge(
+                tail=conjunct.left.variable,
+                head=conjunct.right.variable,
+                p=conjunct.left.kind,
+                q=conjunct.right.kind,
+                index=i,
+            )
+            for i, conjunct in enumerate(predicate.conjuncts)
+        ]
+
+    def parallel_edges(self, tail: str, head: str) -> List[LabeledEdge]:
+        """Edges from ``tail`` to ``head`` (one per parallel conjunct)."""
+        return [e for e in self.edges if e.tail == tail and e.head == head]
+
+    def self_loops(self) -> List[LabeledEdge]:
+        """Edges whose endpoints coincide."""
+        return [e for e in self.edges if e.is_self_loop]
+
+    def underlying_digraph(self, include_self_loops: bool = False) -> Digraph:
+        """The simple digraph used for vertex-cycle enumeration."""
+        graph = Digraph(nodes=self.vertices)
+        for edge in self.edges:
+            if edge.is_self_loop and not include_self_loops:
+                continue
+            graph.add_edge(edge.tail, edge.head)
+        return graph
+
+    def event_graph(self) -> Digraph:
+        """Graph over event terms: conjunct edges plus implicit
+        ``x.s → x.r`` for every variable.  The predicate's conjunction is
+        satisfiable in *some* run iff this graph is acyclic."""
+        graph = Digraph()
+        for variable in self.vertices:
+            graph.add_edge((variable, SEND), (variable, DELIVER))
+        for edge in self.edges:
+            graph.add_edge((edge.tail, edge.p), (edge.head, edge.q))
+        return graph
+
+    def __repr__(self) -> str:
+        return "PredicateGraph(V=%s, E=%s)" % (list(self.vertices), self.edges)

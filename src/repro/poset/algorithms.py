@@ -1,0 +1,204 @@
+"""Graph algorithms on :class:`~repro.poset.digraph.Digraph`.
+
+All algorithms are deterministic: ties are broken by sorted node order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.poset.digraph import Digraph, Node
+
+
+def topological_sort(graph: Digraph) -> List[Node]:
+    """Kahn's algorithm; raises ``ValueError`` when the graph has a cycle.
+
+    Among ready nodes, the smallest (sorted order) is emitted first, so the
+    result is the lexicographically least topological order.
+    """
+    indegree: Dict[Node, int] = {node: graph.in_degree(node) for node in graph}
+    ready = sorted(node for node, deg in indegree.items() if deg == 0)
+    order: List[Node] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        inserted = False
+        for head in graph.successors(node):
+            indegree[head] -= 1
+            if indegree[head] == 0:
+                ready.append(head)
+                inserted = True
+        if inserted:
+            ready.sort()
+    if len(order) != len(graph):
+        raise ValueError("graph has a cycle; no topological order exists")
+    return order
+
+
+def find_cycle(graph: Digraph) -> Optional[List[Node]]:
+    """Return one directed cycle as a node list, or ``None`` if acyclic.
+
+    The returned list ``[v0, v1, ..., vk]`` satisfies ``v0 == vk`` and each
+    consecutive pair is an edge.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[Node, int] = {node: WHITE for node in graph}
+    parent: Dict[Node, Optional[Node]] = {}
+
+    for root in graph.nodes():
+        if color[root] != WHITE:
+            continue
+        stack: List[tuple] = [(root, iter(graph.successors(root)))]
+        color[root] = GRAY
+        parent[root] = None
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if color[child] == GRAY:
+                    # Found a back edge node -> child: reconstruct the cycle.
+                    cycle = [node]
+                    walker = node
+                    while walker != child:
+                        walker = parent[walker]
+                        cycle.append(walker)
+                    cycle.reverse()
+                    cycle.append(cycle[0])
+                    return cycle
+                if color[child] == WHITE:
+                    color[child] = GRAY
+                    parent[child] = node
+                    stack.append((child, iter(graph.successors(child))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def is_acyclic(graph: Digraph) -> bool:
+    return find_cycle(graph) is None
+
+
+def transitive_closure(graph: Digraph) -> Digraph:
+    """The closure graph: edge (u, v) iff v is reachable from u."""
+    closure = Digraph(nodes=graph.nodes())
+    for node in graph.nodes():
+        for target in graph.reachable_from(node):
+            closure.add_edge(node, target)
+    return closure
+
+
+def transitive_reduction(graph: Digraph) -> Digraph:
+    """The unique minimal generating graph of an acyclic ``graph``.
+
+    Raises ``ValueError`` on cyclic input (reduction is not unique there).
+    """
+    if not is_acyclic(graph):
+        raise ValueError("transitive reduction requires an acyclic graph")
+    closure_sets: Dict[Node, Set[Node]] = {
+        node: graph.reachable_from(node) for node in graph
+    }
+    reduction = Digraph(nodes=graph.nodes())
+    for tail in graph.nodes():
+        for head in graph.successors(tail):
+            # (tail, head) is redundant if some other successor reaches head.
+            redundant = any(
+                head in closure_sets[other]
+                for other in graph.successors(tail)
+                if other != head
+            )
+            if not redundant:
+                reduction.add_edge(tail, head)
+    return reduction
+
+
+def linear_extensions(graph: Digraph, limit: Optional[int] = None) -> Iterator[List[Node]]:
+    """Yield linear extensions of an acyclic ``graph`` (at most ``limit``).
+
+    A linear extension is a total order of the nodes consistent with every
+    edge.  The generator enumerates in lexicographic order of the node sort.
+    """
+    if not is_acyclic(graph):
+        raise ValueError("linear extensions require an acyclic graph")
+
+    indegree: Dict[Node, int] = {node: graph.in_degree(node) for node in graph}
+    total = len(graph)
+    emitted = 0
+    prefix: List[Node] = []
+
+    def backtrack() -> Iterator[List[Node]]:
+        nonlocal emitted
+        if limit is not None and emitted >= limit:
+            return
+        if len(prefix) == total:
+            emitted += 1
+            yield list(prefix)
+            return
+        for node in sorted(n for n, deg in indegree.items() if deg == 0):
+            indegree[node] = -1  # mark as used
+            for head in graph.successors(node):
+                indegree[head] -= 1
+            prefix.append(node)
+            for extension in backtrack():
+                yield extension
+                if limit is not None and emitted >= limit:
+                    break
+            prefix.pop()
+            for head in graph.successors(node):
+                indegree[head] += 1
+            indegree[node] = 0
+            if limit is not None and emitted >= limit:
+                return
+
+    return backtrack()
+
+
+def strongly_connected_components(graph: Digraph) -> List[List[Node]]:
+    """Tarjan's algorithm, iterative; components in deterministic order."""
+    index_counter = [0]
+    index: Dict[Node, int] = {}
+    lowlink: Dict[Node, int] = {}
+    on_stack: Set[Node] = set()
+    stack: List[Node] = []
+    components: List[List[Node]] = []
+
+    for root in graph.nodes():
+        if root in index:
+            continue
+        work = [(root, iter(graph.successors(root)))]
+        index[root] = lowlink[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = lowlink[child] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(graph.successors(child))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if not advanced:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(sorted(component))
+    components.sort()
+    return components

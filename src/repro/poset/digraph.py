@@ -1,0 +1,131 @@
+"""A minimal deterministic directed graph.
+
+Nodes can be any hashable, sortable values.  Iteration order over nodes and
+edges is always sorted, which keeps every downstream computation (cycle
+enumeration, topological sorts, test output) reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class Digraph:
+    """A simple directed graph with set-based adjacency."""
+
+    def __init__(self, nodes: Iterable[Node] = (), edges: Iterable[Edge] = ()):
+        self._succ: Dict[Node, Set[Node]] = {}
+        self._pred: Dict[Node, Set[Node]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for tail, head in edges:
+            self.add_edge(tail, head)
+
+    # Construction -------------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Insert ``node`` if absent."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def add_edge(self, tail: Node, head: Node) -> None:
+        """Insert the edge ``tail -> head`` (and both endpoints)."""
+        self.add_node(tail)
+        self.add_node(head)
+        self._succ[tail].add(head)
+        self._pred[head].add(tail)
+
+    def remove_edge(self, tail: Node, head: Node) -> None:
+        """Delete the edge if present."""
+        self._succ[tail].discard(head)
+        self._pred[head].discard(tail)
+
+    def remove_node(self, node: Node) -> None:
+        """Delete ``node`` and every incident edge."""
+        for head in list(self._succ.pop(node, ())):
+            self._pred[head].discard(node)
+        for tail in list(self._pred.pop(node, ())):
+            self._succ[tail].discard(node)
+
+    def copy(self) -> "Digraph":
+        """An independent structural copy."""
+        clone = Digraph()
+        for node in self._succ:
+            clone.add_node(node)
+        for tail, heads in self._succ.items():
+            for head in heads:
+                clone.add_edge(tail, head)
+        return clone
+
+    # Queries ------------------------------------------------------------------
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def nodes(self) -> List[Node]:
+        """All nodes, sorted."""
+        return sorted(self._succ)
+
+    def edges(self) -> List[Edge]:
+        """All edges as sorted ``(tail, head)`` pairs."""
+        return sorted(
+            (tail, head) for tail, heads in self._succ.items() for head in heads
+        )
+
+    def has_edge(self, tail: Node, head: Node) -> bool:
+        """Whether the edge ``tail -> head`` exists."""
+        return head in self._succ.get(tail, ())
+
+    def successors(self, node: Node) -> List[Node]:
+        """Direct successors of ``node``, sorted."""
+        return sorted(self._succ[node])
+
+    def predecessors(self, node: Node) -> List[Node]:
+        """Direct predecessors of ``node``, sorted."""
+        return sorted(self._pred[node])
+
+    def out_degree(self, node: Node) -> int:
+        """Number of outgoing edges of ``node``."""
+        return len(self._succ[node])
+
+    def in_degree(self, node: Node) -> int:
+        """Number of incoming edges of ``node``."""
+        return len(self._pred[node])
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes())
+
+    def __repr__(self) -> str:
+        return "Digraph(nodes=%d, edges=%d)" % (len(self), len(self.edges()))
+
+    # Reachability ---------------------------------------------------------
+
+    def reachable_from(self, start: Node) -> Set[Node]:
+        """All nodes reachable from ``start`` by one or more edges."""
+        seen: Set[Node] = set()
+        stack = sorted(self._succ[start])
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._succ[node] - seen)
+        return seen
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Digraph":
+        """The induced subgraph on ``nodes`` (foreign nodes kept isolated)."""
+        keep = set(nodes)
+        sub = Digraph(nodes=sorted(keep, key=repr))
+        for tail in keep:
+            if tail not in self._succ:
+                continue
+            for head in self._succ[tail] & keep:
+                sub.add_edge(tail, head)
+        return sub

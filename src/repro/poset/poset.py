@@ -1,0 +1,206 @@
+"""Strict finite partial orders with cached transitive closure."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.poset.algorithms import (
+    find_cycle,
+    linear_extensions,
+    topological_sort,
+    transitive_reduction,
+)
+from repro.poset.digraph import Digraph, Node
+
+
+class CycleError(ValueError):
+    """Raised when generating relations are cyclic (not a partial order)."""
+
+    def __init__(self, cycle: List[Node]):
+        super().__init__("relation is cyclic: %s" % " -> ".join(map(repr, cycle)))
+        self.cycle = cycle
+
+
+class PartialOrder:
+    """A strict partial order ``<`` over a finite set of elements.
+
+    The order is stored as a DAG of generating pairs; ``less(a, b)`` answers
+    whether ``a < b`` in the transitive closure.  Mutations invalidate the
+    cached closure.  Use :meth:`validate` (or any query) to detect cycles
+    introduced by ``add_relation``.
+    """
+
+    def __init__(
+        self,
+        elements: Iterable[Node] = (),
+        relations: Iterable[Tuple[Node, Node]] = (),
+    ):
+        self._graph = Digraph()
+        self._closure: Optional[Dict[Node, Set[Node]]] = None
+        for element in elements:
+            self.add_element(element)
+        for low, high in relations:
+            self.add_relation(low, high)
+
+    # Construction -------------------------------------------------------------
+
+    def add_element(self, element: Node) -> None:
+        """Register an element (isolated until related)."""
+        self._graph.add_node(element)
+        # Adding an isolated element cannot create order, so the closure map
+        # stays valid; just register the element if it is cached.
+        if self._closure is not None and element not in self._closure:
+            self._closure[element] = set()
+
+    def add_relation(self, low: Node, high: Node) -> None:
+        """Record ``low < high``.  Cycles are detected lazily."""
+        if low == high:
+            raise CycleError([low, high])
+        self._graph.add_edge(low, high)
+        self._closure = None
+
+    def copy(self) -> "PartialOrder":
+        """An independent copy with the same generating relations."""
+        clone = PartialOrder()
+        clone._graph = self._graph.copy()
+        return clone
+
+    # Internal -------------------------------------------------------------
+
+    def _closure_map(self) -> Dict[Node, Set[Node]]:
+        if self._closure is None:
+            cycle = find_cycle(self._graph)
+            if cycle is not None:
+                raise CycleError(cycle)
+            self._closure = {
+                node: self._graph.reachable_from(node) for node in self._graph
+            }
+        return self._closure
+
+    # Queries --------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`CycleError` if the generating relation is cyclic."""
+        self._closure_map()
+
+    def is_valid(self) -> bool:
+        """Whether the generating relation is acyclic."""
+        try:
+            self.validate()
+        except CycleError:
+            return False
+        return True
+
+    def elements(self) -> List[Node]:
+        """All elements, sorted."""
+        return self._graph.nodes()
+
+    def __len__(self) -> int:
+        return len(self._graph)
+
+    def __contains__(self, element: Node) -> bool:
+        return element in self._graph
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._graph)
+
+    def less(self, a: Node, b: Node) -> bool:
+        """``True`` iff ``a < b`` (a happened before b)."""
+        return b in self._closure_map().get(a, ())
+
+    def leq(self, a: Node, b: Node) -> bool:
+        """``a <= b``: equal or strictly before."""
+        return a == b or self.less(a, b)
+
+    def concurrent(self, a: Node, b: Node) -> bool:
+        """``True`` iff ``a`` and ``b`` are distinct and incomparable."""
+        return a != b and not self.less(a, b) and not self.less(b, a)
+
+    def comparable(self, a: Node, b: Node) -> bool:
+        """Whether ``a`` and ``b`` are related (either direction) or equal."""
+        return a == b or self.less(a, b) or self.less(b, a)
+
+    def down_set(self, element: Node) -> Set[Node]:
+        """All strict predecessors of ``element`` (its causal past)."""
+        closure = self._closure_map()
+        return {other for other, above in closure.items() if element in above}
+
+    def up_set(self, element: Node) -> Set[Node]:
+        """All strict successors of ``element`` (its causal future)."""
+        return set(self._closure_map().get(element, ()))
+
+    def minimal_elements(self) -> List[Node]:
+        """Elements with no strict predecessor."""
+        closure = self._closure_map()
+        below: Set[Node] = set()
+        for node in self._graph:
+            below |= closure[node]
+        return sorted(set(self._graph.nodes()) - below)
+
+    def maximal_elements(self) -> List[Node]:
+        """Elements with no strict successor."""
+        return sorted(
+            node for node in self._graph if not self._closure_map()[node]
+        )
+
+    def generating_pairs(self) -> List[Tuple[Node, Node]]:
+        """The relations as recorded (a superset of the covering relation,
+        usually far smaller than the closure)."""
+        return self._graph.edges()
+
+    def relation_pairs(self) -> List[Tuple[Node, Node]]:
+        """Every ordered pair ``(a, b)`` with ``a < b`` (the full closure)."""
+        closure = self._closure_map()
+        return sorted(
+            (low, high) for low, above in closure.items() for high in above
+        )
+
+    def covering_pairs(self) -> List[Tuple[Node, Node]]:
+        """The covering relation (transitive reduction of the closure)."""
+        closure_graph = Digraph(nodes=self._graph.nodes())
+        for low, high in self.relation_pairs():
+            closure_graph.add_edge(low, high)
+        return transitive_reduction(closure_graph).edges()
+
+    # Order-wide operations ------------------------------------------------
+
+    def a_linear_extension(self) -> List[Node]:
+        """One linear extension (lexicographically least)."""
+        self.validate()
+        return topological_sort(self._graph)
+
+    def all_linear_extensions(self, limit: Optional[int] = None) -> Iterator[List[Node]]:
+        """Iterate linear extensions (optionally at most ``limit``)."""
+        self.validate()
+        return linear_extensions(self._graph, limit=limit)
+
+    def restricted_to(self, elements: Iterable[Node]) -> "PartialOrder":
+        """The induced sub-order on ``elements`` (closure is preserved)."""
+        keep = set(elements)
+        sub = PartialOrder(elements=sorted(keep, key=repr))
+        for low, high in self.relation_pairs():
+            if low in keep and high in keep:
+                sub.add_relation(low, high)
+        return sub
+
+    def is_down_closed(self, subset: Iterable[Node]) -> bool:
+        """``True`` iff ``subset`` contains the causal past of each member."""
+        members = set(subset)
+        return all(self.down_set(element) <= members for element in members)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PartialOrder):
+            return NotImplemented
+        return (
+            self.elements() == other.elements()
+            and self.relation_pairs() == other.relation_pairs()
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - posets are mutable
+        raise TypeError("PartialOrder is unhashable (mutable)")
+
+    def __repr__(self) -> str:
+        return "PartialOrder(elements=%d, relations=%d)" % (
+            len(self),
+            len(self.relation_pairs()),
+        )

@@ -1,0 +1,39 @@
+"""Forbidden predicates (§4): a finite syntax for message orderings.
+
+A forbidden predicate ``B ≡ ∃ x1..xm ∈ M : ∧ (xj.p ▷ xk.q)`` -- optionally
+guarded by message attributes -- denotes the specification
+``X_B = { runs | no instantiation of the variables satisfies B }``.
+"""
+
+from repro.predicates.ast import (
+    Conjunct,
+    EventTerm,
+    ForbiddenPredicate,
+    deliver_of,
+    send_of,
+)
+from repro.predicates.guards import ColorGuard, Guard, ProcessGuard
+from repro.predicates.dsl import parse_predicate
+from repro.predicates.evaluation import (
+    find_assignment,
+    satisfying_assignments,
+    run_admitted,
+)
+from repro.predicates.spec import Specification, PredicateFamily
+
+__all__ = [
+    "EventTerm",
+    "Conjunct",
+    "ForbiddenPredicate",
+    "send_of",
+    "deliver_of",
+    "Guard",
+    "ProcessGuard",
+    "ColorGuard",
+    "parse_predicate",
+    "find_assignment",
+    "satisfying_assignments",
+    "run_admitted",
+    "Specification",
+    "PredicateFamily",
+]

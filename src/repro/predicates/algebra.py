@@ -1,0 +1,100 @@
+"""Algebra on predicates and specifications.
+
+Two notions of implication, both used by the paper:
+
+- *syntactic*: ``B ⇒ B'`` when every conjunct of ``B'`` already holds in
+  the free closure of ``B``'s conjuncts plus the implicit ``x.s ▷ x.r``
+  edges -- the derivation style of Lemma 3's proofs ("combining the first
+  and third conjuncts...").  It entails ``X_B ⊆ X_B'``.
+- *semantic over a universe*: containment of admitted-run sets checked by
+  exhaustive enumeration (complete for the bounded universe; the default
+  two-process/two-message universe decides all the two-variable forms).
+
+Plus ``conjoin`` -- intersecting specifications by pooling their
+forbidden predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.events import Event
+from repro.poset.digraph import Digraph
+from repro.predicates.ast import ForbiddenPredicate
+from repro.predicates.spec import Specification
+from repro.runs.enumeration import enumerate_universe
+from repro.runs.user_run import UserRun
+
+
+def free_closure_graph(predicate: ForbiddenPredicate) -> Digraph:
+    """The event graph of the conjunction: conjunct edges plus the
+    implicit ``v.s → v.r`` edge for every variable."""
+    from repro.events import DELIVER, SEND
+
+    graph = Digraph()
+    for variable in predicate.variables:
+        graph.add_edge((variable, SEND), (variable, DELIVER))
+    for conjunct in predicate.conjuncts:
+        graph.add_edge(
+            (conjunct.left.variable, conjunct.left.kind),
+            (conjunct.right.variable, conjunct.right.kind),
+        )
+    return graph
+
+
+def syntactically_implies(
+    stronger: ForbiddenPredicate, weaker: ForbiddenPredicate
+) -> bool:
+    """``stronger ⇒ weaker`` by pure derivation (identity variable map).
+
+    Every conjunct of ``weaker`` must be reachable in ``stronger``'s free
+    closure, and ``weaker``'s guards must be a subset of ``stronger``'s.
+    Sound but (deliberately) not complete: no variable renaming or guard
+    reasoning is attempted.
+    """
+    if not set(weaker.variables) <= set(stronger.variables):
+        return False
+    if not set(weaker.guards) <= set(stronger.guards):
+        return False
+    graph = free_closure_graph(stronger)
+    for conjunct in weaker.conjuncts:
+        start = (conjunct.left.variable, conjunct.left.kind)
+        goal = (conjunct.right.variable, conjunct.right.kind)
+        if start not in graph or goal not in graph:
+            return False
+        if goal not in graph.reachable_from(start):
+            return False
+    return True
+
+
+def spec_contains(
+    larger: Specification,
+    smaller: Specification,
+    n_processes: int = 2,
+    n_messages: int = 2,
+    colors: Sequence[Optional[str]] = (None,),
+) -> Tuple[bool, Optional[UserRun]]:
+    """``smaller ⊆ larger`` as run sets, checked exhaustively on the
+    bounded universe.  Returns a counterexample run on failure.
+
+    (Note the direction: a *stronger predicate* denotes a *larger* run
+    set is false -- a stronger forbidden pattern forbids less, so
+    ``B ⇒ B'`` gives ``X_B ⊆ X_B'``.)
+    """
+    for run in enumerate_universe(n_processes, n_messages, colors=colors):
+        if smaller.admits(run) and not larger.admits(run):
+            return False, run
+    return True, None
+
+
+def conjoin(name: str, *specs: Specification) -> Specification:
+    """The intersection of specifications: pool all their predicates and
+    families (a run is admitted iff every member admits it)."""
+    predicates = tuple(p for spec in specs for p in spec.predicates)
+    families = tuple(f for spec in specs for f in spec.families)
+    return Specification(
+        name=name,
+        predicates=predicates,
+        families=families,
+        description="intersection of: %s" % ", ".join(s.name for s in specs),
+    )

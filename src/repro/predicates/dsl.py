@@ -1,0 +1,148 @@
+"""A small text syntax for forbidden predicates.
+
+Examples
+--------
+>>> parse_predicate("x.s < y.s & y.r < x.r")                # causal ordering
+>>> parse_predicate(
+...     "sender(x) = sender(y), receiver(x) = receiver(y) ::"
+...     " x.s < y.s & y.r < x.r")                            # FIFO
+>>> parse_predicate("color(y) = red :: x.s < y.s & y.r < x.r")
+
+Grammar
+-------
+::
+
+    predicate := [ guards "::" ] conjunct ( "&" conjunct )*
+    guards    := guard ( "," guard )*
+    guard     := attr "(" VAR ")" op attr "(" VAR ")"     -- process guards
+               | "color" "(" VAR ")" op IDENT             -- colour guards
+    attr      := "sender" | "receiver"
+    op        := "=" | "!="
+    conjunct  := term ( "<" | "->" ) term                  -- left ▷ right
+    term      := VAR "." ( "s" | "r" )
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.events import DELIVER, SEND
+from repro.predicates.ast import Conjunct, EventTerm, ForbiddenPredicate
+from repro.predicates.guards import ColorGuard, GroupGuard, Guard, ProcessGuard
+
+_TERM_RE = re.compile(r"^\s*([A-Za-z_]\w*)\.(s|r)\s*$")
+_PROCESS_GUARD_RE = re.compile(
+    r"^\s*(sender|receiver)\(\s*([A-Za-z_]\w*)\s*\)\s*(!?=)\s*"
+    r"(sender|receiver)\(\s*([A-Za-z_]\w*)\s*\)\s*$"
+)
+_COLOR_GUARD_RE = re.compile(
+    r"^\s*color\(\s*([A-Za-z_]\w*)\s*\)\s*(!?=)\s*([A-Za-z_]\w*)\s*$"
+)
+_GROUP_GUARD_RE = re.compile(
+    r"^\s*group\(\s*([A-Za-z_]\w*)\s*\)\s*(!?=)\s*"
+    r"group\(\s*([A-Za-z_]\w*)\s*\)\s*$"
+)
+
+_KIND = {"s": SEND, "r": DELIVER}
+
+
+class PredicateSyntaxError(ValueError):
+    """Raised on malformed predicate text."""
+
+
+def _parse_term(text: str) -> EventTerm:
+    match = _TERM_RE.match(text)
+    if not match:
+        raise PredicateSyntaxError("bad event term %r (expected e.g. 'x.s')" % text)
+    variable, kind = match.groups()
+    return EventTerm(variable, _KIND[kind])
+
+
+def _parse_conjunct(text: str) -> Conjunct:
+    if "->" in text:
+        parts = text.split("->")
+    else:
+        parts = text.split("<")
+    if len(parts) != 2:
+        raise PredicateSyntaxError(
+            "bad conjunct %r (expected 'term < term' or 'term -> term')" % text
+        )
+    return Conjunct(_parse_term(parts[0]), _parse_term(parts[1]))
+
+
+def _parse_guard(text: str) -> Guard:
+    match = _PROCESS_GUARD_RE.match(text)
+    if match:
+        left_role, left_var, op, right_role, right_var = match.groups()
+        return ProcessGuard(
+            left=(left_var, left_role),
+            right=(right_var, right_role),
+            equal=(op == "="),
+        )
+    match = _COLOR_GUARD_RE.match(text)
+    if match:
+        variable, op, color = match.groups()
+        return ColorGuard(variable=variable, color=color, equal=(op == "="))
+    match = _GROUP_GUARD_RE.match(text)
+    if match:
+        left, op, right = match.groups()
+        return GroupGuard(left=left, right=right, equal=(op == "="))
+    raise PredicateSyntaxError("bad guard %r" % text)
+
+
+def parse_predicate(
+    text: str, name: Optional[str] = None, distinct: bool = False
+) -> ForbiddenPredicate:
+    """Parse predicate text into a :class:`ForbiddenPredicate`."""
+    if "::" in text:
+        guard_text, body_text = text.split("::", 1)
+        guards: Tuple[Guard, ...] = tuple(
+            _parse_guard(part) for part in guard_text.split(",") if part.strip()
+        )
+    else:
+        guards, body_text = (), text
+    conjunct_texts = [part for part in body_text.split("&") if part.strip()]
+    if not conjunct_texts:
+        raise PredicateSyntaxError("predicate has no conjuncts: %r" % text)
+    conjuncts = [_parse_conjunct(part) for part in conjunct_texts]
+    return ForbiddenPredicate.build(
+        conjuncts, guards=guards, name=name, distinct=distinct
+    )
+
+
+def format_predicate(predicate: ForbiddenPredicate) -> str:
+    """Render back to DSL text (parse/format round-trips)."""
+    body = " & ".join(
+        "%s.%s < %s.%s"
+        % (
+            conjunct.left.variable,
+            conjunct.left.kind.symbol,
+            conjunct.right.variable,
+            conjunct.right.kind.symbol,
+        )
+        for conjunct in predicate.conjuncts
+    )
+    if not predicate.guards:
+        return body
+    guards = ", ".join(_format_guard(guard) for guard in predicate.guards)
+    return "%s :: %s" % (guards, body)
+
+
+def _format_guard(guard: Guard) -> str:
+    if isinstance(guard, ProcessGuard):
+        op = "=" if guard.equal else "!="
+        return "%s(%s) %s %s(%s)" % (
+            guard.left[1],
+            guard.left[0],
+            op,
+            guard.right[1],
+            guard.right[0],
+        )
+    if isinstance(guard, ColorGuard):
+        op = "=" if guard.equal else "!="
+        return "color(%s) %s %s" % (guard.variable, op, guard.color)
+    if isinstance(guard, GroupGuard):
+        op = "=" if guard.equal else "!="
+        return "group(%s) %s group(%s)" % (guard.left, op, guard.right)
+    raise TypeError("unknown guard type %r" % type(guard))

@@ -1,0 +1,89 @@
+"""Evaluating forbidden predicates over user-view runs.
+
+A run is *admitted* by the specification ``X_B`` when **no** assignment of
+messages to the predicate's variables satisfies all guards and conjuncts.
+The search enumerates assignments variable-by-variable with guard and
+conjunct pruning, so catalogue predicates evaluate quickly even on runs
+with many messages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from repro.events import Event, Message
+from repro.predicates.ast import Conjunct, ForbiddenPredicate
+from repro.runs.user_run import UserRun
+
+Assignment = Dict[str, Message]
+
+
+def _conjunct_holds(
+    run: UserRun, conjunct: Conjunct, assignment: Mapping[str, Message]
+) -> bool:
+    left_message = assignment[conjunct.left.variable]
+    right_message = assignment[conjunct.right.variable]
+    left_event = Event(left_message.id, conjunct.left.kind)
+    right_event = Event(right_message.id, conjunct.right.kind)
+    if not (run.has_event(left_event) and run.has_event(right_event)):
+        return False
+    return run.before(left_event, right_event)
+
+
+def satisfying_assignments(
+    run: UserRun, predicate: ForbiddenPredicate
+) -> Iterator[Assignment]:
+    """Yield every assignment under which ``predicate`` holds in ``run``."""
+    messages = run.messages()
+    order = predicate.variables
+
+    # Index guards/conjuncts by the prefix length at which they become
+    # checkable, so partial assignments are pruned early.
+    position = {variable: i for i, variable in enumerate(order)}
+    checkable_conjuncts: List[List[Conjunct]] = [[] for _ in order]
+    for conjunct in predicate.conjuncts:
+        latest = max(position[v] for v in conjunct.variables())
+        checkable_conjuncts[latest].append(conjunct)
+    checkable_guards: List[List] = [[] for _ in order]
+    for guard in predicate.guards:
+        latest = max(position[v] for v in guard.variables())
+        checkable_guards[latest].append(guard)
+
+    assignment: Assignment = {}
+
+    def extend(depth: int) -> Iterator[Assignment]:
+        if depth == len(order):
+            yield dict(assignment)
+            return
+        variable = order[depth]
+        for message in messages:
+            if predicate.distinct and any(
+                bound.id == message.id for bound in assignment.values()
+            ):
+                continue
+            assignment[variable] = message
+            if all(
+                guard.holds(assignment) for guard in checkable_guards[depth]
+            ) and all(
+                _conjunct_holds(run, conjunct, assignment)
+                for conjunct in checkable_conjuncts[depth]
+            ):
+                for complete in extend(depth + 1):
+                    yield complete
+            del assignment[variable]
+
+    return extend(0)
+
+
+def find_assignment(
+    run: UserRun, predicate: ForbiddenPredicate
+) -> Optional[Assignment]:
+    """The first satisfying assignment, or ``None`` when the run is admitted."""
+    for assignment in satisfying_assignments(run, predicate):
+        return assignment
+    return None
+
+
+def run_admitted(run: UserRun, predicate: ForbiddenPredicate) -> bool:
+    """``True`` iff ``run ∈ X_B`` (the forbidden pattern never occurs)."""
+    return find_assignment(run, predicate) is None

@@ -1,0 +1,171 @@
+"""Attribute guards on predicate variables (§4.1).
+
+The paper allows three message attributes in specifications: the sending
+process, the receiving process, and a colour.  Guards restrict which
+message tuples a forbidden predicate quantifies over; they never mention
+causality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.events import Message
+
+# Roles name the two process attributes of a message.
+SENDER = "sender"
+RECEIVER = "receiver"
+_ROLES = (SENDER, RECEIVER)
+
+
+class Guard:
+    """Base class: a boolean constraint over a variable assignment."""
+
+    def variables(self) -> Tuple[str, ...]:
+        """The variables the guard constrains."""
+        raise NotImplementedError
+
+    def holds(self, assignment: Mapping[str, Message]) -> bool:
+        """Evaluate the guard under a variable-to-message assignment."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ProcessGuard(Guard):
+    """``process(x.p) = process(y.q)`` (or ``≠``).
+
+    ``left``/``right`` are ``(variable, role)`` pairs where role is
+    ``"sender"`` (the process of ``x.s``) or ``"receiver"`` (of ``x.r``).
+    """
+
+    left: Tuple[str, str]
+    right: Tuple[str, str]
+    equal: bool = True
+
+    def __post_init__(self) -> None:
+        for _, role in (self.left, self.right):
+            if role not in _ROLES:
+                raise ValueError("role must be 'sender' or 'receiver', got %r" % role)
+
+    def variables(self) -> Tuple[str, ...]:
+        """The variables the guard constrains."""
+        if self.left[0] == self.right[0]:
+            return (self.left[0],)
+        return (self.left[0], self.right[0])
+
+    def holds(self, assignment: Mapping[str, Message]) -> bool:
+        """Compare the two process attributes under ``assignment``."""
+        left_value = assignment[self.left[0]].attribute(self.left[1])
+        right_value = assignment[self.right[0]].attribute(self.right[1])
+        return (left_value == right_value) == self.equal
+
+    def __repr__(self) -> str:
+        op = "=" if self.equal else "!="
+        return "%s(%s) %s %s(%s)" % (
+            self.left[1],
+            self.left[0],
+            op,
+            self.right[1],
+            self.right[0],
+        )
+
+
+@dataclass(frozen=True)
+class ColorGuard(Guard):
+    """``color(x) = constant`` (or ``≠``)."""
+
+    variable: str
+    color: str
+    equal: bool = True
+
+    def variables(self) -> Tuple[str, ...]:
+        """The single constrained variable."""
+        return (self.variable,)
+
+    def holds(self, assignment: Mapping[str, Message]) -> bool:
+        """Compare the variable's colour with the constant."""
+        return (assignment[self.variable].color == self.color) == self.equal
+
+    def __repr__(self) -> str:
+        op = "=" if self.equal else "!="
+        return "color(%s) %s %s" % (self.variable, op, self.color)
+
+
+@dataclass(frozen=True)
+class GroupGuard(Guard):
+    """``group(x) = group(y)`` (or ``≠``), both groups being present.
+
+    Part of the §7 multicast extension: two variables in the same group
+    bind copies of one logical broadcast.  NOTE: the predicate-graph
+    classifier does not model the shared-send structure group equality
+    implies; see :mod:`repro.broadcast` for the supported treatment.
+    """
+
+    left: str
+    right: str
+    equal: bool = True
+
+    def variables(self) -> Tuple[str, ...]:
+        """The variables the guard constrains."""
+        if self.left == self.right:
+            return (self.left,)
+        return (self.left, self.right)
+
+    def holds(self, assignment: Mapping[str, Message]) -> bool:
+        """Compare the two group ids (absent groups never match)."""
+        left_group = assignment[self.left].group
+        right_group = assignment[self.right].group
+        if left_group is None or right_group is None:
+            return False
+        return (left_group == right_group) == self.equal
+
+    def __repr__(self) -> str:
+        op = "=" if self.equal else "!="
+        return "group(%s) %s group(%s)" % (self.left, op, self.right)
+
+
+def guards_satisfiable(guards: Tuple[Guard, ...]) -> bool:
+    """Whether *some* attribute assignment satisfies all guards.
+
+    Equality guards are closed under union-find; a conflict arises when a
+    variable is forced to two different colour constants, when an equality
+    class contains contradictory colours, or when a disequality connects
+    two slots already forced equal.  Process slots have an unbounded
+    domain, so equalities alone are always satisfiable.
+    """
+    parent: Dict[Tuple[str, str], Tuple[str, str]] = {}
+
+    def find(slot: Tuple[str, str]) -> Tuple[str, str]:
+        parent.setdefault(slot, slot)
+        while parent[slot] != slot:
+            parent[slot] = parent[parent[slot]]
+            slot = parent[slot]
+        return slot
+
+    def union(a: Tuple[str, str], b: Tuple[str, str]) -> None:
+        parent[find(a)] = find(b)
+
+    color_of: Dict[str, str] = {}
+    color_not: Dict[str, set] = {}
+    for guard in guards:
+        if isinstance(guard, ColorGuard):
+            if guard.equal:
+                existing = color_of.get(guard.variable)
+                if existing is not None and existing != guard.color:
+                    return False
+                color_of[guard.variable] = guard.color
+            else:
+                color_not.setdefault(guard.variable, set()).add(guard.color)
+        elif isinstance(guard, ProcessGuard) and guard.equal:
+            union(guard.left, guard.right)
+
+    for variable, forbidden in color_not.items():
+        if color_of.get(variable) in forbidden:
+            return False
+
+    for guard in guards:
+        if isinstance(guard, ProcessGuard) and not guard.equal:
+            if find(guard.left) == find(guard.right):
+                return False
+    return True

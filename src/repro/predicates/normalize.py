@@ -1,0 +1,91 @@
+"""Predicate canonicalization and isomorphism.
+
+Two predicates that differ only in variable names or conjunct order
+denote the same specification; ``canonicalize`` rewrites a predicate into
+a normal form (variables renamed ``v0, v1, ...`` by a minimal signature
+ordering; conjuncts and guards sorted), and ``isomorphic`` tests equality
+up to renaming by comparing normal forms.  Arities here are tiny, so the
+canonical labelling simply minimizes over all variable permutations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Tuple
+
+from repro.predicates.ast import Conjunct, EventTerm, ForbiddenPredicate
+from repro.predicates.guards import ColorGuard, GroupGuard, ProcessGuard
+
+
+def _rename(predicate: ForbiddenPredicate, mapping: Dict[str, str]) -> Tuple:
+    """A hashable signature of the predicate under a variable renaming."""
+    conjuncts = sorted(
+        (
+            mapping[c.left.variable],
+            c.left.kind.value,
+            mapping[c.right.variable],
+            c.right.kind.value,
+        )
+        for c in predicate.conjuncts
+    )
+    guards = []
+    for guard in predicate.guards:
+        if isinstance(guard, ProcessGuard):
+            ends = sorted(
+                [(mapping[guard.left[0]], guard.left[1]),
+                 (mapping[guard.right[0]], guard.right[1])]
+            )
+            guards.append(("process", tuple(ends[0]), tuple(ends[1]), guard.equal))
+        elif isinstance(guard, ColorGuard):
+            guards.append(("color", mapping[guard.variable], guard.color, guard.equal))
+        elif isinstance(guard, GroupGuard):
+            ends = sorted([mapping[guard.left], mapping[guard.right]])
+            guards.append(("group", ends[0], ends[1], guard.equal))
+        else:  # pragma: no cover
+            raise TypeError("unknown guard %r" % (guard,))
+    return (tuple(conjuncts), tuple(sorted(guards)), predicate.distinct)
+
+
+def canonical_signature(predicate: ForbiddenPredicate) -> Tuple:
+    """The minimal signature over all variable permutations."""
+    variables = predicate.variables
+    fresh = ["v%d" % i for i in range(len(variables))]
+    best = None
+    for permutation in itertools.permutations(fresh):
+        mapping = dict(zip(variables, permutation))
+        signature = _rename(predicate, mapping)
+        if best is None or signature < best:
+            best = signature
+    assert best is not None
+    return best
+
+
+def canonicalize(predicate: ForbiddenPredicate) -> ForbiddenPredicate:
+    """The predicate rewritten with canonical names and sorted conjuncts."""
+    conjuncts_sig, guards_sig, distinct = canonical_signature(predicate)
+    from repro.events import EventKind
+
+    conjuncts = [
+        Conjunct(
+            EventTerm(lv, EventKind(lk)), EventTerm(rv, EventKind(rk))
+        )
+        for lv, lk, rv, rk in conjuncts_sig
+    ]
+    guards = []
+    for item in guards_sig:
+        if item[0] == "process":
+            guards.append(ProcessGuard(item[1], item[2], equal=item[3]))
+        elif item[0] == "color":
+            guards.append(ColorGuard(item[1], item[2], equal=item[3]))
+        elif item[0] == "group":
+            guards.append(GroupGuard(item[1], item[2], equal=item[3]))
+    return ForbiddenPredicate.build(
+        conjuncts, guards=guards, name=predicate.name, distinct=distinct
+    )
+
+
+def isomorphic(left: ForbiddenPredicate, right: ForbiddenPredicate) -> bool:
+    """Equal up to variable renaming and conjunct/guard order."""
+    if left.arity != right.arity or left.distinct != right.distinct:
+        return False
+    return canonical_signature(left) == canonical_signature(right)

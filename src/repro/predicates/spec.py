@@ -1,0 +1,114 @@
+"""Specifications: sets of complete runs described by forbidden predicates.
+
+A :class:`Specification` is an intersection of the specification sets of
+one or more forbidden predicates.  Some orderings (logically synchronous
+ordering) need a *family* of predicates -- one per cycle length ``k ≥ 2``;
+a :class:`PredicateFamily` generates the members needed for a given run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.predicates.ast import ForbiddenPredicate
+from repro.predicates.evaluation import find_assignment, run_admitted
+from repro.runs.user_run import UserRun
+
+
+@dataclass(frozen=True)
+class PredicateFamily:
+    """An indexed family ``{ B_k : k in k_min.. }`` of forbidden predicates.
+
+    ``generator(k)`` must return the ``k``-th member.  When evaluating a
+    run, only members with arity up to the run's message count can possibly
+    fire, so :meth:`instances` is bounded by the run size.
+    """
+
+    name: str
+    generator: Callable[[int], ForbiddenPredicate]
+    k_min: int = 2
+
+    def instances(self, max_arity: int) -> List[ForbiddenPredicate]:
+        """Members of the family with arity up to ``max_arity``."""
+        members = []
+        k = self.k_min
+        while True:
+            member = self.generator(k)
+            if member.arity > max_arity:
+                break
+            members.append(member)
+            k += 1
+        return members
+
+    def __repr__(self) -> str:
+        return "PredicateFamily(%s, k >= %d)" % (self.name, self.k_min)
+
+
+@dataclass(frozen=True)
+class Specification:
+    """A message-ordering specification ``Y = ∩ X_B`` over its predicates.
+
+    ``predicates`` are fixed members; ``families`` contribute every member
+    whose arity fits the run being checked.
+
+    ``oracle`` is an optional fast membership test equivalent to the
+    predicate semantics (e.g. message-graph acyclicity for the crown
+    family, which avoids exponential crown search on large runs); when
+    set, :meth:`admits` uses it.  ``family_arity_cap`` bounds how large
+    family members :meth:`members_for` instantiates -- set it together
+    with an oracle so violation *search* stays tractable while membership
+    remains exact.
+    """
+
+    name: str
+    predicates: Tuple[ForbiddenPredicate, ...] = ()
+    families: Tuple[PredicateFamily, ...] = ()
+    description: str = ""
+    oracle: Optional[Callable[[UserRun], bool]] = None
+    family_arity_cap: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.predicates and not self.families:
+            raise ValueError("a specification needs predicates or families")
+
+    def members_for(self, run: UserRun) -> List[ForbiddenPredicate]:
+        """All predicates that could fire on ``run`` (bounded by its size
+        and by ``family_arity_cap`` for family members)."""
+        max_arity = len(run.messages())
+        members = [p for p in self.predicates if p.arity <= max_arity]
+        family_arity = max_arity
+        if self.family_arity_cap is not None:
+            family_arity = min(family_arity, self.family_arity_cap)
+        for family in self.families:
+            members.extend(family.instances(family_arity))
+        return members
+
+    def all_predicates(self, max_arity: int) -> List[ForbiddenPredicate]:
+        """Fixed members plus family members up to ``max_arity``."""
+        members = [p for p in self.predicates]
+        for family in self.families:
+            members.extend(family.instances(max_arity))
+        return members
+
+    def admits(self, run: UserRun) -> bool:
+        """``True`` iff ``run ∈ Y``."""
+        if self.oracle is not None:
+            return self.oracle(run)
+        return all(run_admitted(run, member) for member in self.members_for(run))
+
+    def violations(self, run: UserRun) -> List[Tuple[ForbiddenPredicate, dict]]:
+        """Every (predicate, witness assignment) that fires on ``run``."""
+        found = []
+        for member in self.members_for(run):
+            assignment = find_assignment(run, member)
+            if assignment is not None:
+                found.append((member, assignment))
+        return found
+
+    def __repr__(self) -> str:
+        return "Specification(%s, predicates=%d, families=%d)" % (
+            self.name,
+            len(self.predicates),
+            len(self.families),
+        )

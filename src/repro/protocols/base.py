@@ -1,0 +1,54 @@
+"""The protocol interface: an inhibitory layer between user and network.
+
+The paper's protocols control only the send event ``x.s`` (after the
+invoke ``x.s*``) and the delivery ``x.r`` (after the receive ``x.r*``).
+Correspondingly, a protocol here reacts to ``on_invoke`` by eventually
+calling ``ctx.release`` and to ``on_user_message`` by eventually calling
+``ctx.deliver``; *general* protocols may additionally exchange control
+messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.events import Message
+from repro.simulation.host import HostContext
+
+
+class Protocol:
+    """Base protocol: subclass and override the event hooks."""
+
+    name = "protocol"
+    protocol_class = "tagless"  # "tagless" | "tagged" | "general"
+
+    def on_start(self, ctx: HostContext) -> None:
+        """Called once before any traffic (e.g. to seed a coordinator)."""
+
+    def on_invoke(self, ctx: HostContext, message: Message) -> None:
+        """The user requested a send; release it now or later."""
+        raise NotImplementedError
+
+    def on_user_message(self, ctx: HostContext, message: Message, tag: Any) -> None:
+        """A user message arrived; deliver it now or later."""
+        raise NotImplementedError
+
+    def on_control(self, ctx: HostContext, src: int, payload: Any) -> None:
+        """A control message arrived (general protocols only)."""
+        raise NotImplementedError(
+            "%s received an unexpected control message" % type(self).__name__
+        )
+
+
+def make_factory(protocol_cls, *args, **kwargs) -> Callable[[int, int], Protocol]:
+    """A factory producing one independent instance per process.
+
+    Extra arguments are forwarded to the constructor, which must accept
+    them before the implicit ``process_id``/``n_processes`` the simulation
+    supplies via hooks (protocols learn their identity from ``ctx``).
+    """
+
+    def factory(process_id: int, n_processes: int) -> Protocol:
+        return protocol_cls(*args, **kwargs)
+
+    return factory

@@ -1,0 +1,93 @@
+"""Causal ordering by destination constraints (Schiper, Eggli & Sandoz 1989).
+
+Instead of an ``n x n`` matrix, each process ``Pi`` keeps a vector clock
+``VT`` (counting its own sends) and a constraint table ``V_P`` mapping
+destinations to timestamps: ``V_P[j] = t`` means "messages timestamped
+``t`` or earlier destined to ``Pj`` precede anything I send next".  A
+message to ``Pj`` carries ``(tm, V_P)``; ``Pj`` buffers it while its own
+entry in the carried table is not yet dominated by its clock.
+
+Same protocol class as RST (tagged, no control messages) with a smaller
+typical tag.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.events import Message
+from repro.protocols.base import Protocol
+from repro.simulation.host import HostContext
+
+Vector = Tuple[int, ...]
+
+
+def _leq(a: Vector, b: Vector) -> bool:
+    return all(x <= y for x, y in zip(a, b))
+
+
+def _merge(a: Vector, b: Vector) -> Vector:
+    return tuple(max(x, y) for x, y in zip(a, b))
+
+
+class CausalSesProtocol(Protocol):
+    """The SES destination-constraint protocol."""
+
+    name = "causal-ses"
+    protocol_class = "tagged"
+
+    def __init__(self) -> None:
+        self._clock: Optional[List[int]] = None
+        self._constraints: Dict[int, Vector] = {}
+        self._pending: List[Tuple[Message, Vector, Dict[int, Vector]]] = []
+
+    def _ensure_state(self, ctx: HostContext) -> None:
+        if self._clock is None:
+            self._clock = [0] * ctx.n_processes
+
+    def on_invoke(self, ctx: HostContext, message: Message) -> None:
+        self._ensure_state(ctx)
+        assert self._clock is not None
+        self._clock[ctx.process_id] += 1
+        timestamp = tuple(self._clock)
+        tag = (timestamp, dict(self._constraints))
+        # Record that anything sent later must follow this message at its
+        # destination.
+        existing = self._constraints.get(message.receiver)
+        self._constraints[message.receiver] = (
+            timestamp if existing is None else _merge(existing, timestamp)
+        )
+        ctx.release(message, tag=tag)
+
+    def on_user_message(self, ctx: HostContext, message: Message, tag: Any) -> None:
+        self._ensure_state(ctx)
+        timestamp, constraints = tag
+        self._pending.append((message, tuple(timestamp), dict(constraints)))
+        self._drain(ctx)
+
+    def _deliverable(self, ctx: HostContext, constraints: Dict[int, Vector]) -> bool:
+        assert self._clock is not None
+        own = constraints.get(ctx.process_id)
+        return own is None or _leq(own, tuple(self._clock))
+
+    def _drain(self, ctx: HostContext) -> None:
+        assert self._clock is not None
+        progress = True
+        while progress:
+            progress = False
+            for index, (message, timestamp, constraints) in enumerate(self._pending):
+                if self._deliverable(ctx, constraints):
+                    del self._pending[index]
+                    # Advance the clock past the message and adopt the
+                    # sender's constraint knowledge.
+                    self._clock = list(_merge(tuple(self._clock), timestamp))
+                    for dest, vector in constraints.items():
+                        if dest == ctx.process_id:
+                            continue
+                        existing = self._constraints.get(dest)
+                        self._constraints[dest] = (
+                            vector if existing is None else _merge(existing, vector)
+                        )
+                    ctx.deliver(message)
+                    progress = True
+                    break

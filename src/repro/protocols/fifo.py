@@ -1,0 +1,43 @@
+"""FIFO channels via per-channel sequence numbers.
+
+The FIFO forbidden predicate (same sender, same receiver,
+``x.s ▷ y.s ∧ y.r ▷ x.r``) has an order-1 cycle, so tagging suffices: the
+tag is a single integer per message.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.events import Message
+from repro.protocols.base import Protocol
+from repro.simulation.host import HostContext
+
+
+class FifoProtocol(Protocol):
+    """Deliver each channel's messages in send order."""
+
+    name = "fifo"
+    protocol_class = "tagged"
+
+    def __init__(self) -> None:
+        self._next_out: Dict[int, int] = {}  # receiver -> next seq to assign
+        self._next_in: Dict[int, int] = {}  # sender -> next seq to deliver
+        self._held: Dict[Tuple[int, int], Message] = {}  # (sender, seq) -> msg
+
+    def on_invoke(self, ctx: HostContext, message: Message) -> None:
+        seq = self._next_out.get(message.receiver, 0)
+        self._next_out[message.receiver] = seq + 1
+        ctx.release(message, tag=seq)
+
+    def on_user_message(self, ctx: HostContext, message: Message, tag: Any) -> None:
+        seq = int(tag)
+        self._held[(message.sender, seq)] = message
+        self._drain(ctx, message.sender)
+
+    def _drain(self, ctx: HostContext, sender: int) -> None:
+        expected = self._next_in.get(sender, 0)
+        while (sender, expected) in self._held:
+            ctx.deliver(self._held.pop((sender, expected)))
+            expected += 1
+        self._next_in[sender] = expected

@@ -1,0 +1,114 @@
+"""F-channel flush primitives (Ahuja), per channel, by tagging only.
+
+A channel carries four kinds of sends:
+
+- *ordinary*       -- unconstrained relative to other ordinary messages;
+- *forward-flush*  -- delivered only after everything sent before it;
+- *backward-flush* -- delivered before anything sent after it;
+- *two-way-flush*  -- both (a full channel barrier).
+
+The flush kind is derived from the message colour via ``flush_colors``
+(default: ``"red"`` means two-way flush), so the same workloads drive both
+this protocol and the colour-guarded flush specifications.
+
+Tags are three small integers; there are no control messages -- the
+predicate-graph cycles of the flush specifications have order 1, and this
+protocol is the constructive witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.events import Message
+from repro.protocols.base import Protocol
+from repro.simulation.host import HostContext
+
+ORDINARY = "ordinary"
+FORWARD = "forward"
+BACKWARD = "backward"
+TWO_WAY = "two_way"
+
+_KINDS = (ORDINARY, FORWARD, BACKWARD, TWO_WAY)
+
+
+@dataclass
+class _SenderChannel:
+    next_seq: int = 0
+    last_backward_barrier: int = -1  # seq of last backward/two-way flush
+
+
+@dataclass
+class _ReceiverChannel:
+    delivered_count: int = 0
+    delivered_seqs: set = field(default_factory=set)
+    held: List[Tuple[Message, int, str, int]] = field(default_factory=list)
+
+
+class FlushChannelProtocol(Protocol):
+    """Per-channel flush ordering via (seq, kind, barrier) tags."""
+
+    name = "flush-channel"
+    protocol_class = "tagged"
+
+    def __init__(self, flush_colors: Optional[Dict[str, str]] = None):
+        self._flush_colors = dict(flush_colors or {"red": TWO_WAY})
+        for kind in self._flush_colors.values():
+            if kind not in _KINDS:
+                raise ValueError("unknown flush kind %r" % kind)
+        self._out: Dict[int, _SenderChannel] = {}
+        self._in: Dict[int, _ReceiverChannel] = {}
+
+    def kind_of(self, message: Message) -> str:
+        """The flush kind this message's colour maps to."""
+        if message.color is None:
+            return ORDINARY
+        return self._flush_colors.get(message.color, ORDINARY)
+
+    def on_invoke(self, ctx: HostContext, message: Message) -> None:
+        channel = self._out.setdefault(message.receiver, _SenderChannel())
+        kind = self.kind_of(message)
+        seq = channel.next_seq
+        channel.next_seq += 1
+        barrier = channel.last_backward_barrier
+        if kind in (BACKWARD, TWO_WAY):
+            channel.last_backward_barrier = seq
+        ctx.release(message, tag=(seq, kind, barrier))
+
+    def on_user_message(self, ctx: HostContext, message: Message, tag: Any) -> None:
+        seq, kind, barrier = tag
+        channel = self._in.setdefault(message.sender, _ReceiverChannel())
+        channel.held.append((message, seq, kind, barrier))
+        self._drain(ctx, channel)
+
+    def _deliverable(
+        self, channel: _ReceiverChannel, seq: int, kind: str, barrier: int
+    ) -> bool:
+        # Every message respects the last backward barrier before it.
+        if barrier >= 0 and barrier not in channel.delivered_seqs:
+            return False
+        # Forward-ish flushes wait for everything sent before them --
+        # specifically the messages with smaller sequence numbers (later
+        # ordinary messages may already have overtaken and been delivered,
+        # so a bare count is not enough).
+        if kind in (FORWARD, TWO_WAY):
+            delivered_before = sum(
+                1 for s in channel.delivered_seqs if s < seq
+            )
+            if delivered_before < seq:
+                return False
+        return True
+
+    def _drain(self, ctx: HostContext, channel: _ReceiverChannel) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for index, (message, seq, kind, barrier) in enumerate(channel.held):
+                if self._deliverable(channel, seq, kind, barrier):
+                    del channel.held[index]
+                    channel.delivered_count += 1
+                    channel.delivered_seqs.add(seq)
+                    ctx.deliver(message)
+                    progress = True
+                    break

@@ -1,0 +1,372 @@
+"""A tagged protocol synthesized from a forbidden predicate.
+
+Theorem 3.2 promises that any specification whose predicate graph has a
+cycle of order ≤ 1 is implementable by tagging alone.  This module makes
+the promise constructive (the direction the companion paper [19] pursues):
+
+- every user message is tagged with the *user-view causal past* of its
+  send event (events, their order, and message attributes);
+- a receiver ``q`` holds a delivery ``d.r`` whenever executing it now
+  would create -- or causally commit ``q`` to -- a forbidden instance:
+  an assignment of known messages to the predicate's variables in which
+  every conjunct already holds, or would hold once some still-undelivered
+  message ``x`` destined to ``q`` is delivered after ``d.r``.
+
+The second clause is what makes the rule live for order-1 predicates: the
+pattern's β message ``x`` is deliverable *first* (delivering ``x`` before
+``d`` breaks the would-be instance), so the induced delivery order is
+well-founded.  For causal ordering the rule specializes to the classic
+"deliver ``d`` only after every message sent causally before ``d``
+destined to you" condition; for FIFO it degenerates to sequence order.
+
+The single-future check is *complete* only for predicates whose pattern
+contains at most two delivery positions -- a completion delivery ``x.r``
+(right operands only) plus the delivery being decided (left operand of
+the conjunct into ``x.r``).  That covers the canonical order-1 shapes
+(causal B2/B3, FIFO, flush variants, k-weaker causal).  Shapes like
+``B1 ≡ x.s ▷ y.r ∧ y.r ▷ x.r`` put a third delivery in play, and a state
+can become doomed through *two* future deliveries at one site, which no
+single-future check sees.  For those, the protocol statically falls back
+to full causal-order delivery: every order-1 specification contains
+``X_co`` (Theorem 3.2), so enforcing causal order is always sound -- at
+the price of more inhibition than strictly necessary.
+
+The tag here is knowledge-complete and therefore large; the hand-written
+protocols in this package are the compressed special cases.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.events import DELIVER, SEND, Event, EventKind, Message
+from repro.poset import PartialOrder
+from repro.predicates.ast import Conjunct, ForbiddenPredicate
+from repro.protocols.base import Protocol
+from repro.simulation.host import HostContext
+
+_KIND = {"s": SEND, "r": DELIVER}
+
+
+class _Knowledge:
+    """What one process knows about the run's user-view events."""
+
+    def __init__(self) -> None:
+        self.order = PartialOrder()
+        self.events: Set[Event] = set()
+        self.messages: Dict[str, Message] = {}
+
+    def learn_message(self, message: Message) -> None:
+        self.messages.setdefault(message.id, message)
+
+    def learn_event(self, event: Event) -> None:
+        if event not in self.events:
+            self.events.add(event)
+            self.order.add_element(event)
+
+    def learn_relation(self, before: Event, after: Event) -> None:
+        self.learn_event(before)
+        self.learn_event(after)
+        if before != after:
+            self.order.add_relation(before, after)
+
+    def knows_before(self, a: Event, b: Event) -> bool:
+        if a not in self.events or b not in self.events:
+            return False
+        return self.order.less(a, b)
+
+
+def _encode_event(event: Event) -> Tuple[str, str]:
+    return (event.message_id, event.kind.symbol)
+
+
+def _decode_event(item: Tuple[str, str]) -> Event:
+    return Event(item[0], _KIND[item[1]])
+
+
+def single_future_applicable(predicate: ForbiddenPredicate) -> bool:
+    """Whether the single-future delay rule is complete for ``predicate``.
+
+    Required shape:
+
+    - the ``.r`` terms involve at most two variables: the β variable,
+      whose ``.r`` occurs only as a right operand, and optionally one
+      other whose ``.r`` occurs only as the left operand of conjuncts
+      into the β variable's ``.r``;
+    - every conjunct into the β variable's ``.r`` has a *delivery* on the
+      left.  A send there (the ``B3`` shape ``x.s ▷ y.s ∧ y.s ▷ x.r``)
+      means the mere release of ``y`` -- with ``x.s`` already in the
+      sender's past and ``x.r`` inevitable at that site -- commits the
+      violation, and the delivery-side rule never gets a say.
+    """
+    deliver_lefts = set()
+    deliver_rights = set()
+    for conjunct in predicate.conjuncts:
+        if conjunct.left.kind is DELIVER:
+            deliver_lefts.add(conjunct.left.variable)
+        if conjunct.right.kind is DELIVER:
+            deliver_rights.add(conjunct.right.variable)
+    if len(deliver_lefts | deliver_rights) > 2:
+        return False
+    both = deliver_lefts & deliver_rights
+    if both:
+        return False  # some variable's delivery is both consumed and produced
+    if len(deliver_rights) > 1:
+        return False
+    if deliver_rights:
+        beta = next(iter(deliver_rights))
+        for conjunct in predicate.conjuncts:
+            into_beta = (
+                conjunct.right.kind is DELIVER
+                and conjunct.right.variable == beta
+            )
+            if into_beta and conjunct.left.kind is not DELIVER:
+                return False  # the B3 shape: a send commits the pattern
+            if conjunct.left.kind is DELIVER and not into_beta:
+                return False  # a third delivery position
+    return True
+
+
+class GeneratedTaggedProtocol(Protocol):
+    """Generic tagged protocol for order-≤1 forbidden predicates."""
+
+    protocol_class = "tagged"
+
+    def __init__(self, predicates: Sequence[ForbiddenPredicate]):
+        if isinstance(predicates, ForbiddenPredicate):
+            predicates = [predicates]
+        self.predicates = list(predicates)
+        if not self.predicates:
+            raise ValueError("need at least one predicate")
+        self.name = "generated(%s)" % ",".join(
+            p.name or "anon" for p in self.predicates
+        )
+        # Exact minimal-delay checking where complete; full causal-order
+        # delivery (which implies every order-1 spec) otherwise.
+        self.causal_fallback = not all(
+            single_future_applicable(p) for p in self.predicates
+        )
+        self._knowledge = _Knowledge()
+        # Events of the user-view causal past of this process's *next*
+        # user event (its own events plus pasts of delivered messages).
+        self._my_past: Set[Event] = set()
+        self._my_events: List[Event] = []
+        self._my_delivered: Set[str] = set()
+        self._pending: List[Tuple[Message, Any]] = []
+
+    # -- tagging ----------------------------------------------------------
+
+    def _build_tag(self, send_event: Event) -> Dict[str, Any]:
+        events = sorted(self._my_past)
+        # Generating pairs suffice: the receiver's knowledge closes them
+        # transitively, so the tag stays near-linear in the past size.
+        relations = [
+            (_encode_event(a), _encode_event(b))
+            for a, b in self._knowledge.order.generating_pairs()
+            if a in self._my_past and b in self._my_past
+        ]
+        relations.extend(
+            (_encode_event(e), _encode_event(send_event)) for e in events
+        )
+        attrs = {}
+        for event in events:
+            message = self._knowledge.messages[event.message_id]
+            attrs[message.id] = (message.sender, message.receiver, message.color)
+        return {
+            "events": [_encode_event(e) for e in events],
+            "relations": relations,
+            "attrs": attrs,
+        }
+
+    def _absorb_tag(self, message: Message, tag: Dict[str, Any]) -> None:
+        for mid, (sender, receiver, color) in tag["attrs"].items():
+            self._knowledge.learn_message(
+                Message(id=mid, sender=sender, receiver=receiver, color=color)
+            )
+        self._knowledge.learn_message(message)
+        send_event = Event.send(message.id)
+        self._knowledge.learn_event(send_event)
+        for item in tag["events"]:
+            self._knowledge.learn_event(_decode_event(item))
+        for before, after in tag["relations"]:
+            self._knowledge.learn_relation(
+                _decode_event(before), _decode_event(after)
+            )
+
+    # -- protocol hooks ----------------------------------------------------
+
+    def on_invoke(self, ctx: HostContext, message: Message) -> None:
+        self._knowledge.learn_message(message)
+        send_event = Event.send(message.id)
+        tag = self._build_tag(send_event)
+        self._record_own_event(send_event)
+        ctx.release(message, tag=tag)
+
+    def on_user_message(self, ctx: HostContext, message: Message, tag: Any) -> None:
+        self._absorb_tag(message, tag)
+        self._pending.append((message, tag))
+        self._drain(ctx)
+
+    # -- delivery rule -----------------------------------------------------
+
+    def _record_own_event(self, event: Event) -> None:
+        self._knowledge.learn_event(event)
+        for prior in self._my_events:
+            self._knowledge.learn_relation(prior, event)
+        self._my_events.append(event)
+        self._my_past.add(event)
+        # The event's known past joins my past.
+        self._my_past |= self._knowledge.order.down_set(event)
+
+    def _drain(self, ctx: HostContext) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for index, (message, tag) in enumerate(self._pending):
+                if self._safe_to_deliver(ctx, message):
+                    del self._pending[index]
+                    deliver_event = Event.deliver(message.id)
+                    self._knowledge.learn_relation(
+                        Event.send(message.id), deliver_event
+                    )
+                    self._record_own_event(deliver_event)
+                    self._my_delivered.add(message.id)
+                    ctx.deliver(message)
+                    progress = True
+                    break
+
+    def _safe_to_deliver(self, ctx: HostContext, candidate: Message) -> bool:
+        """Would delivering ``candidate`` now commit us to a violation?"""
+        if self.causal_fallback:
+            return self._causally_deliverable(ctx, candidate)
+        hypothetical = Event.deliver(candidate.id)
+        for predicate in self.predicates:
+            if self._unsafe_instance_exists(ctx, predicate, candidate, hypothetical):
+                return False
+        return True
+
+    def _causally_deliverable(self, ctx: HostContext, candidate: Message) -> bool:
+        """Every message destined here whose send causally precedes the
+        candidate's send has been delivered (full causal order)."""
+        me = ctx.process_id
+        candidate_send = Event.send(candidate.id)
+        for event in self._knowledge.order.down_set(candidate_send):
+            if event.kind is not SEND:
+                continue
+            message = self._knowledge.messages.get(event.message_id)
+            if (
+                message is not None
+                and message.receiver == me
+                and message.id not in self._my_delivered
+            ):
+                return False
+        return True
+
+    def _unsafe_instance_exists(
+        self,
+        ctx: HostContext,
+        predicate: ForbiddenPredicate,
+        candidate: Message,
+        hypothetical: Event,
+    ) -> bool:
+        known = sorted(self._knowledge.messages.values(), key=lambda m: m.id)
+        me = ctx.process_id
+
+        def conjunct_status(
+            conjunct: Conjunct,
+            assignment: Dict[str, Message],
+            future_var: Optional[str],
+        ) -> Optional[bool]:
+            """Three-valued: True (holds, with ``hypothetical`` placed at
+            this process and ``future_var``'s delivery after it), False
+            (cannot hold), None (not yet bound)."""
+            left_msg = assignment.get(conjunct.left.variable)
+            right_msg = assignment.get(conjunct.right.variable)
+            if left_msg is None or right_msg is None:
+                return None
+            left = Event(left_msg.id, conjunct.left.kind)
+            right = Event(right_msg.id, conjunct.right.kind)
+            future_event = (
+                Event.deliver(assignment[future_var].id) if future_var else None
+            )
+            if future_event is not None and left == future_event:
+                # x.r ▷ b with x.r strictly in the future: cannot hold.
+                return False
+            if future_event is not None and right == future_event:
+                # a ▷ x.r where x.r would happen at me after `hypothetical`.
+                return self._would_precede_my_future(left, hypothetical)
+            return self._holds_with_hypothetical(left, right, hypothetical)
+
+        variables = predicate.variables
+
+        def viable(assignment: Dict[str, Message], future_var: Optional[str]) -> bool:
+            """No bound conjunct is already False (prune check)."""
+            return all(
+                conjunct_status(conjunct, assignment, future_var) is not False
+                for conjunct in predicate.conjuncts
+            )
+
+        def search(depth: int, assignment: Dict[str, Message],
+                   future_var: Optional[str]) -> bool:
+            if depth == len(variables):
+                if future_var is None:
+                    return False
+                for guard in predicate.guards:
+                    if not guard.holds(assignment):
+                        return False
+                return all(
+                    conjunct_status(conjunct, assignment, future_var) is True
+                    for conjunct in predicate.conjuncts
+                )
+            variable = variables[depth]
+            for message in known:
+                if predicate.distinct and any(
+                    bound.id == message.id for bound in assignment.values()
+                ):
+                    continue
+                assignment[variable] = message
+                # This message may play the future-delivery role if it is
+                # destined to us and not yet delivered.
+                roles: List[Optional[str]] = [future_var]
+                if (
+                    future_var is None
+                    and message.receiver == me
+                    and message.id not in self._my_delivered
+                ):
+                    roles.append(variable)
+                for role in roles:
+                    if not viable(assignment, role):
+                        continue
+                    if search(depth + 1, assignment, role):
+                        del assignment[variable]
+                        return True
+                del assignment[variable]
+            return False
+
+        return search(0, {}, None)
+
+    def _holds_with_hypothetical(
+        self, left: Event, right: Event, hypothetical: Event
+    ) -> bool:
+        """``left ▷ right`` once ``hypothetical`` executes at this process."""
+        if right == hypothetical:
+            # The candidate's own causal past (its tag) precedes its
+            # delivery too, not just our local past.
+            return self._would_precede_my_future(left, hypothetical)
+        return self._knowledge.knows_before(left, right)
+
+    def _would_precede_my_future(
+        self, event: Event, hypothetical: Optional[Event]
+    ) -> bool:
+        """Is ``event`` in the causal past of this process's *next* user
+        event, assuming ``hypothetical`` (a delivery here) executes first?"""
+        if event in self._my_past:
+            return True
+        if hypothetical is not None:
+            if event == hypothetical or event == Event.send(hypothetical.message_id):
+                return True
+            if event in self._knowledge.events and self._knowledge.knows_before(
+                event, Event.send(hypothetical.message_id)
+            ):
+                return True
+        return False

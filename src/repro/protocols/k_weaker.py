@@ -1,0 +1,120 @@
+"""k-weaker causal ordering (§6) by causal-barrier tagging.
+
+The specification forbids a causal chain of ``k + 2`` sends whose last
+message is delivered (causally) before the first.  Its predicate graph
+cycle has order 1, so tagging must suffice; this protocol is the witness.
+
+Strategy: every message ``m`` carries, for each message ``y`` in its
+causal past, the *send-chain depth* ``d(y, m)`` -- the length of the
+longest chain of sends ``y.s ▷ ... ▷ m.s`` -- saturated at ``k + 1``.
+The receiver ``q`` holds ``m`` until every ``y`` destined to ``q`` with
+``d(y, m) ≥ k + 1`` has been delivered locally.  Chains shorter than
+``k + 1`` never complete a forbidden instance, so unlike strict causal
+ordering the protocol tolerates bounded out-of-order delivery.
+
+Messages whose delivery is already in the sender's causal past are pruned
+from the tag (their inversion is impossible), keeping tags bounded by the
+number of in-flight messages in practice.  ``k = 0`` degenerates to causal
+ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.events import Message
+from repro.protocols.base import Protocol
+from repro.simulation.host import HostContext
+
+
+@dataclass
+class _Known:
+    dest: int
+    depth: int  # longest send chain from y.s into my causal past, saturated
+
+
+class KWeakerCausalProtocol(Protocol):
+    """Deliver within ``k`` of causal send order, by depth tagging."""
+
+    name_template = "k-weaker-causal(%d)"
+    protocol_class = "tagged"
+
+    def __init__(self, k: int = 1, prune_delivered: bool = True):
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.k = k
+        self.cap = k + 1
+        self.prune_delivered = prune_delivered
+        self.name = self.name_template % k
+        self._known: Dict[str, _Known] = {}
+        self._known_delivered: Set[str] = set()
+        self._my_delivered: Set[str] = set()
+        self._pending: List[Tuple[Message, Dict[str, Tuple[int, int]], Set[str]]] = []
+
+    def on_invoke(self, ctx: HostContext, message: Message) -> None:
+        entries = {
+            mid: (info.dest, min(info.depth + 1, self.cap))
+            for mid, info in self._known.items()
+            if not (self.prune_delivered and mid in self._known_delivered)
+        }
+        tag = (entries, set(self._known_delivered))
+        # The new send extends every known chain by one step.
+        for info in self._known.values():
+            info.depth = min(info.depth + 1, self.cap)
+        self._known[message.id] = _Known(dest=message.receiver, depth=0)
+        ctx.release(message, tag=tag)
+
+    def on_user_message(self, ctx: HostContext, message: Message, tag: Any) -> None:
+        entries, sender_delivered = tag
+        self._pending.append((message, dict(entries), set(sender_delivered)))
+        self._drain(ctx)
+
+    def _deliverable(
+        self,
+        ctx: HostContext,
+        entries: Dict[str, Tuple[int, int]],
+        sender_delivered: Set[str],
+    ) -> bool:
+        me = ctx.process_id
+        for mid, (dest, depth) in entries.items():
+            if dest != me or depth < self.cap:
+                continue
+            if mid in self._my_delivered or mid in sender_delivered:
+                continue
+            return False
+        return True
+
+    def _drain(self, ctx: HostContext) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for index, (message, entries, sender_delivered) in enumerate(
+                self._pending
+            ):
+                if self._deliverable(ctx, entries, sender_delivered):
+                    del self._pending[index]
+                    self._absorb(message, entries, sender_delivered)
+                    ctx.deliver(message)
+                    progress = True
+                    break
+
+    def _absorb(
+        self,
+        message: Message,
+        entries: Dict[str, Tuple[int, int]],
+        sender_delivered: Set[str],
+    ) -> None:
+        # The sender's causal past is now in ours.
+        for mid, (dest, depth) in entries.items():
+            existing = self._known.get(mid)
+            if existing is None:
+                self._known[mid] = _Known(dest=dest, depth=depth)
+            else:
+                existing.depth = max(existing.depth, depth)
+        existing = self._known.get(message.id)
+        if existing is None:
+            self._known[message.id] = _Known(dest=message.receiver, depth=0)
+        self._known_delivered |= sender_delivered
+        self._known_delivered.add(message.id)
+        self._my_delivered.add(message.id)

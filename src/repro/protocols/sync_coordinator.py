@@ -1,0 +1,89 @@
+"""Logically synchronous ordering via a sequencing coordinator.
+
+Process 0 grants one message transfer at a time: a sender requests, waits
+for the grant, releases its message; the receiver delivers on arrival and
+reports completion.  Message "intervals" (send to delivery) are therefore
+disjoint in virtual time, so every run is logically synchronous -- the
+grant order is the numbering ``T`` of the SYNC condition.
+
+This is a *general* protocol: requests, grants and completions are control
+messages, which Theorem 1 shows are unavoidable for this specification.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.events import Message
+from repro.protocols.base import Protocol
+from repro.simulation.host import HostContext
+
+COORDINATOR = 0
+
+REQ = "req"
+GRANT = "grant"
+DONE = "done"
+
+
+class SyncCoordinatorProtocol(Protocol):
+    """Sequencer-based logically synchronous delivery."""
+
+    name = "sync-coordinator"
+    protocol_class = "general"
+
+    def __init__(self) -> None:
+        # Sender state (all processes).
+        self._outbox: Deque[Message] = deque()
+        # Coordinator state (used only at process 0).
+        self._grant_queue: Deque[int] = deque()
+        self._busy = False
+
+    # -- helpers ------------------------------------------------------------
+
+    def _to_coordinator(self, ctx: HostContext, payload: Any) -> None:
+        if ctx.process_id == COORDINATOR:
+            self.on_control(ctx, ctx.process_id, payload)
+        else:
+            ctx.send_control(COORDINATOR, payload)
+
+    # -- protocol hooks ------------------------------------------------------
+
+    def on_invoke(self, ctx: HostContext, message: Message) -> None:
+        self._outbox.append(message)
+        self._to_coordinator(ctx, (REQ,))
+
+    def on_user_message(self, ctx: HostContext, message: Message, tag: Any) -> None:
+        ctx.deliver(message)
+        self._to_coordinator(ctx, (DONE,))
+
+    def on_control(self, ctx: HostContext, src: int, payload: Any) -> None:
+        kind = payload[0]
+        if kind == REQ:
+            self._grant_queue.append(src)
+            self._pump(ctx)
+        elif kind == GRANT:
+            self._release_head(ctx)
+        elif kind == DONE:
+            self._busy = False
+            self._pump(ctx)
+        else:
+            raise ValueError("unknown control payload %r" % (payload,))
+
+    # -- coordinator logic -------------------------------------------------
+
+    def _pump(self, ctx: HostContext) -> None:
+        if ctx.process_id != COORDINATOR:
+            raise RuntimeError("grant queue touched outside the coordinator")
+        if self._busy or not self._grant_queue:
+            return
+        self._busy = True
+        grantee = self._grant_queue.popleft()
+        if grantee == COORDINATOR:
+            self._release_head(ctx)
+        else:
+            ctx.send_control(grantee, (GRANT,))
+
+    def _release_head(self, ctx: HostContext) -> None:
+        message = self._outbox.popleft()
+        ctx.release(message, tag=None)

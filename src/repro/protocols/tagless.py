@@ -1,0 +1,27 @@
+"""The "do nothing" protocol: enable every pending event immediately.
+
+Its run set is exactly ``X_async`` -- the ground set -- which is why a
+specification is tagless-implementable iff it contains ``X_async``
+(Theorem 1.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.events import Message
+from repro.protocols.base import Protocol
+from repro.simulation.host import HostContext
+
+
+class TaglessProtocol(Protocol):
+    """Release on invoke, deliver on receive, no tags, no control traffic."""
+
+    name = "tagless"
+    protocol_class = "tagless"
+
+    def on_invoke(self, ctx: HostContext, message: Message) -> None:
+        ctx.release(message, tag=None)
+
+    def on_user_message(self, ctx: HostContext, message: Message, tag: Any) -> None:
+        ctx.deliver(message)

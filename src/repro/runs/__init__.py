@@ -1,0 +1,52 @@
+"""Runs: system view (4 events per message) and user view (2 events).
+
+- :class:`~repro.runs.user_run.UserRun` is the paper's projected run
+  ``(H, ▷)`` over send/deliver events -- the object that specifications
+  talk about.
+- :class:`~repro.runs.system_run.SystemRun` is the decomposed poset
+  ``(H1, .., Hn, →)`` of §3.1 with invoke/send/receive/deliver events --
+  the object that protocols act on.
+"""
+
+from repro.runs.user_run import UserRun
+from repro.runs.system_run import SystemRun, causal_past
+from repro.runs.limit_sets import (
+    is_async,
+    is_causally_ordered,
+    is_logically_synchronous,
+    message_graph,
+    sync_numbering,
+)
+from repro.runs.enumeration import (
+    enumerate_complete_runs,
+    enumerate_message_assignments,
+    enumerate_universe,
+)
+from repro.runs.construction import (
+    run_from_predicate_instance,
+    system_run_from_user_run,
+)
+from repro.runs.builder import RunBuilder
+from repro.runs.metrics import RunMetrics, run_metrics
+from repro.runs.diagram import render_system_run, render_user_run
+
+__all__ = [
+    "UserRun",
+    "SystemRun",
+    "causal_past",
+    "is_async",
+    "is_causally_ordered",
+    "is_logically_synchronous",
+    "message_graph",
+    "sync_numbering",
+    "enumerate_complete_runs",
+    "enumerate_message_assignments",
+    "enumerate_universe",
+    "run_from_predicate_instance",
+    "system_run_from_user_run",
+    "RunBuilder",
+    "RunMetrics",
+    "run_metrics",
+    "render_user_run",
+    "render_system_run",
+]

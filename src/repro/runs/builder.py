@@ -1,0 +1,102 @@
+"""A fluent builder for hand-crafted runs.
+
+Writing precise interleavings with raw ``UserRun.from_process_sequences``
+is verbose; the builder reads like the time diagram:
+
+>>> run = (RunBuilder()
+...        .send("m1", frm=0, to=1)
+...        .send("m2", frm=0, to=1, color="red")
+...        .deliver("m2")
+...        .deliver("m1")
+...        .build())
+
+Events happen in call order: each process's calls form its sequence, and
+``x.s ▷ x.r`` edges come from the message structure.  ``build()``
+validates and returns the :class:`~repro.runs.user_run.UserRun`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.events import Event, Message
+from repro.runs.system_run import SystemRun
+from repro.runs.user_run import UserRun
+
+
+class RunBuilder:
+    """Accumulates send/deliver steps into a user-view run."""
+
+    def __init__(self) -> None:
+        self._messages: Dict[str, Message] = {}
+        self._sequences: Dict[int, List[Event]] = {}
+        self._sent: Dict[str, bool] = {}
+
+    def send(
+        self,
+        message_id: str,
+        frm: int,
+        to: int,
+        color: Optional[str] = None,
+        group: Optional[str] = None,
+    ) -> "RunBuilder":
+        """Process ``frm`` sends ``message_id`` to ``to`` -- the next event
+        at ``frm``."""
+        if message_id in self._messages:
+            raise ValueError("message %r already sent" % message_id)
+        message = Message(
+            id=message_id, sender=frm, receiver=to, color=color, group=group
+        )
+        self._messages[message_id] = message
+        self._sequences.setdefault(frm, []).append(Event.send(message_id))
+        return self
+
+    def deliver(self, message_id: str) -> "RunBuilder":
+        """The receiver of ``message_id`` delivers it -- the next event at
+        that process."""
+        message = self._messages.get(message_id)
+        if message is None:
+            raise ValueError("cannot deliver %r before sending it" % message_id)
+        deliver = Event.deliver(message_id)
+        for sequence in self._sequences.values():
+            if deliver in sequence:
+                raise ValueError("message %r delivered twice" % message_id)
+        self._sequences.setdefault(message.receiver, []).append(deliver)
+        return self
+
+    def drop(self, message_id: str) -> "RunBuilder":
+        """Leave ``message_id`` undelivered (builds an incomplete run --
+        useful for prefix tests; ``build(complete=True)`` will reject it)."""
+        if message_id not in self._messages:
+            raise ValueError("unknown message %r" % message_id)
+        return self
+
+    def build(self, complete: bool = True) -> UserRun:
+        """Validate and return the accumulated :class:`UserRun`."""
+        run = UserRun()
+        for message in self._messages.values():
+            run.add_message(message, with_events=False)
+        for sequence in self._sequences.values():
+            for event in sequence:
+                run.add_event(event)
+        for sequence in self._sequences.values():
+            for before, after in zip(sequence, sequence[1:]):
+                run.order(before, after)
+        run.validate()
+        if complete and not run.is_complete():
+            undelivered = [
+                m.id
+                for m in run.messages()
+                if not run.has_event(Event.deliver(m.id))
+            ]
+            raise ValueError(
+                "run is incomplete (undelivered: %s); pass complete=False "
+                "to allow it" % ", ".join(undelivered)
+            )
+        return run
+
+    def build_system(self) -> SystemRun:
+        """The Figure 5 expansion of the built run (adjacent star events)."""
+        from repro.runs.construction import system_run_from_user_run
+
+        return system_run_from_user_run(self.build())

@@ -1,0 +1,108 @@
+"""ASCII time diagrams for runs -- the paper's figures, as text.
+
+Events are laid out on a column per position of a linear extension, one
+row per process, so causality always reads left to right:
+
+    P0 | m1.s  .     m2.s  .
+    P1 | .     m1.r  .     m2.r
+
+    m1: P0 -> P1
+    m2: P0 -> P1
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.events import Event, EventKind
+from repro.runs.system_run import SystemRun
+from repro.runs.user_run import UserRun
+
+
+def render_user_run(run: UserRun, legend: bool = True) -> str:
+    """Render a user-view run as an ASCII time diagram.
+
+    The column order is a linear extension of ▷, so every causal relation
+    points rightward (concurrency is *not* visible -- two columns may be
+    unordered).
+    """
+    order = run.partial_order()
+    columns = order.a_linear_extension()
+    processes = run.processes()
+    return _render_grid(
+        ["P%d" % p for p in processes],
+        [
+            [
+                repr(event) if run.process_of_event(event) == process else None
+                for event in columns
+            ]
+            for process in processes
+        ],
+        _legend_lines(run) if legend else [],
+    )
+
+
+def render_system_run(run: SystemRun, legend: bool = True) -> str:
+    """Render a system run; columns follow a linear extension of →."""
+    order = run.happened_before()
+    columns = order.a_linear_extension()
+    placed = {event: run.process_of(event) for event in run.events()}
+    rows = []
+    for process in range(run.n_processes):
+        rows.append(
+            [
+                repr(event) if placed[event] == process else None
+                for event in columns
+            ]
+        )
+    names = ["P%d" % p for p in range(run.n_processes)]
+    legend_lines = (
+        [
+            "%s: P%d -> P%d" % (m.id, m.sender, m.receiver)
+            for m in run.messages()
+            if run.has_event(Event.send(m.id))
+        ]
+        if legend
+        else []
+    )
+    return _render_grid(names, rows, legend_lines)
+
+
+def _legend_lines(run: UserRun) -> List[str]:
+    lines = []
+    for message in run.messages():
+        parts = "%s: P%d -> P%d" % (message.id, message.sender, message.receiver)
+        if message.color:
+            parts += "  [%s]" % message.color
+        lines.append(parts)
+    return lines
+
+
+def _render_grid(
+    row_names: Sequence[str],
+    rows: Sequence[Sequence[Optional[str]]],
+    legend_lines: Sequence[str],
+) -> str:
+    if rows and rows[0]:
+        widths = [
+            max(
+                len(rows[r][c]) if rows[r][c] else 1
+                for r in range(len(rows))
+            )
+            for c in range(len(rows[0]))
+        ]
+    else:
+        widths = []
+    name_width = max((len(name) for name in row_names), default=0)
+    lines = []
+    for name, row in zip(row_names, rows):
+        cells = [
+            (cell or ".").ljust(width) for cell, width in zip(row, widths)
+        ]
+        lines.append(
+            ("%s | %s" % (name.ljust(name_width), "  ".join(cells))).rstrip()
+        )
+    if legend_lines:
+        lines.append("")
+        lines.extend(legend_lines)
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Exhaustive enumeration of small complete user-view runs.
+
+The containment theorems (Theorems 1, 3, 4) relate infinite sets of runs.
+To check them *empirically* we enumerate finite universes: every complete
+run realizable by ``n`` processes exchanging ``m`` messages.  A realizable
+run is determined by (a) the sender/receiver of each message and (b) a
+total order of the user events at each process, subject to acyclicity of
+process order plus the ``x.s ▷ x.r`` message edges.
+
+The paper's ground set ``X_async`` also contains non-realizable partial
+orders (arbitrary cross-process causality); realizable runs are the
+subset produced by actual executions, which is the universe that matters
+for protocol behaviour.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.events import Event, Message
+from repro.runs.user_run import UserRun
+
+
+def enumerate_message_assignments(
+    n_processes: int,
+    n_messages: int,
+    allow_self: bool = False,
+    colors: Sequence[str] = (None,),
+) -> Iterator[Tuple[Message, ...]]:
+    """All ways to assign (sender, receiver[, color]) to ``n_messages``.
+
+    Message ids are ``m1 .. mk``.  ``colors`` is the per-message colour
+    domain; the default leaves messages uncoloured.
+    """
+    channels = [
+        (s, r)
+        for s in range(n_processes)
+        for r in range(n_processes)
+        if allow_self or s != r
+    ]
+    options = [
+        (s, r, c) for (s, r) in channels for c in colors
+    ]
+    for combo in itertools.product(options, repeat=n_messages):
+        yield tuple(
+            Message(id="m%d" % (i + 1), sender=s, receiver=r, color=c)
+            for i, (s, r, c) in enumerate(combo)
+        )
+
+
+def enumerate_complete_runs(messages: Sequence[Message]) -> Iterator[UserRun]:
+    """All complete runs of exactly these messages.
+
+    Enumerates every interleaving of user events at each process and keeps
+    the combinations whose generated relation is acyclic.
+    """
+    processes = sorted(
+        {m.sender for m in messages} | {m.receiver for m in messages}
+    )
+    events_at = {p: [] for p in processes}
+    for message in messages:
+        events_at[message.sender].append(Event.send(message.id))
+        events_at[message.receiver].append(Event.deliver(message.id))
+
+    per_process_orders = [
+        list(itertools.permutations(events_at[p])) for p in processes
+    ]
+    for combo in itertools.product(*per_process_orders):
+        sequences = {p: list(order) for p, order in zip(processes, combo)}
+        run = UserRun.from_process_sequences(messages, sequences)
+        if run.is_valid():
+            yield run
+
+
+def enumerate_universe(
+    n_processes: int,
+    n_messages: int,
+    allow_self: bool = False,
+    colors: Sequence[str] = (None,),
+) -> Iterator[UserRun]:
+    """Every realizable complete run of ``n_messages`` over ``n_processes``."""
+    for messages in enumerate_message_assignments(
+        n_processes, n_messages, allow_self=allow_self, colors=colors
+    ):
+        for run in enumerate_complete_runs(messages):
+            yield run
+
+
+def universe_size(n_processes: int, n_messages: int, allow_self: bool = False) -> int:
+    """Count the universe without materializing it (used to bound tests)."""
+    return sum(
+        1 for _ in enumerate_universe(n_processes, n_messages, allow_self=allow_self)
+    )

@@ -1,0 +1,141 @@
+"""The appendix constructions of Lemma 2, executable.
+
+Lemma 2 lower-bounds every protocol class: a live general / tagged /
+tagless protocol can be *forced* into any run of ``X_gn`` / ``X_td`` /
+``X_U``.  The appendix proves it by exhibiting, for each prefix of the
+target run, a state in which the protocol's knowledge cannot distinguish
+the target from a state where liveness forces it to enable the next
+event.  The three constructions:
+
+- **A.1 (general)**: stage the run one event at a time in the order of
+  the numbering scheme ``N``; at every stage the pending set
+  ``R ∪ C`` is a singleton, so liveness (P2) forces the protocol to
+  enable exactly the next event.
+- **A.2 (tagged)**: for the process ``j`` executing next, build a run
+  ``G`` with the same ``CausalPast_j`` (so a tagged protocol acts
+  identically, P3) in which every other message has been received and
+  delivered -- leaving ``R(G) ∪ C(G)`` a singleton again.
+- **A.3 (tagless)**: the same with "same local history ``G_j``" in place
+  of the causal past.
+
+These functions build the staged prefixes and witness runs and check the
+pending-set properties the proofs rely on; the test suite runs them over
+exhaustively enumerated universes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.events import Event, EventKind, Message
+from repro.runs.system_run import SystemRun, causal_past, numbering_scheme
+
+
+def staged_prefixes(run: SystemRun) -> Iterator[SystemRun]:
+    """A.1: the prefix chain H^0 ⊂ H^1 ⊂ ... ⊂ H, one event per step,
+    ordered by the numbering scheme ``N``.
+
+    Raises ``ValueError`` when the run admits no numbering (not in
+    ``X_gn``).
+    """
+    numbering = numbering_scheme(run)
+    if numbering is None:
+        raise ValueError("run admits no numbering scheme; not in X_gn")
+    ordered = sorted(run.events(), key=numbering.__getitem__)
+    prefix = SystemRun(run.n_processes, run.messages())
+    yield prefix.copy()
+    for event in ordered:
+        prefix.append(run.process_of(event), event)
+        yield prefix.copy()
+
+
+def singleton_pending(run: SystemRun) -> bool:
+    """``R(H) ∪ C(H)`` has at most one element -- the state in which the
+    liveness condition P2 forces a protocol's hand."""
+    pending = set()
+    for process in range(run.n_processes):
+        pending |= run.pending_receives(process)
+        pending |= run.controllable(process)
+    return len(pending) <= 1
+
+
+def check_a1_staging(run: SystemRun) -> Tuple[int, int]:
+    """Walk the A.1 chain; return (stages, stages with singleton pending).
+
+    For a run in ``X_gn`` every stage must have the singleton property.
+    """
+    stages = forced = 0
+    for prefix in staged_prefixes(run):
+        stages += 1
+        forced += singleton_pending(prefix)
+    return stages, forced
+
+
+def tagged_witness(prefix: SystemRun, j: int) -> SystemRun:
+    """A.2: extend ``CausalPast_j(prefix)`` by receiving and delivering
+    every in-transit message not destined to ``j``.
+
+    The result ``G`` satisfies ``CausalPast_j(G) = CausalPast_j(prefix)``
+    (a tagged protocol behaves identically in both) while only process
+    ``j``'s own pending events remain.
+    """
+    witness = causal_past(prefix, j)
+    for message in witness.messages():
+        if message.receiver == j:
+            continue
+        send = Event.send(message.id)
+        receive = Event.receive(message.id)
+        if witness.has_event(send) and not witness.has_event(receive):
+            witness.append(message.receiver, receive)
+            witness.append(message.receiver, Event.deliver(message.id))
+    return witness
+
+
+def tagless_witness(prefix: SystemRun, j: int) -> SystemRun:
+    """A.3: a run with the same local history ``H_j`` in which every
+    other process has completed all its work.
+
+    Keeps: ``j``'s sequence verbatim; the invoke/send of every message
+    ``j`` received; the full four-event lifecycle of every message sent
+    between other processes is dropped (it does not affect ``H_j``); the
+    messages ``j`` sent are received and delivered at their destinations.
+    """
+    witness = SystemRun(prefix.n_processes, prefix.messages())
+    j_sequence = prefix.sequence(j)
+    incoming = {
+        event.message_id
+        for event in j_sequence
+        if event.kind is EventKind.RECEIVE
+    }
+    # Senders first: the messages j received must have been sent.
+    for message in prefix.messages():
+        if message.id in incoming and message.sender != j:
+            witness.append(message.sender, Event.invoke(message.id))
+            witness.append(message.sender, Event.send(message.id))
+    for event in j_sequence:
+        witness.append(j, event)
+    # Messages j sent are completed at their destinations.
+    for message in prefix.messages():
+        if message.sender != j or message.receiver == j:
+            continue
+        if witness.has_event(Event.send(message.id)) and not witness.has_event(
+            Event.receive(message.id)
+        ):
+            witness.append(message.receiver, Event.receive(message.id))
+            witness.append(message.receiver, Event.deliver(message.id))
+    return witness
+
+
+def pending_localized_at(run: SystemRun, j: int) -> bool:
+    """All remaining receive/controllable events sit at process ``j``
+    (and number at most one) -- the A.2/A.3 postcondition."""
+    for process in range(run.n_processes):
+        receives = run.pending_receives(process)
+        controllables = run.controllable(process)
+        if process != j:
+            if receives or controllables:
+                return False
+        else:
+            if len(receives | controllables) > 1:
+                return False
+    return True

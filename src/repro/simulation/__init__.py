@@ -1,0 +1,64 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper assumes an asynchronous reliable network: messages take
+arbitrary finite time and may be reordered.  The simulator reproduces that
+adversary deterministically from a seed, runs one protocol instance per
+process, and records the execution as a :class:`~repro.runs.SystemRun`
+(and its user view) so recorded behaviour can be checked against
+specifications.
+"""
+
+from repro.simulation.sim import Simulator
+from repro.simulation.network import (
+    AlternatingLatency,
+    FixedLatency,
+    LatencyModel,
+    Network,
+    Packet,
+    ScriptedLatency,
+    TargetedSlowChannel,
+    UniformLatency,
+)
+from repro.simulation.trace import SimulationStats, Trace, estimate_size
+from repro.simulation.host import HostContext, ProtocolError, ProtocolHost
+from repro.simulation.workloads import (
+    SendRequest,
+    Workload,
+    broadcast_storm,
+    client_server,
+    mobile_handoff_scenario,
+    pipeline_chain,
+    random_traffic,
+    red_marker_stream,
+    ring_traffic,
+)
+from repro.simulation.runner import SimulationResult, run_simulation
+
+__all__ = [
+    "Simulator",
+    "Network",
+    "Packet",
+    "LatencyModel",
+    "UniformLatency",
+    "FixedLatency",
+    "AlternatingLatency",
+    "TargetedSlowChannel",
+    "ScriptedLatency",
+    "Trace",
+    "SimulationStats",
+    "estimate_size",
+    "HostContext",
+    "ProtocolHost",
+    "ProtocolError",
+    "SendRequest",
+    "Workload",
+    "random_traffic",
+    "ring_traffic",
+    "client_server",
+    "broadcast_storm",
+    "red_marker_stream",
+    "mobile_handoff_scenario",
+    "pipeline_chain",
+    "SimulationResult",
+    "run_simulation",
+]

@@ -1,0 +1,167 @@
+"""Per-process protocol hosting.
+
+The host is the boundary the paper draws around inhibitory protocols: the
+application *requests* (invoke), the protocol decides when to *release*
+(send) and when to *deliver*; arrivals (receive) cannot be refused.  The
+host enforces the event preconditions and records everything.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set
+
+from repro.events import Event, Message
+from repro.simulation.network import Network, Packet
+from repro.simulation.sim import Simulator
+from repro.simulation.trace import SimulationStats, Trace, estimate_size
+
+
+class ProtocolError(RuntimeError):
+    """A protocol violated an event precondition (a bug in the protocol)."""
+
+
+class HostContext:
+    """The services a protocol may use, scoped to one process."""
+
+    def __init__(self, host: "ProtocolHost"):
+        self._host = host
+
+    @property
+    def process_id(self) -> int:
+        return self._host.process_id
+
+    @property
+    def n_processes(self) -> int:
+        return self._host.n_processes
+
+    @property
+    def now(self) -> float:
+        return self._host.sim.now
+
+    def release(self, message: Message, tag: Any = None) -> None:
+        """Execute the send event ``x.s`` (the message enters the network)."""
+        self._host.release(message, tag)
+
+    def deliver(self, message: Message) -> None:
+        """Execute the delivery event ``x.r``."""
+        self._host.deliver(message)
+
+    def send_control(self, dst: int, payload: Any) -> None:
+        """Emit a protocol control message (general protocols only)."""
+        self._host.send_control(dst, payload)
+
+    def schedule(self, delay: float, action) -> None:
+        """Run ``action`` after ``delay`` virtual time units."""
+        self._host.sim.schedule(delay, action)
+
+
+class ProtocolHost:
+    """Runs one protocol instance at one process and records its events."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        trace: Trace,
+        stats: SimulationStats,
+        process_id: int,
+        protocol: "Protocol",
+    ):
+        self.sim = sim
+        self.network = network
+        self.trace = trace
+        self.stats = stats
+        self.process_id = process_id
+        self.n_processes = network.n_processes
+        self.protocol = protocol
+        self.ctx = HostContext(self)
+        self._invoked: Set[str] = set()
+        self._sent: Set[str] = set()
+        self._received: Set[str] = set()
+        self._receive_time: Dict[str, float] = {}
+        self._delivered: Set[str] = set()
+        # Reactive applications (repro.apps) observe deliveries.
+        self.delivery_listener: Optional[Any] = None
+        network.attach(process_id, self._on_packet)
+
+    def start(self) -> None:
+        """Fire the protocol's ``on_start`` hook."""
+        self.protocol.on_start(self.ctx)
+
+    # Application-facing -------------------------------------------------------
+
+    def invoke(self, message: Message) -> None:
+        """The user requests a send (event ``x.s*``)."""
+        if message.sender != self.process_id:
+            raise ProtocolError(
+                "message %r invoked at process %d but its sender is %d"
+                % (message.id, self.process_id, message.sender)
+            )
+        if message.id in self._invoked:
+            raise ProtocolError("message %r invoked twice" % message.id)
+        self.trace.register_message(message)
+        self._invoked.add(message.id)
+        self.trace.record(self.sim.now, self.process_id, Event.invoke(message.id))
+        self.protocol.on_invoke(self.ctx, message)
+
+    # Protocol-facing -----------------------------------------------------------
+
+    def release(self, message: Message, tag: Any) -> None:
+        """Execute ``x.s``: validate, record, and transmit."""
+        if message.id not in self._invoked:
+            raise ProtocolError(
+                "protocol released %r before it was invoked" % message.id
+            )
+        if message.id in self._sent:
+            raise ProtocolError("message %r released twice" % message.id)
+        self._sent.add(message.id)
+        self.trace.record(self.sim.now, self.process_id, Event.send(message.id))
+        tag_bytes = estimate_size(tag)
+        self.stats.user_messages += 1
+        self.stats.tag_bytes_total += tag_bytes
+        self.stats.max_tag_bytes = max(self.stats.max_tag_bytes, tag_bytes)
+        self.network.send_user(self.process_id, message.receiver, message, tag)
+
+    def deliver(self, message: Message) -> None:
+        """Execute ``x.r``: validate, record, account latency."""
+        if message.id not in self._received:
+            raise ProtocolError(
+                "protocol delivered %r before it was received" % message.id
+            )
+        if message.id in self._delivered:
+            raise ProtocolError("message %r delivered twice" % message.id)
+        self._delivered.add(message.id)
+        self.trace.record(self.sim.now, self.process_id, Event.deliver(message.id))
+        self.stats.deliveries += 1
+        if self.sim.now > self._receive_time[message.id]:
+            self.stats.delayed_deliveries += 1
+        send_time = self.trace.time_of(Event.send(message.id))
+        self.stats.delivery_latencies.append(self.sim.now - send_time)
+        invoke_time = self.trace.time_of(Event.invoke(message.id))
+        self.stats.end_to_end_latencies.append(self.sim.now - invoke_time)
+        if self.delivery_listener is not None:
+            self.delivery_listener(message)
+
+    def send_control(self, dst: int, payload: Any) -> None:
+        """Emit a control message and account its cost."""
+        self.stats.control_messages += 1
+        self.stats.control_bytes += estimate_size(payload)
+        self.network.send_control(self.process_id, dst, payload)
+
+    # Network-facing --------------------------------------------------------
+
+    def _on_packet(self, packet: Packet) -> None:
+        if packet.is_user:
+            message = packet.message
+            assert message is not None
+            if message.id in self._received:
+                raise ProtocolError("message %r received twice" % message.id)
+            self.trace.register_message(message)
+            self._received.add(message.id)
+            self._receive_time[message.id] = self.sim.now
+            self.trace.record(
+                self.sim.now, self.process_id, Event.receive(message.id)
+            )
+            self.protocol.on_user_message(self.ctx, message, packet.tag)
+        else:
+            self.protocol.on_control(self.ctx, packet.src, packet.payload)

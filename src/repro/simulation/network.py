@@ -1,0 +1,196 @@
+"""The simulated asynchronous network.
+
+Latency models draw per-packet delays from a seeded generator; with
+``fifo_channels=False`` (the default, and the paper's adversary) packets
+on the same channel may overtake each other.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.events import Message
+from repro.simulation.sim import Simulator
+
+
+class LatencyModel:
+    """Base class: per-packet latency as a function of channel and RNG."""
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        """Draw this packet's transit time."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedLatency(LatencyModel):
+    """Constant delay (useful for hand-built schedules)."""
+
+    delay: float = 1.0
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        """Always the configured constant."""
+        return self.delay
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Uniform delay in ``[low, high)`` -- heavy reordering when wide."""
+
+    low: float = 1.0
+    high: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= self.high:
+            raise ValueError("need 0 <= low <= high")
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        """Uniform draw from ``[low, high)``."""
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class AlternatingLatency(LatencyModel):
+    """Alternates slow/fast per packet: maximal adjacent reordering.
+
+    Consecutive packets on any channel arrive in inverted pairs (the slow
+    one overtaken by the fast one), the worst case for FIFO- and
+    causality-sensitive protocols.
+    """
+
+    fast: float = 1.0
+    slow: float = 50.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.fast <= self.slow:
+            raise ValueError("need 0 <= fast <= slow")
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        # Deterministic alternation driven by the shared RNG stream.
+        """Either ``fast`` or ``slow``, a fair coin per packet."""
+        flip = rng.random() < 0.5
+        return self.slow if flip else self.fast
+
+
+@dataclass(frozen=True)
+class TargetedSlowChannel(LatencyModel):
+    """One designated channel is much slower than the rest -- the
+    "stale replica" adversary that provokes causal violations through
+    third parties."""
+
+    slow_src: int = 0
+    slow_dst: int = 1
+    slow: float = 80.0
+    low: float = 1.0
+    high: float = 5.0
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        """Base draw, plus the penalty on the slow channel."""
+        base = rng.uniform(self.low, self.high)
+        if (src, dst) == (self.slow_src, self.slow_dst):
+            return base + self.slow
+        return base
+
+
+class ScriptedLatency(LatencyModel):
+    """Explicit per-packet delays, in transmission order.
+
+    For building *exact* executions (the paper's figure scenarios, or a
+    regression case from a field trace): the n-th transmitted packet gets
+    the n-th delay.  Falls back to ``default`` when the script runs out.
+    """
+
+    def __init__(self, delays, default: float = 1.0):
+        self._delays = list(delays)
+        self._cursor = 0
+        self.default = default
+        if any(d < 0 for d in self._delays):
+            raise ValueError("delays must be non-negative")
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        """The next scripted delay, or ``default`` when exhausted."""
+        if self._cursor < len(self._delays):
+            delay = self._delays[self._cursor]
+            self._cursor += 1
+            return delay
+        return self.default
+
+
+@dataclass
+class Packet:
+    """One network-level transmission (a user message or a control message)."""
+
+    src: int
+    dst: int
+    kind: str  # "user" | "control"
+    message: Optional[Message] = None
+    tag: Any = None
+    payload: Any = None
+    send_time: float = 0.0
+    uid: int = 0
+
+    @property
+    def is_user(self) -> bool:
+        return self.kind == "user"
+
+
+class Network:
+    """Routes packets between attached handlers with seeded latencies."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_processes: int,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+        fifo_channels: bool = False,
+    ):
+        self.sim = sim
+        self.n_processes = n_processes
+        self.latency = latency or UniformLatency()
+        self.fifo_channels = fifo_channels
+        self._rng = random.Random(seed)
+        self._handlers: Dict[int, Callable[[Packet], None]] = {}
+        self._last_arrival: Dict[Tuple[int, int], float] = {}
+        self._uid = itertools.count()
+        self.packets_sent = 0
+        self.user_packets = 0
+        self.control_packets = 0
+
+    def attach(self, process_id: int, handler: Callable[[Packet], None]) -> None:
+        """Register the packet handler of ``process_id``."""
+        if process_id in self._handlers:
+            raise ValueError("process %d already attached" % process_id)
+        self._handlers[process_id] = handler
+
+    def transmit(self, packet: Packet) -> None:
+        """Send a packet; arrival is scheduled per the latency model."""
+        if packet.dst not in range(self.n_processes):
+            raise ValueError("unknown destination %r" % (packet.dst,))
+        packet.send_time = self.sim.now
+        packet.uid = next(self._uid)
+        delay = self.latency.sample(self._rng, packet.src, packet.dst)
+        arrival = self.sim.now + delay
+        if self.fifo_channels:
+            channel = (packet.src, packet.dst)
+            arrival = max(arrival, self._last_arrival.get(channel, 0.0) + 1e-9)
+            self._last_arrival[channel] = arrival
+        self.packets_sent += 1
+        if packet.is_user:
+            self.user_packets += 1
+        else:
+            self.control_packets += 1
+        handler = self._handlers[packet.dst]
+        self.sim.schedule(arrival - self.sim.now, lambda: handler(packet))
+
+    def send_user(
+        self, src: int, dst: int, message: Message, tag: Any = None
+    ) -> None:
+        """Transmit a user message with its protocol tag."""
+        self.transmit(Packet(src=src, dst=dst, kind="user", message=message, tag=tag))
+
+    def send_control(self, src: int, dst: int, payload: Any) -> None:
+        """Transmit a protocol control message."""
+        self.transmit(Packet(src=src, dst=dst, kind="control", payload=payload))

@@ -1,0 +1,119 @@
+"""Trace and run serialization (JSON).
+
+Recorded executions round-trip through plain dicts, so traces can be
+archived, diffed across protocol versions, and re-verified without
+re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Union
+
+from repro.events import Event, Message
+from repro.events.events import kind_from_symbol
+from repro.runs.user_run import UserRun
+from repro.simulation.trace import Trace
+
+
+def message_to_dict(message: Message) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "id": message.id,
+        "sender": message.sender,
+        "receiver": message.receiver,
+    }
+    if message.color is not None:
+        payload["color"] = message.color
+    if message.group is not None:
+        payload["group"] = message.group
+    return payload
+
+
+def message_from_dict(payload: Dict[str, Any]) -> Message:
+    return Message(
+        id=payload["id"],
+        sender=payload["sender"],
+        receiver=payload["receiver"],
+        color=payload.get("color"),
+        group=payload.get("group"),
+    )
+
+
+def trace_to_dict(trace: Trace) -> Dict[str, Any]:
+    return {
+        "format": "repro-trace-v1",
+        "n_processes": trace.n_processes,
+        "messages": [message_to_dict(m) for m in trace.messages()],
+        "records": [
+            {
+                "time": record.time,
+                "process": record.process,
+                "event": [record.event.message_id, record.event.kind.symbol],
+            }
+            for record in trace.records()
+        ],
+    }
+
+
+def trace_from_dict(payload: Dict[str, Any]) -> Trace:
+    if payload.get("format") != "repro-trace-v1":
+        raise ValueError("not a repro trace: format=%r" % payload.get("format"))
+    trace = Trace(payload["n_processes"])
+    for message_payload in payload["messages"]:
+        trace.register_message(message_from_dict(message_payload))
+    for record in payload["records"]:
+        message_id, symbol = record["event"]
+        trace.record(
+            record["time"],
+            record["process"],
+            Event(message_id, kind_from_symbol(symbol)),
+        )
+    return trace
+
+
+def save_trace(trace: Trace, destination: Union[str, IO[str]]) -> None:
+    payload = trace_to_dict(trace)
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            json.dump(payload, handle, indent=1)
+    else:
+        json.dump(payload, destination, indent=1)
+
+
+def load_trace(source: Union[str, IO[str]]) -> Trace:
+    if isinstance(source, str):
+        with open(source) as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(source)
+    return trace_from_dict(payload)
+
+
+def user_run_to_dict(run: UserRun) -> Dict[str, Any]:
+    """Serialize a user-view run (messages, events, generating order)."""
+    return {
+        "format": "repro-user-run-v1",
+        "messages": [message_to_dict(m) for m in run.messages()],
+        "events": [[e.message_id, e.kind.symbol] for e in run.events()],
+        "relations": [
+            [[a.message_id, a.kind.symbol], [b.message_id, b.kind.symbol]]
+            for a, b in run.partial_order().generating_pairs()
+        ],
+    }
+
+
+def user_run_from_dict(payload: Dict[str, Any]) -> UserRun:
+    if payload.get("format") != "repro-user-run-v1":
+        raise ValueError("not a repro user run: format=%r" % payload.get("format"))
+    run = UserRun()
+    for message_payload in payload["messages"]:
+        run.add_message(message_from_dict(message_payload), with_events=False)
+    for message_id, symbol in payload["events"]:
+        run.add_event(Event(message_id, kind_from_symbol(symbol)))
+    for (a_id, a_symbol), (b_id, b_symbol) in payload["relations"]:
+        before = Event(a_id, kind_from_symbol(a_symbol))
+        after = Event(b_id, kind_from_symbol(b_symbol))
+        if before != after and not run.before(before, after):
+            run.order(before, after)
+    run.validate()
+    return run

@@ -1,0 +1,166 @@
+"""Execution traces and statistics.
+
+Every system event (invoke/send/receive/deliver) is recorded with its
+virtual time and a global sequence number; the trace converts losslessly
+to a :class:`~repro.runs.SystemRun` whose per-process sequences follow
+recording order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.events import DELIVER, INVOKE, RECEIVE, SEND, Event, Message
+from repro.runs.system_run import SystemRun
+from repro.runs.user_run import UserRun
+
+
+def estimate_size(obj: Any) -> int:
+    """A platform-independent byte estimate for tags and control payloads.
+
+    Integers and floats cost 8 bytes, strings and bytes their length,
+    booleans and ``None`` one byte; containers add 8 bytes of overhead plus
+    their contents.  This deliberately models wire size, not CPython
+    object size.
+    """
+    if obj is None or isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, float)):
+        return 8
+    if isinstance(obj, (str, bytes)):
+        return len(obj)
+    if isinstance(obj, dict):
+        return 8 + sum(estimate_size(k) + estimate_size(v) for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 8 + sum(estimate_size(item) for item in obj)
+    if isinstance(obj, Message):
+        return 16 + estimate_size(obj.id) + estimate_size(obj.color)
+    if hasattr(obj, "__dict__"):
+        return 8 + estimate_size(vars(obj))
+    return 8
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One recorded system event."""
+
+    time: float
+    sequence: int
+    process: int
+    event: Event
+
+
+@dataclass
+class SimulationStats:
+    """Aggregate protocol costs measured during a run."""
+
+    user_messages: int = 0
+    control_messages: int = 0
+    control_bytes: int = 0
+    tag_bytes_total: int = 0
+    max_tag_bytes: int = 0
+    deliveries: int = 0
+    delayed_deliveries: int = 0  # deliveries not executed at receive time
+    delivery_latencies: List[float] = field(default_factory=list)  # send -> deliver
+    end_to_end_latencies: List[float] = field(default_factory=list)  # invoke -> deliver
+
+    @property
+    def mean_tag_bytes(self) -> float:
+        return self.tag_bytes_total / self.user_messages if self.user_messages else 0.0
+
+    @property
+    def mean_delivery_latency(self) -> float:
+        if not self.delivery_latencies:
+            return 0.0
+        return sum(self.delivery_latencies) / len(self.delivery_latencies)
+
+    @property
+    def max_delivery_latency(self) -> float:
+        return max(self.delivery_latencies) if self.delivery_latencies else 0.0
+
+    @property
+    def mean_end_to_end_latency(self) -> float:
+        """Invoke-to-delivery time: includes send inhibition, which is
+        where the logically synchronous protocols pay."""
+        if not self.end_to_end_latencies:
+            return 0.0
+        return sum(self.end_to_end_latencies) / len(self.end_to_end_latencies)
+
+    def control_per_user_message(self) -> float:
+        """Control messages per user message sent."""
+        return self.control_messages / self.user_messages if self.user_messages else 0.0
+
+
+class Trace:
+    """Append-only record of the system events of one simulation."""
+
+    def __init__(self, n_processes: int):
+        self.n_processes = n_processes
+        self._records: List[TraceRecord] = []
+        self._messages: Dict[str, Message] = {}
+        self._times: Dict[Event, float] = {}
+        self._sequence = 0
+
+    def register_message(self, message: Message) -> None:
+        """Declare a message of the run (idempotent; conflicts rejected)."""
+        existing = self._messages.get(message.id)
+        if existing is not None and existing != message:
+            raise ValueError("conflicting registration for message %r" % message.id)
+        self._messages[message.id] = message
+
+    def record(self, time: float, process: int, event: Event) -> None:
+        """Append the execution of ``event`` at ``process``."""
+        if event.message_id not in self._messages:
+            raise ValueError("event %r for unregistered message" % (event,))
+        if event in self._times:
+            raise ValueError("event %r recorded twice" % (event,))
+        self._records.append(
+            TraceRecord(time=time, sequence=self._sequence, process=process, event=event)
+        )
+        self._times[event] = time
+        self._sequence += 1
+
+    # Queries --------------------------------------------------------------
+
+    def records(self) -> List[TraceRecord]:
+        """All records in execution order."""
+        return list(self._records)
+
+    def messages(self) -> List[Message]:
+        """The registered messages, sorted by id."""
+        return [self._messages[mid] for mid in sorted(self._messages)]
+
+    def has_event(self, event: Event) -> bool:
+        """Whether ``event`` was recorded."""
+        return event in self._times
+
+    def time_of(self, event: Event) -> float:
+        """The virtual time at which ``event`` executed."""
+        return self._times[event]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # Conversions ------------------------------------------------------------
+
+    def to_system_run(self) -> SystemRun:
+        """The trace as a :class:`SystemRun` (lossless)."""
+        run = SystemRun(self.n_processes, self.messages())
+        for record in self._records:
+            run.append(record.process, record.event)
+        return run
+
+    def to_user_run(self) -> UserRun:
+        """The trace's user view (projection of the system run)."""
+        return self.to_system_run().users_view()
+
+    def undelivered_messages(self) -> List[str]:
+        """Invoked messages that never reached delivery (liveness check)."""
+        stuck = []
+        for message_id in sorted(self._messages):
+            invoked = Event.invoke(message_id) in self._times
+            delivered = Event.deliver(message_id) in self._times
+            if invoked and not delivered:
+                stuck.append(message_id)
+        return stuck

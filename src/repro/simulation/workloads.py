@@ -1,0 +1,252 @@
+"""Seeded workload generators.
+
+A workload is a list of timed send requests (the user's ``x.s*`` events).
+Generators cover the traffic patterns the paper's motivating applications
+imply: uniform random traffic, rings, client-server request/reply shapes,
+broadcast fan-out, red-marker (flush) streams, pipelines, and the §6
+mobile-handoff scenario.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.events import Message
+
+
+@dataclass(frozen=True)
+class SendRequest:
+    """One application-level send request at a given virtual time."""
+
+    time: float
+    sender: int
+    receiver: int
+    color: Optional[str] = None
+    group: Optional[str] = None  # broadcast group (repro.broadcast)
+    payload: object = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("request time must be non-negative")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named scenario: process count plus a timed request script."""
+
+    name: str
+    n_processes: int
+    requests: tuple
+
+    def __post_init__(self) -> None:
+        for request in self.requests:
+            if not (0 <= request.sender < self.n_processes):
+                raise ValueError("request sender out of range: %r" % (request,))
+            if not (0 <= request.receiver < self.n_processes):
+                raise ValueError("request receiver out of range: %r" % (request,))
+
+    @property
+    def message_count(self) -> int:
+        return len(self.requests)
+
+    def messages(self) -> List[Message]:
+        """Materialize the requests as messages ``m1..mk`` (request order)."""
+        return [
+            Message(
+                id="m%d" % (i + 1),
+                sender=request.sender,
+                receiver=request.receiver,
+                color=request.color,
+                group=request.group,
+                payload=request.payload,
+            )
+            for i, request in enumerate(self.requests)
+        ]
+
+
+def _spread(count: int, rate: float, rng: random.Random) -> List[float]:
+    """Poisson-ish arrival times with mean inter-arrival ``1/rate``."""
+    times = []
+    t = 0.0
+    for _ in range(count):
+        t += rng.expovariate(rate)
+        times.append(t)
+    return times
+
+
+def random_traffic(
+    n_processes: int,
+    count: int,
+    seed: int = 0,
+    rate: float = 1.0,
+    color_every: Optional[int] = None,
+    color: str = "red",
+) -> Workload:
+    """Uniform random point-to-point traffic.
+
+    ``color_every`` colours every k-th message (for marker specifications).
+    """
+    if n_processes < 2:
+        raise ValueError("random traffic needs at least two processes")
+    rng = random.Random(seed)
+    requests = []
+    for i, time in enumerate(_spread(count, rate, rng)):
+        sender = rng.randrange(n_processes)
+        receiver = rng.randrange(n_processes - 1)
+        if receiver >= sender:
+            receiver += 1
+        message_color = (
+            color if color_every and (i + 1) % color_every == 0 else None
+        )
+        requests.append(
+            SendRequest(time=time, sender=sender, receiver=receiver, color=message_color)
+        )
+    return Workload(
+        name="random-%dp-%dm-seed%d" % (n_processes, count, seed),
+        n_processes=n_processes,
+        requests=tuple(requests),
+    )
+
+
+def ring_traffic(n_processes: int, rounds: int, seed: int = 0) -> Workload:
+    """Each process sends to its ring successor, ``rounds`` times."""
+    rng = random.Random(seed)
+    requests = []
+    t = 0.0
+    for _ in range(rounds):
+        for sender in range(n_processes):
+            t += rng.uniform(0.1, 1.0)
+            requests.append(
+                SendRequest(time=t, sender=sender, receiver=(sender + 1) % n_processes)
+            )
+    return Workload(
+        name="ring-%dp-%dr" % (n_processes, rounds),
+        n_processes=n_processes,
+        requests=tuple(requests),
+    )
+
+
+def client_server(
+    n_clients: int, requests_per_client: int, seed: int = 0
+) -> Workload:
+    """Clients 1..n send to server 0; the server replies to each client.
+
+    (The reply is modelled as an independent user message; reply causality
+    emerges from the server's process order.)
+    """
+    rng = random.Random(seed)
+    n_processes = n_clients + 1
+    script: List[SendRequest] = []
+    t = 0.0
+    for _ in range(requests_per_client):
+        for client in range(1, n_processes):
+            t += rng.uniform(0.1, 1.0)
+            script.append(SendRequest(time=t, sender=client, receiver=0))
+            script.append(
+                SendRequest(time=t + rng.uniform(0.5, 2.0), sender=0, receiver=client)
+            )
+    script.sort(key=lambda r: r.time)
+    return Workload(
+        name="client-server-%dc-%dr" % (n_clients, requests_per_client),
+        n_processes=n_processes,
+        requests=tuple(script),
+    )
+
+
+def broadcast_storm(n_processes: int, rounds: int, seed: int = 0) -> Workload:
+    """Every round one process sends to every other process back-to-back.
+
+    This is the classic causal-broadcast stressor: with reordering, late
+    copies of an early broadcast race later broadcasts.
+    """
+    rng = random.Random(seed)
+    requests = []
+    t = 0.0
+    for round_index in range(rounds):
+        origin = round_index % n_processes
+        t += rng.uniform(0.5, 1.5)
+        for receiver in range(n_processes):
+            if receiver != origin:
+                requests.append(SendRequest(time=t, sender=origin, receiver=receiver))
+    return Workload(
+        name="broadcast-%dp-%dr" % (n_processes, rounds),
+        n_processes=n_processes,
+        requests=tuple(requests),
+    )
+
+
+def red_marker_stream(
+    n_messages: int, marker_every: int = 5, seed: int = 0
+) -> Workload:
+    """A single channel 0 → 1 carrying ordinary traffic with periodic red
+    marker (flush) messages -- the F-channel workload."""
+    rng = random.Random(seed)
+    requests = []
+    t = 0.0
+    for i in range(n_messages):
+        t += rng.uniform(0.1, 0.6)
+        color = "red" if (i + 1) % marker_every == 0 else None
+        requests.append(SendRequest(time=t, sender=0, receiver=1, color=color))
+    return Workload(
+        name="red-marker-%dm-every%d" % (n_messages, marker_every),
+        n_processes=2,
+        requests=tuple(requests),
+    )
+
+
+def mobile_handoff_scenario(
+    n_stations: int = 3, messages_per_phase: int = 4, seed: int = 0
+) -> Workload:
+    """§6: a mobile unit (process 0) roams across base stations (1..n).
+
+    Between handoffs the mobile exchanges ordinary traffic with its current
+    station; each handoff message (coloured ``"handoff"``) moves it to the
+    next station.  The specification demands that no ordinary message cross
+    a handoff.
+    """
+    rng = random.Random(seed)
+    n_processes = n_stations + 1
+    requests: List[SendRequest] = []
+    t = 0.0
+    for station in range(1, n_stations + 1):
+        for _ in range(messages_per_phase):
+            t += rng.uniform(0.2, 1.0)
+            if rng.random() < 0.5:
+                requests.append(SendRequest(time=t, sender=0, receiver=station))
+            else:
+                requests.append(SendRequest(time=t, sender=station, receiver=0))
+        if station < n_stations:
+            t += rng.uniform(0.2, 1.0)
+            requests.append(
+                SendRequest(
+                    time=t, sender=0, receiver=station, color="handoff"
+                )
+            )
+    return Workload(
+        name="mobile-handoff-%dst-%dm" % (n_stations, messages_per_phase),
+        n_processes=n_processes,
+        requests=tuple(requests),
+    )
+
+
+def pipeline_chain(n_processes: int, items: int, seed: int = 0) -> Workload:
+    """Items flow 0 → 1 → ... → n-1 (each stage forwards downstream)."""
+    rng = random.Random(seed)
+    requests = []
+    t = 0.0
+    for _ in range(items):
+        t += rng.uniform(0.3, 1.0)
+        stage_time = t
+        for stage in range(n_processes - 1):
+            requests.append(
+                SendRequest(time=stage_time, sender=stage, receiver=stage + 1)
+            )
+            stage_time += rng.uniform(0.5, 2.0)
+    requests.sort(key=lambda r: r.time)
+    return Workload(
+        name="pipeline-%dp-%di" % (n_processes, items),
+        n_processes=n_processes,
+        requests=tuple(requests),
+    )

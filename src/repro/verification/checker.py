@@ -1,0 +1,117 @@
+"""Run verification: does an execution satisfy a specification?
+
+``check_run`` evaluates every applicable forbidden predicate over a
+user-view run and reports each witness assignment.  ``check_simulation``
+additionally folds in liveness (every invoked message delivered) -- the
+two obligations the paper places on an implementing protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.predicates.ast import ForbiddenPredicate
+from repro.predicates.evaluation import satisfying_assignments
+from repro.predicates.spec import Specification
+from repro.runs.user_run import UserRun
+from repro.simulation.runner import SimulationResult
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One forbidden instance found in a run."""
+
+    predicate_name: str
+    assignment: Dict[str, str]  # variable -> message id
+
+    def __repr__(self) -> str:
+        binding = ", ".join(
+            "%s=%s" % (var, mid) for var, mid in sorted(self.assignment.items())
+        )
+        return "Violation(%s: %s)" % (self.predicate_name, binding)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of checking one run against one specification."""
+
+    specification_name: str
+    safe: bool
+    live: bool
+    violations: List[Violation] = field(default_factory=list)
+    undelivered: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.safe and self.live
+
+    def summary(self) -> str:
+        """One line: OK/FAIL, violations, liveness."""
+        status = "OK" if self.ok else "FAIL"
+        parts = ["%s vs %s" % (status, self.specification_name)]
+        if not self.safe:
+            parts.append("%d violation(s), e.g. %r" % (
+                len(self.violations), self.violations[0]))
+        if not self.live:
+            parts.append("undelivered: %s" % ", ".join(self.undelivered))
+        return "; ".join(parts)
+
+
+def _as_specification(
+    spec: Union[Specification, ForbiddenPredicate]
+) -> Specification:
+    if isinstance(spec, ForbiddenPredicate):
+        return Specification(name=spec.name or "anonymous", predicates=(spec,))
+    return spec
+
+
+def check_run(
+    run: UserRun,
+    spec: Union[Specification, ForbiddenPredicate],
+    max_violations: int = 10,
+) -> CheckResult:
+    """Safety check only (the run is taken as complete).
+
+    Safety is decided by ``Specification.admits`` (exact, using the
+    specification's oracle when it has one); witness assignments are then
+    collected from the instantiable members, so for family specifications
+    with an arity cap an unsafe run may carry fewer listed witnesses than
+    it has forbidden instances.
+    """
+    specification = _as_specification(spec)
+    safe = specification.admits(run)
+    violations: List[Violation] = []
+    if not safe:
+        for predicate in specification.members_for(run):
+            for assignment in satisfying_assignments(run, predicate):
+                violations.append(
+                    Violation(
+                        predicate_name=predicate.name or "anonymous",
+                        assignment={
+                            var: message.id for var, message in assignment.items()
+                        },
+                    )
+                )
+                if len(violations) >= max_violations:
+                    break
+            if len(violations) >= max_violations:
+                break
+    return CheckResult(
+        specification_name=specification.name,
+        safe=safe,
+        live=True,
+        violations=violations,
+    )
+
+
+def check_simulation(
+    result: SimulationResult,
+    spec: Union[Specification, ForbiddenPredicate],
+    max_violations: int = 10,
+) -> CheckResult:
+    """Safety and liveness for a recorded simulation."""
+    outcome = check_run(result.user_run, spec, max_violations=max_violations)
+    outcome.live = result.delivered_all
+    outcome.undelivered = list(result.undelivered)
+    return outcome

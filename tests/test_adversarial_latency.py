@@ -1,0 +1,103 @@
+"""Adversarial latency models and failure injection.
+
+The protocols must hold their specifications under *any* finite-latency
+adversary; these schedules are built to hurt.
+"""
+
+import random
+
+import pytest
+
+from repro.predicates.catalog import CAUSAL_ORDERING, FIFO_ORDERING
+from repro.protocols import CausalRstProtocol, FifoProtocol, TaglessProtocol
+from repro.protocols.base import make_factory
+from repro.simulation import (
+    AlternatingLatency,
+    TargetedSlowChannel,
+    random_traffic,
+    run_simulation,
+)
+from repro.verification import check_simulation
+
+
+class TestAlternatingLatency:
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            AlternatingLatency(fast=5.0, slow=1.0)
+
+    def test_samples_are_only_the_two_values(self):
+        model = AlternatingLatency(fast=1.0, slow=50.0)
+        rng = random.Random(0)
+        values = {model.sample(rng, 0, 1) for _ in range(50)}
+        assert values == {1.0, 50.0}
+
+    def test_reorders_heavily(self):
+        result = run_simulation(
+            make_factory(TaglessProtocol),
+            random_traffic(2, 40, seed=0),
+            seed=0,
+            latency=AlternatingLatency(),
+        )
+        outcome = check_simulation(result, FIFO_ORDERING)
+        assert not outcome.safe
+        assert len(outcome.violations) >= 5
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fifo_protocol_survives(self, seed):
+        result = run_simulation(
+            make_factory(FifoProtocol),
+            random_traffic(3, 40, seed=seed),
+            seed=seed,
+            latency=AlternatingLatency(),
+        )
+        assert check_simulation(result, FIFO_ORDERING).ok
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_causal_protocol_survives(self, seed):
+        result = run_simulation(
+            make_factory(CausalRstProtocol),
+            random_traffic(3, 40, seed=seed),
+            seed=seed,
+            latency=AlternatingLatency(),
+        )
+        assert check_simulation(result, CAUSAL_ORDERING).ok
+
+
+class TestTargetedSlowChannel:
+    def test_slow_channel_is_slow(self):
+        model = TargetedSlowChannel(slow_src=0, slow_dst=1, slow=80.0)
+        rng = random.Random(0)
+        slow_sample = model.sample(rng, 0, 1)
+        fast_sample = model.sample(rng, 1, 0)
+        assert slow_sample > 80.0
+        assert fast_sample < 10.0
+
+    def test_provokes_transitive_causal_violations(self):
+        """The stale-channel adversary: 0 -> 1 is slow, so messages
+        relayed 0 -> 2 -> 1 overtake direct ones."""
+        violated = False
+        for seed in range(10):
+            result = run_simulation(
+                make_factory(TaglessProtocol),
+                random_traffic(3, 40, seed=seed),
+                seed=seed,
+                latency=TargetedSlowChannel(slow_src=0, slow_dst=1),
+            )
+            if not check_simulation(result, CAUSAL_ORDERING).safe:
+                violated = True
+                break
+        assert violated
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_causal_protocol_survives(self, seed):
+        result = run_simulation(
+            make_factory(CausalRstProtocol),
+            random_traffic(3, 40, seed=seed),
+            seed=seed,
+            latency=TargetedSlowChannel(slow_src=0, slow_dst=1),
+        )
+        outcome = check_simulation(result, CAUSAL_ORDERING)
+        assert outcome.ok
+        # The protocol really had to inhibit: the slow channel forces
+        # deliveries to wait.
+        assert result.stats.delayed_deliveries > 0

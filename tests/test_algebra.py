@@ -1,0 +1,136 @@
+"""Tests for predicate/specification algebra."""
+
+import pytest
+
+from repro.predicates import parse_predicate
+from repro.predicates.algebra import (
+    conjoin,
+    spec_contains,
+    syntactically_implies,
+)
+from repro.predicates.catalog import (
+    CAUSAL_B1,
+    CAUSAL_B2,
+    CAUSAL_B3,
+    CAUSAL_ORDERING,
+    FIFO,
+    FIFO_ORDERING,
+    LOGICALLY_SYNCHRONOUS,
+)
+from repro.predicates.spec import Specification
+
+
+def single(predicate):
+    return Specification(name=predicate.name or "p", predicates=(predicate,))
+
+
+class TestSyntacticImplication:
+    def test_lemma3_derivation_b2_implies_b1(self):
+        """The paper's own derivation: combine x.s ▷ y.s with y.s ▷ y.r."""
+        assert syntactically_implies(CAUSAL_B2, CAUSAL_B1)
+
+    def test_b2_implies_b3_and_back(self):
+        # B2 ⇒ B3: y.s ▷ x.r via y.s ▷ y.r ▷ x.r.  The converse fails
+        # syntactically (y.r ▷ x.r is not in B3's closure) even though the
+        # two specification sets coincide -- the derivation is sound, not
+        # complete (Lemma 3's proof needs a case analysis, not a chain).
+        assert syntactically_implies(CAUSAL_B2, CAUSAL_B3)
+        assert not syntactically_implies(CAUSAL_B3, CAUSAL_B2)
+
+    def test_reflexive(self):
+        assert syntactically_implies(CAUSAL_B2, CAUSAL_B2)
+
+    def test_dropping_a_conjunct_weakens(self):
+        strong = parse_predicate("x.s < y.s & y.r < x.r")
+        weak = strong.without_conjunct(1)  # just x.s ▷ y.s
+        assert syntactically_implies(strong, weak)
+        assert not syntactically_implies(weak, strong)
+
+    def test_redundant_conjunct_is_mutual(self):
+        # x.s ▷ y.r is derivable from x.s ▷ y.s, so adding it changes
+        # nothing: implication holds both ways.
+        strong = parse_predicate("x.s < y.s & y.r < x.r & x.s < y.r")
+        weak = strong.without_conjunct(2)
+        assert syntactically_implies(strong, weak)
+        assert syntactically_implies(weak, strong)
+
+    def test_transitive_derivation(self):
+        chain = parse_predicate("x.s < y.s & y.s < z.s")
+        hop = parse_predicate("x.s < z.s")
+        assert syntactically_implies(chain, hop)
+
+    def test_implicit_send_deliver_edge_used(self):
+        strong = parse_predicate("x.s < y.s & y.r < z.s")
+        derived = parse_predicate("x.s < z.s")  # via y.s ▷ y.r
+        assert syntactically_implies(strong, derived)
+
+    def test_guards_must_be_carried(self):
+        assert not syntactically_implies(CAUSAL_B2, FIFO)
+        assert syntactically_implies(FIFO, CAUSAL_B2)
+
+    def test_foreign_variables_rejected(self):
+        small = parse_predicate("x.s < y.s")
+        big = parse_predicate("x.s < y.s & z.r < x.r")
+        assert not syntactically_implies(small, big)
+
+
+class TestSyntacticImpliesSemantic:
+    """Soundness: B ⇒ B' syntactically gives X_B ⊆ X_B' on the universe."""
+
+    @pytest.mark.parametrize(
+        "stronger,weaker",
+        [(CAUSAL_B2, CAUSAL_B1), (FIFO, CAUSAL_B2)],
+        ids=["b2-b1", "fifo-b2"],
+    )
+    def test_soundness(self, stronger, weaker):
+        assert syntactically_implies(stronger, weaker)
+        contained, witness = spec_contains(
+            larger=single(weaker), smaller=single(stronger)
+        )
+        assert contained, witness
+
+
+class TestSpecContains:
+    def test_sync_inside_causal(self):
+        contained, _ = spec_contains(
+            larger=CAUSAL_ORDERING, smaller=LOGICALLY_SYNCHRONOUS
+        )
+        assert contained
+
+    def test_causal_not_inside_sync(self):
+        contained, witness = spec_contains(
+            larger=LOGICALLY_SYNCHRONOUS, smaller=CAUSAL_ORDERING
+        )
+        assert not contained
+        assert witness is not None
+        assert CAUSAL_ORDERING.admits(witness)
+        assert not LOGICALLY_SYNCHRONOUS.admits(witness)
+
+    def test_causal_inside_fifo(self):
+        contained, _ = spec_contains(larger=FIFO_ORDERING, smaller=CAUSAL_ORDERING)
+        assert contained
+
+
+class TestConjoin:
+    def test_intersection_admits_iff_both_admit(self):
+        both = conjoin("fifo-and-causal", FIFO_ORDERING, CAUSAL_ORDERING)
+        from repro.runs.enumeration import enumerate_universe
+
+        for run in enumerate_universe(2, 2):
+            assert both.admits(run) == (
+                FIFO_ORDERING.admits(run) and CAUSAL_ORDERING.admits(run)
+            )
+
+    def test_families_pooled(self):
+        combo = conjoin("co-and-sync", CAUSAL_ORDERING, LOGICALLY_SYNCHRONOUS)
+        assert len(combo.families) == 1
+        assert len(combo.predicates) == 1
+
+    def test_classification_of_conjunction(self):
+        from repro.core.classifier import ProtocolClass, classify_specification
+
+        combo = conjoin("co-and-sync", CAUSAL_ORDERING, LOGICALLY_SYNCHRONOUS)
+        assert (
+            classify_specification(combo).protocol_class
+            is ProtocolClass.GENERAL
+        )

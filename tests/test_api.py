@@ -1,0 +1,87 @@
+"""Tests for the high-level API: classify -> synthesize -> simulate -> verify."""
+
+import pytest
+
+import repro
+from repro.core.api import protocol_for, simulate, verify
+from repro.predicates import parse_predicate
+from repro.predicates.catalog import (
+    ASYNC_A,
+    CAUSAL_B2,
+    CAUSAL_ORDERING,
+    LOGICALLY_SYNCHRONOUS,
+    SECOND_BEFORE_FIRST,
+)
+from repro.protocols import (
+    GeneratedTaggedProtocol,
+    SyncCoordinatorProtocol,
+    TaglessProtocol,
+)
+from repro.simulation import random_traffic
+
+
+class TestProtocolFor:
+    def test_tagless_spec(self):
+        factory = protocol_for(ASYNC_A)
+        assert isinstance(factory(0, 3), TaglessProtocol)
+
+    def test_tagged_spec(self):
+        factory = protocol_for(CAUSAL_B2)
+        protocol = factory(0, 3)
+        assert isinstance(protocol, GeneratedTaggedProtocol)
+        assert protocol.predicates == [CAUSAL_B2]
+
+    def test_general_spec(self):
+        factory = protocol_for(LOGICALLY_SYNCHRONOUS)
+        assert isinstance(factory(0, 3), SyncCoordinatorProtocol)
+
+    def test_unimplementable_spec_rejected(self):
+        with pytest.raises(ValueError, match="not implementable"):
+            protocol_for(SECOND_BEFORE_FIRST)
+
+    def test_each_call_builds_fresh_instance(self):
+        factory = protocol_for(CAUSAL_B2)
+        assert factory(0, 2) is not factory(1, 2)
+
+
+class TestSimulateAndVerify:
+    def test_end_to_end_causal(self):
+        workload = random_traffic(3, 20, seed=1)
+        result = simulate(CAUSAL_ORDERING, workload, seed=1)
+        outcome = verify(result, CAUSAL_ORDERING)
+        assert outcome.ok
+
+    def test_end_to_end_sync(self):
+        workload = random_traffic(3, 15, seed=2)
+        result = simulate(LOGICALLY_SYNCHRONOUS, workload, seed=2)
+        assert verify(result, LOGICALLY_SYNCHRONOUS).ok
+        assert result.stats.control_messages > 0
+
+    def test_explicit_factory_override(self):
+        from repro.protocols.base import make_factory
+
+        workload = random_traffic(3, 15, seed=3)
+        result = simulate(
+            CAUSAL_ORDERING,
+            workload,
+            seed=3,
+            protocol_factory=make_factory(TaglessProtocol),
+        )
+        assert result.protocol_name == "tagless"
+
+    def test_verify_accepts_user_runs(self, co_violating_run):
+        outcome = verify(co_violating_run, CAUSAL_ORDERING)
+        assert not outcome.safe
+
+
+class TestPackageSurface:
+    def test_quickstart_snippet(self):
+        co = repro.parse_predicate("x.s < y.s & y.r < x.r", name="causal")
+        assert repro.classify(co).protocol_class.value == "tagged"
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name

@@ -1,0 +1,85 @@
+"""Tests for β vertices and cycle order (Definition 4.3, Example 3)."""
+
+import itertools
+
+import pytest
+
+from repro.graphs.beta import beta_vertices, cycle_order, is_beta_at
+from repro.graphs.cycles import resolved_cycles
+from repro.graphs.predicate_graph import PredicateGraph
+from repro.predicates import parse_predicate
+from repro.predicates.catalog import (
+    ASYNC_FORMS,
+    CAUSAL_B1,
+    CAUSAL_B2,
+    CAUSAL_B3,
+    EXAMPLE_1,
+    crown,
+)
+
+
+def only_cycle(predicate):
+    cycles = resolved_cycles(PredicateGraph(predicate))
+    assert len(cycles) == 1
+    return cycles[0]
+
+
+def example_2_cycle():
+    """The four-vertex cycle Example 2 selects from Example 1's graph."""
+    cycles = resolved_cycles(PredicateGraph(EXAMPLE_1))
+    (cycle,) = [c for c in cycles if c.length == 4]
+    return cycle
+
+
+class TestExample3:
+    """§4.2.1: in Example 2's cycle only x4 is a β vertex."""
+
+    def test_example_cycle_has_order_1_with_beta_x4(self):
+        cycle = example_2_cycle()
+        assert beta_vertices(cycle) == ["x4"]
+        assert cycle_order(cycle) == 1
+
+    def test_non_beta_vertices(self):
+        cycle = example_2_cycle()
+        labels = {cycle.vertices[i]: is_beta_at(cycle, i) for i in range(4)}
+        assert labels == {"x1": False, "x2": False, "x3": False, "x4": True}
+
+    def test_the_second_cycle_through_x1_x4_also_has_order_1(self):
+        cycles = resolved_cycles(PredicateGraph(EXAMPLE_1))
+        (short,) = [c for c in cycles if c.length == 2]
+        assert beta_vertices(short) == ["x4"]
+
+
+class TestCausalForms:
+    @pytest.mark.parametrize("predicate", [CAUSAL_B1, CAUSAL_B2, CAUSAL_B3])
+    def test_order_1(self, predicate):
+        assert cycle_order(only_cycle(predicate)) == 1
+
+    def test_beta_vertex_is_x_in_b2(self):
+        assert beta_vertices(only_cycle(CAUSAL_B2)) == ["x"]
+
+
+class TestAsyncForms:
+    @pytest.mark.parametrize("predicate", ASYNC_FORMS, ids=lambda p: p.name)
+    def test_order_0(self, predicate):
+        assert cycle_order(only_cycle(predicate)) == 0
+
+
+class TestCrowns:
+    @pytest.mark.parametrize("k", [2, 3, 5, 8])
+    def test_all_vertices_beta(self, k):
+        cycle = only_cycle(crown(k))
+        assert cycle_order(cycle) == k
+        assert beta_vertices(cycle) == list(cycle.vertices)
+
+
+class TestExhaustiveTwoCycles:
+    """Every (p,q),(p',q') two-cycle: β count matches the definition."""
+
+    def test_all_sixteen_label_combinations(self):
+        term = {"s": ".s", "r": ".r"}
+        for p, q, p2, q2 in itertools.product("sr", repeat=4):
+            text = "x%s < y%s & y%s < x%s" % (term[p], term[q], term[p2], term[q2])
+            cycle = only_cycle(parse_predicate(text))
+            expected = int(q == "r" and p2 == "s") + int(q2 == "r" and p == "s")
+            assert cycle_order(cycle) == expected, text

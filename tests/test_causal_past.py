@@ -1,0 +1,85 @@
+"""Tests for CausalPast_i (Figure 1 of the paper)."""
+
+import pytest
+
+from repro.events import Event, Message
+from repro.runs.system_run import SystemRun, causal_past
+
+
+def relay_run():
+    """0 sends m1 to 1; after delivering, 1 sends m2 to 2; 2 also has an
+    unrelated message m3 to 0 still in flight."""
+    m1 = Message(id="m1", sender=0, receiver=1)
+    m2 = Message(id="m2", sender=1, receiver=2)
+    m3 = Message(id="m3", sender=2, receiver=0)
+    run = SystemRun(3, [m1, m2, m3])
+    run.append(0, Event.invoke("m1"))
+    run.append(0, Event.send("m1"))
+    run.append(1, Event.receive("m1"))
+    run.append(1, Event.deliver("m1"))
+    run.append(1, Event.invoke("m2"))
+    run.append(1, Event.send("m2"))
+    run.append(2, Event.invoke("m3"))
+    run.append(2, Event.send("m3"))
+    run.append(2, Event.receive("m2"))
+    run.append(2, Event.deliver("m2"))
+    return run
+
+
+class TestCausalPast:
+    def test_own_sequence_is_kept_entirely(self):
+        run = relay_run()
+        past = causal_past(run, 1)
+        assert past.sequence(1) == run.sequence(1)
+
+    def test_other_processes_keep_only_causally_prior_events(self):
+        run = relay_run()
+        past = causal_past(run, 1)
+        # Process 0's send of m1 precedes events of process 1.
+        assert past.sequence(0) == [Event.invoke("m1"), Event.send("m1")]
+        # Nothing process 2 did precedes process 1's events.
+        assert past.sequence(2) == []
+
+    def test_causal_past_of_downstream_process(self):
+        run = relay_run()
+        past = causal_past(run, 2)
+        assert past.sequence(2) == run.sequence(2)
+        # m2's send chain pulls in process 1's events, and transitively
+        # process 0's m1 events.
+        assert Event.send("m2") in past.sequence(1)
+        assert Event.send("m1") in past.sequence(0)
+
+    def test_causal_past_is_a_prefix(self):
+        run = relay_run()
+        for process in range(3):
+            past = causal_past(run, process)
+            assert past.is_prefix_of(run)
+
+    def test_causal_past_is_down_closed(self):
+        run = relay_run()
+        order = run.happened_before()
+        for process in range(3):
+            past_events = set(causal_past(run, process).events())
+            for event in past_events:
+                assert order.down_set(event) <= past_events
+
+    def test_causal_past_is_idempotent(self):
+        run = relay_run()
+        once = causal_past(run, 2)
+        twice = causal_past(once, 2)
+        assert twice.sequences() == once.sequences()
+
+    def test_definition_matches_paper(self):
+        """g ∈ G_j (j ≠ i) iff some h ∈ H_i has g → h."""
+        run = relay_run()
+        order = run.happened_before()
+        for i in range(3):
+            past = causal_past(run, i)
+            anchors = run.sequence(i)
+            for j in range(3):
+                if j == i:
+                    continue
+                kept = set(past.sequence(j))
+                for g in run.sequence(j):
+                    expected = any(order.less(g, h) for h in anchors)
+                    assert (g in kept) == expected

@@ -1,0 +1,88 @@
+"""Tests for the chat application: reply-before-question anomalies.
+
+The sharp edge this application exposes: *unicast* causal ordering (the
+RST protocol) is NOT enough for group conversation semantics -- the
+copies of one post to different members are mutually concurrent, so a
+reply can still overtake the question's copy.  True causal broadcast
+(BSS, which timestamps the broadcast rather than each copy) eliminates
+every anomaly.
+"""
+
+import pytest
+
+from repro.apps import ChatApp, run_chat_experiment
+from repro.apps.base import AppContext
+from repro.broadcast import CausalBroadcastProtocol
+from repro.protocols import CausalRstProtocol, TaglessProtocol
+from repro.protocols.base import make_factory
+from repro.simulation import UniformLatency
+
+ADVERSARIAL = UniformLatency(low=1.0, high=50.0)
+
+
+def anomaly_count(factory, seeds=range(8)):
+    total = 0
+    for seed in seeds:
+        report = run_chat_experiment(factory, seed=seed, latency=ADVERSARIAL)
+        assert report.delivered_all
+        total += len(report.anomalies)
+    return total
+
+
+class TestAnomalyHierarchy:
+    def test_causal_broadcast_has_no_anomalies(self):
+        assert anomaly_count(make_factory(CausalBroadcastProtocol)) == 0
+
+    def test_tagless_has_anomalies(self):
+        assert anomaly_count(make_factory(TaglessProtocol)) > 0
+
+    def test_unicast_causal_ordering_is_not_enough(self):
+        """Copies of one post are concurrent messages: RST cannot order a
+        reply after every copy of its question."""
+        rst = anomaly_count(make_factory(CausalRstProtocol))
+        tagless = anomaly_count(make_factory(TaglessProtocol))
+        assert 0 < rst < tagless
+
+
+class TestReport:
+    def test_report_fields(self):
+        report = run_chat_experiment(
+            make_factory(CausalBroadcastProtocol), seed=1, latency=ADVERSARIAL
+        )
+        assert report.members == 4
+        assert report.posts >= 4  # at least the opening posts
+        assert report.causally_consistent
+        assert "anomalies" in report.summary()
+
+    def test_anomaly_entries_name_member_and_posts(self):
+        for seed in range(8):
+            report = run_chat_experiment(
+                make_factory(TaglessProtocol), seed=seed, latency=ADVERSARIAL
+            )
+            if report.anomalies:
+                member, reply, question = report.anomalies[0]
+                assert 0 <= member < report.members
+                assert reply.startswith("post-")
+                assert question.startswith("post-")
+                return
+        pytest.fail("no anomaly found in the sweep")
+
+
+class TestChatAppUnit:
+    def test_anomaly_detection_logic(self):
+        app = ChatApp(seed=0)
+        app.own_posts.add("post-0-1")
+        # Reply to an unseen foreign question: anomaly.
+        app.timeline = [("post-2-1", "post-1-1"), ("post-1-1", None)]
+        assert app.anomalies() == [("post-2-1", "post-1-1")]
+
+    def test_reply_to_own_post_is_not_an_anomaly(self):
+        app = ChatApp(seed=0)
+        app.own_posts.add("post-0-1")
+        app.timeline = [("post-2-1", "post-0-1")]
+        assert app.anomalies() == []
+
+    def test_question_seen_first_is_fine(self):
+        app = ChatApp(seed=0)
+        app.timeline = [("post-1-1", None), ("post-2-1", "post-1-1")]
+        assert app.anomalies() == []

@@ -1,0 +1,222 @@
+"""Tests for the classifier (Theorems 2-4) -- the paper's main algorithm."""
+
+import pytest
+
+from repro.core.classifier import (
+    ProtocolClass,
+    classify,
+    classify_specification,
+)
+from repro.predicates import parse_predicate
+from repro.predicates.ast import Conjunct, ForbiddenPredicate, deliver_of, send_of
+from repro.predicates.catalog import (
+    CATALOG,
+    CAUSAL_B2,
+    EXAMPLE_1,
+    LOGICALLY_SYNCHRONOUS,
+    SECOND_BEFORE_FIRST,
+    catalog_by_name,
+    crown,
+)
+from repro.predicates.guards import ColorGuard, ProcessGuard
+
+
+class TestCatalogClassification:
+    """E1: the §4.3 classification table over the full catalogue."""
+
+    @pytest.mark.parametrize("entry", CATALOG, ids=lambda e: e.name)
+    def test_expected_class(self, entry):
+        verdict = classify_specification(entry.specification)
+        assert verdict.protocol_class.value == entry.expected_class
+
+
+class TestTheorem2Implementability:
+    def test_no_cycle_means_not_implementable(self):
+        verdict = classify(SECOND_BEFORE_FIRST)
+        assert not verdict.implementable
+        assert verdict.cycles == ()
+
+    def test_cycle_means_implementable(self):
+        assert classify(CAUSAL_B2).implementable
+
+    def test_chain_predicate_not_implementable(self):
+        chain = parse_predicate("x.s < y.s & y.s < z.s")
+        assert not classify(chain).implementable
+
+
+class TestOrderToClass:
+    def test_order_0_tagless(self):
+        verdict = classify(parse_predicate("x.s < y.s & y.s < x.s"))
+        assert verdict.protocol_class is ProtocolClass.TAGLESS
+        assert not verdict.satisfiable
+
+    def test_order_1_tagged(self):
+        verdict = classify(CAUSAL_B2)
+        assert verdict.protocol_class is ProtocolClass.TAGGED
+        assert verdict.min_order == 1
+        assert not verdict.needs_control_messages
+
+    def test_order_2_general(self):
+        verdict = classify(crown(2))
+        assert verdict.protocol_class is ProtocolClass.GENERAL
+        assert verdict.min_order == 2
+        assert verdict.needs_control_messages
+
+    def test_example_1_is_tagged(self):
+        verdict = classify(EXAMPLE_1)
+        assert verdict.protocol_class is ProtocolClass.TAGGED
+        assert verdict.witness is not None
+        assert verdict.witness.betas == ("x4",)
+
+    def test_min_order_chosen_among_multiple_cycles(self):
+        # One order-2 crown and one order-1 causal cycle: tagged wins.
+        text = "x.s < y.r & y.s < x.r & x.s < y.s & y.r < x.r"
+        verdict = classify(parse_predicate(text, distinct=True))
+        assert verdict.protocol_class is ProtocolClass.TAGGED
+        assert verdict.min_order == 1
+
+    def test_reduction_attached_to_witness(self):
+        verdict = classify(EXAMPLE_1)
+        assert verdict.reduction is not None
+        assert verdict.reduction.order == 1
+        assert verdict.reduction.reduced.length == 2
+
+
+class TestDegenerateSelfLoops:
+    def test_forbidding_delivery_not_implementable(self):
+        verdict = classify(parse_predicate("x.s < x.r"))
+        assert verdict.protocol_class is ProtocolClass.NOT_IMPLEMENTABLE
+        assert verdict.degenerate
+
+    def test_tautology_dropped_leaving_acyclic_core(self):
+        # x.s > x.r is always true; the core x.s > y.s has no cycle.
+        verdict = classify(parse_predicate("x.s < x.r & x.s < y.s"))
+        assert verdict.protocol_class is ProtocolClass.NOT_IMPLEMENTABLE
+        assert any("tautological" in note for note in verdict.notes)
+
+    def test_degenerate_edge_inside_unsatisfiable_conjunction_is_tagless(self):
+        # The event cycle through y makes the whole pattern impossible.
+        verdict = classify(parse_predicate("x.s < x.r & y.s < y.s"))
+        assert verdict.protocol_class is ProtocolClass.TAGLESS
+
+    @pytest.mark.parametrize("text", ["x.r < x.s", "x.s < x.s", "x.r < x.r"])
+    def test_impossible_self_atoms_are_tagless(self, text):
+        verdict = classify(parse_predicate(text))
+        assert verdict.protocol_class is ProtocolClass.TAGLESS
+
+    def test_tautology_dropped_leaving_causal_core(self):
+        # x.s > x.r is redundant next to the causal-ordering cycle.
+        text = "x.s < x.r & x.s < y.s & y.r < x.r"
+        verdict = classify(parse_predicate(text))
+        assert verdict.protocol_class is ProtocolClass.TAGGED
+
+
+class TestRepeatedBindings:
+    """Non-distinct predicates are intersections over variable quotients."""
+
+    def test_non_distinct_crown_is_degenerate(self):
+        # With x1 = x2 the 2-crown collapses to the tautology x.s > x.r,
+        # i.e. it forbids every delivered message.
+        loose = parse_predicate("x.s < y.r & y.s < x.r")
+        verdict = classify(loose)
+        assert verdict.protocol_class is ProtocolClass.NOT_IMPLEMENTABLE
+        assert any("identifying variables" in note for note in verdict.notes)
+
+    def test_distinct_crown_is_general(self):
+        strict = parse_predicate("x.s < y.r & y.s < x.r", distinct=True)
+        assert classify(strict).protocol_class is ProtocolClass.GENERAL
+
+    def test_self_falsifying_predicates_unaffected(self):
+        # Causal ordering: x = y makes both conjuncts false, so the
+        # quotient is harmless and distinctness does not matter.
+        loose = classify(parse_predicate("x.s < y.s & y.r < x.r"))
+        strict = classify(
+            parse_predicate("x.s < y.s & y.r < x.r", distinct=True)
+        )
+        assert loose.protocol_class is strict.protocol_class is ProtocolClass.TAGGED
+
+    def test_catalog_crowns_are_distinct(self):
+        assert crown(2).distinct and crown(5).distinct
+
+
+class TestGuardHandling:
+    def test_unsatisfiable_guards_mean_tagless(self):
+        predicate = ForbiddenPredicate.build(
+            [Conjunct(send_of("x"), send_of("y"))],
+            guards=[ColorGuard("x", "red"), ColorGuard("x", "blue")],
+        )
+        verdict = classify(predicate)
+        assert verdict.protocol_class is ProtocolClass.TAGLESS
+        assert not verdict.guards_ok
+
+    def test_guards_do_not_change_graph_class(self):
+        bare = parse_predicate("x.s < y.s & y.r < x.r")
+        guarded = parse_predicate(
+            "sender(x) = sender(y) :: x.s < y.s & y.r < x.r"
+        )
+        assert (
+            classify(bare).protocol_class
+            is classify(guarded).protocol_class
+            is ProtocolClass.TAGGED
+        )
+
+
+class TestSpecificationClassification:
+    def test_strongest_member_wins(self):
+        verdict = classify_specification(LOGICALLY_SYNCHRONOUS)
+        assert verdict.protocol_class is ProtocolClass.GENERAL
+        assert all(m.min_order >= 2 for m in verdict.members)
+
+    def test_member_count_respects_family_bound(self):
+        verdict = classify_specification(LOGICALLY_SYNCHRONOUS, max_family_arity=4)
+        assert len(verdict.members) == 3  # crowns 2, 3, 4
+
+    def test_empty_specification_window_rejected(self):
+        with pytest.raises(ValueError):
+            classify_specification(LOGICALLY_SYNCHRONOUS, max_family_arity=1)
+
+
+class TestProtocolClassProperties:
+    def test_strength_ordering(self):
+        assert (
+            ProtocolClass.TAGLESS.strength
+            < ProtocolClass.TAGGED.strength
+            < ProtocolClass.GENERAL.strength
+            < ProtocolClass.NOT_IMPLEMENTABLE.strength
+        )
+
+    def test_capability_flags(self):
+        assert not ProtocolClass.TAGLESS.uses_tags
+        assert ProtocolClass.TAGGED.uses_tags
+        assert not ProtocolClass.TAGGED.uses_control_messages
+        assert ProtocolClass.GENERAL.uses_control_messages
+
+    def test_summary_text(self):
+        summary = classify(CAUSAL_B2).summary()
+        assert "tagged" in summary
+        assert "min order 1" in summary
+
+
+class TestMonotonicity:
+    """Removing a conjunct weakens B (grows X_B) so the required protocol
+    class can only stay or drop in strength -- unless implementability
+    itself is destroyed (the removed conjunct broke every cycle)."""
+
+    @pytest.mark.parametrize(
+        "name", ["causal-B2", "fifo", "example-1"] if True else []
+    )
+    def test_dropping_a_conjunct_never_strengthens(self, name):
+        by_name = {
+            "causal-B2": CAUSAL_B2,
+            "fifo": catalog_by_name()["fifo"].specification.predicates[0],
+            "example-1": EXAMPLE_1,
+        }
+        predicate = by_name[name]
+        base = classify(predicate).protocol_class
+        for index in range(len(predicate.conjuncts)):
+            weaker = predicate.without_conjunct(index)
+            got = classify(weaker).protocol_class
+            assert (
+                got is ProtocolClass.NOT_IMPLEMENTABLE
+                or got.strength <= base.strength
+            )

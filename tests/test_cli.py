@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestClassifyCommand:
+    def test_dsl_predicate(self, capsys):
+        assert main(["classify", "x.s < y.s & y.r < x.r"]) == 0
+        out = capsys.readouterr().out
+        assert "tagged" in out
+        assert "min order 1" in out
+
+    def test_catalog_name(self, capsys):
+        assert main(["classify", "mobile-handoff"]) == 0
+        assert "general" in capsys.readouterr().out
+
+    def test_distinct_flag_changes_crowns(self, capsys):
+        main(["classify", "x.s < y.r & y.s < x.r"])
+        loose = capsys.readouterr().out
+        main(["classify", "x.s < y.r & y.s < x.r", "--distinct"])
+        strict = capsys.readouterr().out
+        assert "not_implementable" in loose
+        assert "general" in strict
+
+    def test_family_specification(self, capsys):
+        assert main(["classify", "logically-synchronous"]) == 0
+        out = capsys.readouterr().out
+        assert "general" in out and "crown-2" in out
+
+    def test_contraction_steps_shown(self, capsys):
+        main(["classify", "example-1"])
+        # example-1 resolves via the catalogue (single predicate) and its
+        # min-order witness is the 2-cycle, already canonical.
+        out = capsys.readouterr().out
+        assert "tagged" in out
+
+    def test_bad_predicate_raises(self):
+        with pytest.raises(Exception):
+            main(["classify", "x.q < y.s"])
+
+
+class TestCatalogCommand:
+    def test_lists_every_entry(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "causal-B2" in out
+        assert "second-before-first" in out
+        assert "not_implementable" in out
+
+
+class TestSimulateCommand:
+    def test_causal_round_trip(self, capsys):
+        code = main(
+            ["simulate", "x.s < y.s & y.r < x.r", "--messages", "15", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK" in out
+        assert "all delivered:     True" in out
+
+    def test_catalog_spec_with_colors(self, capsys):
+        code = main(
+            ["simulate", "global-forward-flush", "--messages", "15", "--seed", "2"]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_diagram_flag(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "x.s < y.s & y.r < x.r",
+                "--messages",
+                "4",
+                "--processes",
+                "2",
+                "--diagram",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "P0 |" in out and "P1 |" in out
+
+    def test_unimplementable_spec_fails_cleanly(self):
+        with pytest.raises(ValueError, match="not implementable"):
+            main(["simulate", "second-before-first"])
+
+
+class TestCompareCommand:
+    def test_cost_table_shape(self, capsys):
+        assert main(["compare", "--messages", "12", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "protocol" in out and "ctrl/run" in out
+        assert "tagless" in out and "sync-coord" in out
+        # Every protocol passes its own spec in the table.
+        assert "NO" not in out
+
+
+class TestSelftestCommand:
+    def test_all_checks_pass(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "FAIL" not in out
+        assert "E1 classification table" in out
+        assert "checks passed" in out
+
+
+class TestBroadcastClassifyFlag:
+    def test_grouped_analysis(self, capsys):
+        text = (
+            "group(x1) = group(x2), group(y1) = group(y2), "
+            "group(x1) != group(y1), receiver(x1) = receiver(y1), "
+            "receiver(x2) = receiver(y2), receiver(x1) != receiver(x2) :: "
+            "x1.r < y1.r & y2.r < x2.r"
+        )
+        assert main(["classify", text, "--broadcast"]) == 0
+        out = capsys.readouterr().out
+        assert "general (grouped analysis)" in out
+        assert "cross-site" in out

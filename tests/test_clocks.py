@@ -1,0 +1,126 @@
+"""Tests for logical clocks and their characterization theorems."""
+
+import pytest
+
+from repro.clocks import VectorClock, assign_lamport_clocks, assign_vector_clocks
+from repro.events import Event, Message
+from repro.runs.enumeration import enumerate_universe
+from repro.runs.user_run import UserRun
+
+
+class TestVectorClockAlgebra:
+    def test_zero(self):
+        assert VectorClock.zero(3).as_tuple() == (0, 0, 0)
+
+    def test_tick_is_pure(self):
+        base = VectorClock((1, 2))
+        ticked = base.tick(0)
+        assert base.as_tuple() == (1, 2)
+        assert ticked.as_tuple() == (2, 2)
+
+    def test_merge(self):
+        assert VectorClock((1, 5)).merge(VectorClock((3, 2))).as_tuple() == (3, 5)
+
+    def test_partial_order(self):
+        small = VectorClock((1, 1))
+        large = VectorClock((2, 1))
+        assert small < large
+        assert small <= large
+        assert not large < small
+
+    def test_concurrency(self):
+        a = VectorClock((2, 0))
+        b = VectorClock((0, 2))
+        assert a.concurrent(b)
+        assert not a < b and not b < a
+
+    def test_equality_and_hash(self):
+        assert VectorClock((1, 2)) == VectorClock((1, 2))
+        assert len({VectorClock((1, 2)), VectorClock((1, 2))}) == 1
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            VectorClock((1,)).merge(VectorClock((1, 2)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VectorClock((-1,))
+
+    def test_indexing(self):
+        assert VectorClock((4, 7))[1] == 7
+
+
+class TestVectorClockCharacterization:
+    """The theorem: e ▷ f ⇔ V(e) < V(f), over exhaustive universes."""
+
+    @pytest.mark.parametrize("n,m", [(2, 2), (3, 2), (2, 3)])
+    def test_exact_characterization(self, n, m):
+        for run in enumerate_universe(n, m):
+            clocks = assign_vector_clocks(run)
+            events = run.events()
+            for e in events:
+                for f in events:
+                    if e == f:
+                        continue
+                    assert run.before(e, f) == (clocks[e] < clocks[f]), (
+                        run.canonical_form(),
+                        e,
+                        f,
+                    )
+
+    def test_concurrency_detected(self, crossing_run):
+        clocks = assign_vector_clocks(crossing_run)
+        assert clocks[Event.send("m1")].concurrent(clocks[Event.send("m2")])
+
+    def test_deliver_dominates_send(self, co_ordered_run):
+        clocks = assign_vector_clocks(co_ordered_run)
+        for mid in co_ordered_run.message_ids():
+            assert clocks[Event.send(mid)] < clocks[Event.deliver(mid)]
+
+
+class TestLamportClocks:
+    @pytest.mark.parametrize("n,m", [(2, 2), (3, 2)])
+    def test_respects_causality(self, n, m):
+        for run in enumerate_universe(n, m):
+            clocks = assign_lamport_clocks(run)
+            for e in run.events():
+                for f in run.events():
+                    if run.before(e, f):
+                        assert clocks[e] < clocks[f]
+
+    def test_cannot_detect_concurrency(self):
+        """Some pair of concurrent events shares (or orders) Lamport
+        times -- the converse of the causality property fails."""
+        converse_fails = False
+        for run in enumerate_universe(2, 3):
+            clocks = assign_lamport_clocks(run)
+            for e in run.events():
+                for f in run.events():
+                    if e != f and clocks[e] < clocks[f] and not run.before(e, f):
+                        converse_fails = True
+        assert converse_fails
+
+    def test_chain_counts_depth(self, sync_run):
+        clocks = assign_lamport_clocks(sync_run)
+        assert clocks[Event.send("m1")] == 1
+        assert clocks[Event.deliver("m1")] == 2
+        assert clocks[Event.send("m2")] == 3
+        assert clocks[Event.deliver("m2")] == 4
+
+
+class TestOnRecordedRuns:
+    def test_characterization_on_simulated_run(self):
+        from repro.protocols import CausalRstProtocol
+        from repro.protocols.base import make_factory
+        from repro.simulation import random_traffic, run_simulation
+
+        result = run_simulation(
+            make_factory(CausalRstProtocol), random_traffic(3, 15, seed=4), seed=4
+        )
+        run = result.user_run
+        clocks = assign_vector_clocks(run)
+        events = run.events()
+        for e in events:
+            for f in events:
+                if e != f:
+                    assert run.before(e, f) == (clocks[e] < clocks[f])

@@ -1,0 +1,111 @@
+"""Tests for the conformance harness (and, through it, every protocol)."""
+
+import pytest
+
+from repro.predicates.catalog import (
+    ASYNC_ORDERING,
+    CAUSAL_ORDERING,
+    FIFO_ORDERING,
+    LOGICALLY_SYNCHRONOUS,
+)
+from repro.protocols import (
+    CausalRstProtocol,
+    CausalSesProtocol,
+    FifoProtocol,
+    SyncCoordinatorProtocol,
+    SyncRendezvousProtocol,
+    TaglessProtocol,
+)
+from repro.protocols.base import make_factory
+from repro.verification import assert_implements, check_conformance
+
+
+class TestConformancePasses:
+    def test_tagless_implements_async(self):
+        report = assert_implements(
+            make_factory(TaglessProtocol), ASYNC_ORDERING, seeds=range(2)
+        )
+        assert not report.uses_control_messages
+        assert report.mean_tag_bytes <= 1.0
+
+    def test_fifo_implements_fifo(self):
+        report = assert_implements(
+            make_factory(FifoProtocol), FIFO_ORDERING, seeds=range(2)
+        )
+        assert not report.uses_control_messages
+
+    @pytest.mark.parametrize(
+        "factory",
+        [make_factory(CausalRstProtocol), make_factory(CausalSesProtocol)],
+        ids=["rst", "ses"],
+    )
+    def test_causal_protocols_implement_causal(self, factory):
+        report = assert_implements(factory, CAUSAL_ORDERING, seeds=range(2))
+        assert not report.uses_control_messages
+        assert report.mean_tag_bytes > 8
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            make_factory(SyncCoordinatorProtocol),
+            make_factory(SyncRendezvousProtocol),
+        ],
+        ids=["coordinator", "rendezvous"],
+    )
+    def test_sync_protocols_implement_sync(self, factory):
+        report = assert_implements(factory, LOGICALLY_SYNCHRONOUS, seeds=range(2))
+        assert report.uses_control_messages
+
+
+class TestConformanceFails:
+    def test_tagless_fails_causal(self):
+        report = check_conformance(
+            make_factory(TaglessProtocol), CAUSAL_ORDERING, seeds=range(2)
+        )
+        assert not report.conforms
+        assert report.safe_runs < report.runs
+        assert report.live_runs == report.runs  # liveness is never the issue
+        assert report.failures
+
+    def test_fifo_fails_sync(self):
+        report = check_conformance(
+            make_factory(FifoProtocol), LOGICALLY_SYNCHRONOUS, seeds=range(2)
+        )
+        assert not report.conforms
+
+    def test_assert_raises_with_summary(self):
+        with pytest.raises(AssertionError, match="FAILS"):
+            assert_implements(
+                make_factory(TaglessProtocol), CAUSAL_ORDERING, seeds=range(2)
+            )
+
+
+class TestReportShape:
+    def test_summary_text(self):
+        report = check_conformance(
+            make_factory(FifoProtocol), FIFO_ORDERING, seeds=range(1)
+        )
+        text = report.summary()
+        assert "CONFORMS" in text
+        assert "control messages" in text
+
+    def test_failure_cap(self):
+        report = check_conformance(
+            make_factory(TaglessProtocol),
+            CAUSAL_ORDERING,
+            seeds=range(4),
+            max_failures=2,
+        )
+        assert len(report.failures) <= 2
+
+    def test_custom_workload_grid(self):
+        from repro.simulation import random_traffic
+
+        report = check_conformance(
+            make_factory(FifoProtocol),
+            FIFO_ORDERING,
+            seeds=[0],
+            workloads=lambda seed: [random_traffic(2, 10, seed=seed)],
+        )
+        assert report.runs == 2  # one workload x two default latencies
+        assert report.conforms

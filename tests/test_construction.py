@@ -1,0 +1,108 @@
+"""Tests for the proof constructions (Theorem 2/4 runs, Figure 5)."""
+
+import pytest
+
+from repro.events import Event, Message
+from repro.predicates import parse_predicate
+from repro.predicates.catalog import CAUSAL_B2, FIFO, MOBILE_HANDOFF, SECOND_BEFORE_FIRST
+from repro.predicates.evaluation import find_assignment
+from repro.runs.construction import (
+    is_realizable,
+    run_from_event_relations,
+    run_from_predicate_instance,
+    system_run_from_user_run,
+)
+from repro.runs.limit_sets import is_causally_ordered, is_logically_synchronous
+from repro.runs.system_run import in_x_u
+from repro.runs.user_run import UserRun
+
+
+class TestRunFromEventRelations:
+    def test_closure_includes_message_edges(self):
+        m1 = Message(id="m1", sender=0, receiver=1)
+        m2 = Message(id="m2", sender=0, receiver=1)
+        run = run_from_event_relations(
+            [m1, m2], [(Event.deliver("m1"), Event.send("m2"))]
+        )
+        assert run.before(Event.send("m1"), Event.deliver("m2"))
+
+    def test_cyclic_relations_rejected(self):
+        m1 = Message(id="m1", sender=0, receiver=1)
+        with pytest.raises(Exception):
+            run_from_event_relations(
+                [m1], [(Event.deliver("m1"), Event.send("m1"))]
+            )
+
+
+class TestRunFromPredicateInstance:
+    def test_constructed_run_satisfies_the_predicate(self):
+        run = run_from_predicate_instance(SECOND_BEFORE_FIRST)
+        assignment = find_assignment(run, SECOND_BEFORE_FIRST)
+        assert assignment is not None
+
+    def test_acyclic_graph_gives_sync_run(self):
+        """Theorem 2, only-if: no predicate-graph cycle means the witness
+        run is logically synchronous (so no protocol can exclude it)."""
+        run = run_from_predicate_instance(SECOND_BEFORE_FIRST)
+        assert is_logically_synchronous(run)
+
+    def test_no_low_order_cycle_gives_co_run(self):
+        """Theorem 4.2: for the 2-crown (order 2) the witness run is
+        causally ordered but not logically synchronous."""
+        crown2 = parse_predicate("x.s < y.r & y.s < x.r", distinct=True)
+        run = run_from_predicate_instance(crown2)
+        assert is_causally_ordered(run)
+        assert not is_logically_synchronous(run)
+        assert find_assignment(run, crown2) is not None
+
+    def test_causal_predicate_witness_violates_co(self):
+        run = run_from_predicate_instance(CAUSAL_B2)
+        assert not is_causally_ordered(run)
+
+    def test_process_guards_are_honored(self):
+        run = run_from_predicate_instance(FIFO)
+        x, y = run.message("x"), run.message("y")
+        assert x.sender == y.sender
+        assert x.receiver == y.receiver
+        assert x.sender != x.receiver  # distinct equivalence classes
+
+    def test_color_guards_are_honored(self):
+        run = run_from_predicate_instance(MOBILE_HANDOFF)
+        assert run.message("x").color == "handoff"
+        assert run.message("y").color is None
+
+    def test_unsatisfiable_conjunction_raises(self):
+        async_pred = parse_predicate("x.s < y.s & y.s < x.s")
+        with pytest.raises(Exception):
+            run_from_predicate_instance(async_pred)
+
+
+class TestRealizability:
+    def test_process_sequence_runs_are_realizable(self, co_violating_run):
+        assert is_realizable(co_violating_run)
+
+    def test_abstract_witness_runs_may_not_be_realizable(self):
+        """The B2 witness orders x.s before y.s across processes without a
+        connecting message chain: fine as a poset, not as an execution."""
+        run = run_from_predicate_instance(CAUSAL_B2)
+        assert not is_realizable(run)
+
+
+class TestFigure5Construction:
+    def test_round_trip_through_users_view(self, co_violating_run):
+        system = system_run_from_user_run(co_violating_run)
+        assert system.users_view() == co_violating_run
+
+    def test_stars_immediately_precede_executions(self, co_ordered_run):
+        system = system_run_from_user_run(co_ordered_run)
+        assert in_x_u(system)
+
+    def test_crossing_run_round_trip(self, crossing_run):
+        system = system_run_from_user_run(crossing_run)
+        assert system.users_view() == crossing_run
+        assert in_x_u(system)
+
+    def test_unrealizable_run_rejected(self):
+        run = run_from_predicate_instance(CAUSAL_B2)
+        with pytest.raises(ValueError):
+            system_run_from_user_run(run)

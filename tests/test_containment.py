@@ -1,0 +1,163 @@
+"""Symbolic classification vs exhaustive-universe containment (Theorem 1).
+
+These tests realize the paper's central claim computationally: the class
+the predicate-graph algorithm assigns equals the class read off the limit
+set containments on a finite universe large enough for the predicate to
+fire.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.classifier import ProtocolClass, classify, classify_specification
+from repro.core.containment import (
+    check_limit_containments,
+    empirical_class,
+    spec_sets_equal,
+)
+from repro.predicates import parse_predicate
+from repro.predicates.catalog import (
+    ASYNC_FORMS,
+    CATALOG,
+    CAUSAL_FORMS,
+    catalog_by_name,
+)
+from repro.predicates.spec import Specification
+
+
+def _colors_for(name: str):
+    if "flush" in name or "marker" in name:
+        return (None, "red")
+    if name == "mobile-handoff":
+        return (None, "handoff")
+    if name == "priority-classes":
+        return (None, "red", "blue")
+    return (None,)
+
+
+class TestCatalogAgreement:
+    """Classifier verdict == empirical verdict for every catalogue spec
+    whose predicates fit a 2-message universe."""
+
+    @pytest.mark.parametrize(
+        "entry",
+        [
+            e
+            for e in CATALOG
+            # The universe must be large enough for the predicate to fire.
+            if all(p.arity <= 2 for p in e.specification.predicates)
+        ],
+        ids=lambda e: e.name,
+    )
+    def test_two_message_universe(self, entry):
+        symbolic = classify_specification(
+            entry.specification, max_family_arity=2
+        ).protocol_class
+        empirical = empirical_class(
+            entry.specification,
+            n_processes=2,
+            n_messages=2,
+            colors=_colors_for(entry.name),
+        )
+        assert empirical is symbolic
+
+    def test_k_weaker_1_on_three_message_universe(self):
+        spec = catalog_by_name()["k-weaker-causal-1"].specification
+        assert empirical_class(spec, 2, 3) is ProtocolClass.TAGGED
+
+
+class TestLemma3Identities:
+    """E2: the spec sets of B1, B2, B3 coincide (all equal X_co); the
+    async forms all equal X_async."""
+
+    @pytest.mark.parametrize(
+        "left,right", list(itertools.combinations(CAUSAL_FORMS, 2)),
+        ids=lambda p: getattr(p, "name", str(p)),
+    )
+    def test_causal_forms_equivalent(self, left, right):
+        equal, witness = spec_sets_equal(
+            Specification(name=left.name, predicates=(left,)),
+            Specification(name=right.name, predicates=(right,)),
+            n_processes=2,
+            n_messages=2,
+        )
+        assert equal, "distinguishing run: %r" % (witness,)
+
+    def test_causal_forms_equivalent_on_three_processes(self):
+        b1, b2 = CAUSAL_FORMS[0], CAUSAL_FORMS[1]
+        equal, witness = spec_sets_equal(
+            Specification(name="b1", predicates=(b1,)),
+            Specification(name="b2", predicates=(b2,)),
+            n_processes=3,
+            n_messages=2,
+        )
+        assert equal, "distinguishing run: %r" % (witness,)
+
+    @pytest.mark.parametrize("predicate", ASYNC_FORMS, ids=lambda p: p.name)
+    def test_async_forms_admit_every_run(self, predicate):
+        report = check_limit_containments(
+            Specification(name=predicate.name, predicates=(predicate,)),
+            n_processes=2,
+            n_messages=2,
+        )
+        assert report.admitted_runs == report.total_runs
+
+    def test_causal_spec_is_exactly_x_co(self):
+        report = check_limit_containments(
+            Specification(name="co", predicates=(CAUSAL_FORMS[1],)),
+            n_processes=2,
+            n_messages=2,
+        )
+        assert report.admitted_runs == report.co_runs
+        assert report.co_contained
+
+
+class TestContainmentReports:
+    def test_async_violations_exist_for_causal_spec(self):
+        report = check_limit_containments(
+            catalog_by_name()["causal-B2"].specification, 2, 2
+        )
+        assert not report.async_contained
+        assert report.async_counterexample is not None
+        # The counterexample is an async run rejected by the spec.
+        assert not catalog_by_name()["causal-B2"].specification.admits(
+            report.async_counterexample
+        )
+
+    def test_sync_counterexample_for_unimplementable_spec(self):
+        report = check_limit_containments(
+            catalog_by_name()["second-before-first"].specification, 2, 2
+        )
+        assert not report.sync_contained
+        assert report.sync_counterexample is not None
+
+    def test_counts_are_consistent(self):
+        report = check_limit_containments(
+            catalog_by_name()["fifo"].specification, 2, 2
+        )
+        assert report.sync_runs <= report.co_runs <= report.async_runs
+        assert report.async_runs == report.total_runs
+        assert 0 < report.admitted_runs < report.total_runs
+
+
+class TestRandomPredicateAgreement:
+    """Random 2-variable predicates: classifier vs 2-message universe."""
+
+    def _random_predicates(self):
+        kinds = ["s", "r"]
+        seen = []
+        for p, q, p2, q2 in itertools.product(kinds, repeat=4):
+            text = "x.%s < y.%s & y.%s < x.%s" % (p, q, p2, q2)
+            seen.append(parse_predicate(text, name=text))
+        return seen
+
+    def test_all_two_variable_two_cycle_predicates(self):
+        for predicate in self._random_predicates():
+            symbolic = classify(predicate).protocol_class
+            empirical = empirical_class(
+                Specification(name=predicate.name, predicates=(predicate,)),
+                n_processes=2,
+                n_messages=2,
+            )
+            assert empirical is symbolic, predicate.name

@@ -1,0 +1,117 @@
+"""Edge cases the main suites skirt: API plumbing, sizes, rendering."""
+
+import pytest
+
+from repro.core.api import protocol_for, simulate
+from repro.events import Event, Message
+from repro.predicates.catalog import ASYNC_A, CAUSAL_ORDERING
+from repro.protocols import TaglessProtocol
+from repro.protocols.base import make_factory
+from repro.runs.diagram import render_system_run, render_user_run
+from repro.runs.system_run import SystemRun
+from repro.simulation import FixedLatency, random_traffic, run_simulation
+from repro.simulation.trace import estimate_size
+
+
+class TestApiPlumbing:
+    def test_simulate_forwards_fifo_channels(self):
+        # With FIFO channels even the do-nothing protocol preserves
+        # per-channel order.
+        from repro.predicates.catalog import FIFO_ORDERING
+        from repro.verification import check_simulation
+
+        result = simulate(
+            ASYNC_A,
+            random_traffic(2, 20, seed=3),
+            seed=3,
+            fifo_channels=True,
+        )
+        assert check_simulation(result, FIFO_ORDERING).ok
+
+    def test_protocol_for_bare_predicate(self):
+        factory = protocol_for(ASYNC_A)
+        assert isinstance(factory(0, 2), TaglessProtocol)
+
+    def test_simulation_result_summary_text(self):
+        result = run_simulation(
+            make_factory(TaglessProtocol),
+            random_traffic(2, 5, seed=0),
+            latency=FixedLatency(1.0),
+        )
+        text = result.summary()
+        assert "protocol:          tagless" in text
+        assert "user messages:     5" in text
+
+
+class TestEstimateSizeBranches:
+    def test_object_with_dict(self):
+        class Box:
+            def __init__(self):
+                self.value = 7
+
+        assert estimate_size(Box()) == 8 + (8 + len("value") + 8)
+
+    def test_opaque_object(self):
+        assert estimate_size(object()) == 8
+
+    def test_frozenset(self):
+        assert estimate_size(frozenset({1, 2})) == 8 + 16
+
+
+class TestDiagramEdgeCases:
+    def test_empty_system_run(self):
+        run = SystemRun(2)
+        assert render_system_run(run, legend=False) == "P0 |\nP1 |"
+
+    def test_incomplete_user_run_renders(self):
+        from repro.runs.user_run import UserRun
+
+        run = UserRun()
+        run.add_message(Message(id="m1", sender=0, receiver=1), with_events=False)
+        run.add_event(Event.send("m1"))
+        text = render_user_run(run)
+        assert "m1.s" in text
+        assert "m1.r" not in text.split("\n\n")[0]
+
+    def test_system_legend_lists_only_sent_messages(self):
+        run = SystemRun(2, [Message(id="m1", sender=0, receiver=1)])
+        run.append(0, Event.invoke("m1"))
+        text = render_system_run(run)
+        assert "m1: P0 -> P1" not in text  # not sent yet
+        run.append(0, Event.send("m1"))
+        text = render_system_run(run)
+        assert "m1: P0 -> P1" in text
+
+
+class TestDigraphEdges:
+    def test_remove_missing_node_is_noop(self):
+        from repro.poset.digraph import Digraph
+
+        graph = Digraph(edges=[("a", "b")])
+        graph.remove_node("zz")
+        assert graph.nodes() == ["a", "b"]
+
+    def test_subgraph_with_foreign_nodes(self):
+        from repro.poset.digraph import Digraph
+
+        graph = Digraph(edges=[("a", "b")])
+        sub = graph.subgraph({"a", "zz"})
+        assert "a" in sub and "zz" in sub
+        assert sub.edges() == []
+
+
+class TestSpecificationMisc:
+    def test_members_for_respects_fixed_predicate_arity(self):
+        from repro.predicates.catalog import k_weaker_causal_spec
+        from repro.runs.user_run import UserRun
+
+        spec = k_weaker_causal_spec(2)  # arity 4
+        small_run = UserRun([Message(id="m1", sender=0, receiver=1)])
+        assert spec.members_for(small_run) == []
+        assert spec.admits(small_run)
+
+    def test_repr_strings(self):
+        from repro.predicates.catalog import LOGICALLY_SYNCHRONOUS
+
+        assert "families=1" in repr(LOGICALLY_SYNCHRONOUS)
+        assert "crowns" in repr(LOGICALLY_SYNCHRONOUS.families[0])

@@ -1,0 +1,94 @@
+"""Tests for simple-cycle enumeration (Johnson's algorithm, multigraphs)."""
+
+import pytest
+
+from repro.graphs.cycles import ResolvedCycle, resolved_cycles, simple_cycles_digraph
+from repro.graphs.predicate_graph import PredicateGraph
+from repro.poset.digraph import Digraph
+from repro.predicates import parse_predicate
+from repro.predicates.catalog import CAUSAL_B2, EXAMPLE_1, crown
+
+
+class TestSimpleCycles:
+    def test_acyclic_graph(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "c")])
+        assert simple_cycles_digraph(graph) == []
+
+    def test_single_cycle(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+        assert simple_cycles_digraph(graph) == [["a", "b", "c"]]
+
+    def test_two_overlapping_cycles(self):
+        graph = Digraph(
+            edges=[("a", "b"), ("b", "a"), ("b", "c"), ("c", "b")]
+        )
+        cycles = simple_cycles_digraph(graph)
+        assert cycles == [["a", "b"], ["b", "c"]]
+
+    def test_self_loop_reported(self):
+        graph = Digraph(edges=[("a", "a"), ("a", "b")])
+        assert simple_cycles_digraph(graph) == [["a"]]
+
+    def test_complete_graph_k3_has_five_cycles(self):
+        nodes = "abc"
+        graph = Digraph(
+            edges=[(x, y) for x in nodes for y in nodes if x != y]
+        )
+        cycles = simple_cycles_digraph(graph)
+        # Three 2-cycles plus two directed triangles.
+        assert len(cycles) == 5
+
+    def test_cycles_canonicalized_to_smallest_start(self):
+        graph = Digraph(edges=[("b", "c"), ("c", "a"), ("a", "b")])
+        assert simple_cycles_digraph(graph) == [["a", "b", "c"]]
+
+
+class TestResolvedCycles:
+    def test_causal_predicate_has_single_2_cycle(self):
+        cycles = resolved_cycles(PredicateGraph(CAUSAL_B2))
+        assert len(cycles) == 1
+        assert cycles[0].vertices == ("x", "y")
+        assert cycles[0].length == 2
+
+    def test_parallel_edges_multiply_cycles(self):
+        # Two x->y conjuncts and one y->x conjunct: 2 resolved cycles.
+        predicate = parse_predicate("x.s < y.s & x.r < y.r & y.r < x.r")
+        cycles = resolved_cycles(PredicateGraph(predicate))
+        assert len(cycles) == 2
+
+    def test_example_1_has_two_cycles(self):
+        cycles = resolved_cycles(PredicateGraph(EXAMPLE_1))
+        assert len(cycles) == 2
+        lengths = sorted(c.length for c in cycles)
+        assert lengths == [2, 4]
+        (long_cycle,) = [c for c in cycles if c.length == 4]
+        assert long_cycle.vertices == ("x1", "x2", "x3", "x4")
+
+    def test_crown_cycle_spans_all_vertices(self):
+        cycles = resolved_cycles(PredicateGraph(crown(4)))
+        assert len(cycles) == 1
+        assert cycles[0].length == 4
+
+    def test_acyclic_predicate_has_no_cycles(self):
+        predicate = parse_predicate("x.s < y.s & x.r < y.r")
+        assert resolved_cycles(PredicateGraph(predicate)) == []
+
+    def test_degenerate_self_loop_cycle(self):
+        predicate = parse_predicate("x.s < x.r")
+        cycles = resolved_cycles(PredicateGraph(predicate))
+        assert len(cycles) == 1
+        assert cycles[0].is_degenerate
+
+
+class TestResolvedCycleValidation:
+    def test_edges_must_chain(self):
+        graph = PredicateGraph(CAUSAL_B2)
+        edge_xy = graph.parallel_edges("x", "y")[0]
+        with pytest.raises(ValueError):
+            ResolvedCycle(vertices=("x", "y"), edges=(edge_xy, edge_xy))
+
+    def test_incoming_outgoing_accessors(self):
+        cycles = resolved_cycles(PredicateGraph(CAUSAL_B2))
+        cycle = cycles[0]
+        assert cycle.incoming_edge(0) == cycle.edges[-1]
+        assert cycle.outgoing_edge(0) == cycle.edges[0]

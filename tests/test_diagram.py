@@ -1,0 +1,54 @@
+"""Tests for the ASCII time-diagram renderer."""
+
+import pytest
+
+from repro.events import Event, Message
+from repro.runs.diagram import render_system_run, render_user_run
+from repro.runs.construction import system_run_from_user_run
+from repro.runs.user_run import UserRun
+
+
+class TestUserRunDiagram:
+    def test_events_appear_on_their_process_row(self, co_ordered_run):
+        diagram = render_user_run(co_ordered_run)
+        lines = diagram.splitlines()
+        assert lines[0].startswith("P0 |")
+        assert "m1.s" in lines[0] and "m2.s" in lines[0]
+        assert "m1.r" in lines[1] and "m2.r" in lines[1]
+
+    def test_causality_reads_left_to_right(self, co_ordered_run):
+        diagram = render_user_run(co_ordered_run, legend=False)
+        row0 = diagram.splitlines()[0]
+        assert row0.index("m1.s") < row0.index("m2.s")
+        row1 = diagram.splitlines()[1]
+        assert row1.index("m1.r") < row1.index("m2.r")
+
+    def test_cross_process_causality_reads_left_to_right(self, sync_run):
+        diagram = render_user_run(sync_run, legend=False)
+        lines = diagram.splitlines()
+        send_column = lines[0].index("m1.s")
+        deliver_column = lines[1].index("m1.r")
+        assert send_column < deliver_column
+
+    def test_legend_lists_messages_and_colors(self):
+        run = UserRun([Message(id="m1", sender=0, receiver=1, color="red")])
+        diagram = render_user_run(run)
+        assert "m1: P0 -> P1  [red]" in diagram
+
+    def test_legend_can_be_disabled(self, co_ordered_run):
+        assert "->" not in render_user_run(co_ordered_run, legend=False)
+
+    def test_empty_run(self):
+        assert render_user_run(UserRun(), legend=False) == ""
+
+
+class TestSystemRunDiagram:
+    def test_star_events_rendered(self, co_ordered_run):
+        system = system_run_from_user_run(co_ordered_run)
+        diagram = render_system_run(system)
+        assert "m1.s*" in diagram and "m1.r*" in diagram
+
+    def test_rows_per_process(self, crossing_run):
+        system = system_run_from_user_run(crossing_run)
+        diagram = render_system_run(system, legend=False)
+        assert len(diagram.splitlines()) == 2

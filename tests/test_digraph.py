@@ -1,0 +1,69 @@
+"""Unit tests for the deterministic digraph."""
+
+import pytest
+
+from repro.poset.digraph import Digraph
+
+
+class TestConstruction:
+    def test_nodes_and_edges_sorted(self):
+        graph = Digraph(nodes=["c", "a", "b"], edges=[("c", "a"), ("a", "b")])
+        assert graph.nodes() == ["a", "b", "c"]
+        assert graph.edges() == [("a", "b"), ("c", "a")]
+
+    def test_add_edge_creates_nodes(self):
+        graph = Digraph()
+        graph.add_edge("x", "y")
+        assert "x" in graph and "y" in graph
+
+    def test_duplicate_edges_collapse(self):
+        graph = Digraph(edges=[("a", "b"), ("a", "b")])
+        assert graph.edges() == [("a", "b")]
+
+    def test_len(self):
+        assert len(Digraph(nodes="abc")) == 3
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        graph = Digraph(edges=[("a", "b")])
+        graph.remove_edge("a", "b")
+        assert graph.edges() == []
+        assert "a" in graph and "b" in graph
+
+    def test_remove_node_detaches_edges(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+        graph.remove_node("b")
+        assert graph.nodes() == ["a", "c"]
+        assert graph.edges() == [("c", "a")]
+
+    def test_copy_is_independent(self):
+        graph = Digraph(edges=[("a", "b")])
+        clone = graph.copy()
+        clone.add_edge("b", "c")
+        assert not graph.has_edge("b", "c")
+        assert clone.has_edge("b", "c")
+
+
+class TestQueries:
+    def test_successors_predecessors(self):
+        graph = Digraph(edges=[("a", "b"), ("a", "c"), ("b", "c")])
+        assert graph.successors("a") == ["b", "c"]
+        assert graph.predecessors("c") == ["a", "b"]
+        assert graph.out_degree("a") == 2
+        assert graph.in_degree("c") == 2
+
+    def test_reachable_from(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "c"), ("d", "a")])
+        assert graph.reachable_from("a") == {"b", "c"}
+        assert graph.reachable_from("c") == set()
+
+    def test_reachable_from_includes_self_only_on_cycle(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "a")])
+        assert "a" in graph.reachable_from("a")
+
+    def test_subgraph(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        sub = graph.subgraph({"a", "c"})
+        assert sub.nodes() == ["a", "c"]
+        assert sub.edges() == [("a", "c")]

@@ -1,0 +1,109 @@
+"""Tests for the predicate DSL parser and formatter."""
+
+import pytest
+
+from repro.events import DELIVER, SEND
+from repro.predicates.dsl import (
+    PredicateSyntaxError,
+    format_predicate,
+    parse_predicate,
+)
+from repro.predicates.guards import ColorGuard, ProcessGuard
+
+
+class TestParsing:
+    def test_causal_ordering(self):
+        predicate = parse_predicate("x.s < y.s & y.r < x.r")
+        assert predicate.variables == ("x", "y")
+        assert len(predicate.conjuncts) == 2
+        first = predicate.conjuncts[0]
+        assert first.left.variable == "x" and first.left.kind is SEND
+        assert first.right.variable == "y" and first.right.kind is SEND
+
+    def test_arrow_syntax(self):
+        predicate = parse_predicate("x.s -> y.r")
+        assert predicate.conjuncts[0].right.kind is DELIVER
+
+    def test_fifo_with_guards(self):
+        predicate = parse_predicate(
+            "sender(x) = sender(y), receiver(x) = receiver(y) ::"
+            " x.s < y.s & y.r < x.r"
+        )
+        assert len(predicate.guards) == 2
+        assert isinstance(predicate.guards[0], ProcessGuard)
+
+    def test_color_guard(self):
+        predicate = parse_predicate("color(y) = red :: x.s < y.s & y.r < x.r")
+        guard = predicate.guards[0]
+        assert isinstance(guard, ColorGuard)
+        assert guard.color == "red" and guard.equal
+
+    def test_color_disequality(self):
+        predicate = parse_predicate("color(y) != red :: x.s < y.s")
+        assert not predicate.guards[0].equal
+
+    def test_group_guard(self):
+        from repro.predicates.guards import GroupGuard
+
+        predicate = parse_predicate(
+            "group(x) = group(y), group(x) != group(z) :: x.r < y.r & z.r < x.r"
+        )
+        assert isinstance(predicate.guards[0], GroupGuard)
+        assert predicate.guards[0].equal
+        assert not predicate.guards[1].equal
+
+    def test_name_and_distinct_flags(self):
+        predicate = parse_predicate("x.s < y.r", name="demo", distinct=True)
+        assert predicate.name == "demo"
+        assert predicate.distinct
+
+    def test_whitespace_insensitive(self):
+        a = parse_predicate("x.s<y.s&y.r<x.r")
+        b = parse_predicate("  x.s  <  y.s  &  y.r < x.r ")
+        assert a.conjuncts == b.conjuncts
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "x.s",
+            "x.q < y.s",
+            "x.s < y.s < z.s",
+            "x < y",
+            "speed(x) = speed(y) :: x.s < y.s",
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(PredicateSyntaxError):
+            parse_predicate(text)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "x.s < y.s & y.r < x.r",
+            "x.s < y.r",
+            "sender(x) = sender(y) :: x.s < y.s & y.r < x.r",
+            "color(y) = red :: x.s < y.s & y.r < x.r",
+            "sender(x) != receiver(y) :: x.r < y.r",
+            "group(x) = group(y) :: x.r < y.r",
+        ],
+    )
+    def test_parse_format_parse_is_stable(self, text):
+        once = parse_predicate(text)
+        again = parse_predicate(format_predicate(once))
+        assert once.conjuncts == again.conjuncts
+        assert once.guards == again.guards
+
+    def test_catalog_predicates_format(self):
+        from repro.predicates import catalog
+
+        for entry in catalog.CATALOG:
+            for predicate in entry.specification.predicates:
+                text = format_predicate(predicate)
+                reparsed = parse_predicate(text)
+                assert reparsed.conjuncts == predicate.conjuncts
+                assert reparsed.guards == predicate.guards

@@ -1,0 +1,85 @@
+"""Tests for exhaustive run enumeration."""
+
+import pytest
+
+from repro.events import Event, Message
+from repro.runs.enumeration import (
+    enumerate_complete_runs,
+    enumerate_message_assignments,
+    enumerate_universe,
+    universe_size,
+)
+
+
+class TestAssignments:
+    def test_channel_count_without_self(self):
+        assignments = list(enumerate_message_assignments(2, 1))
+        assert len(assignments) == 2  # 0->1 and 1->0
+
+    def test_channel_count_with_self(self):
+        assignments = list(enumerate_message_assignments(2, 1, allow_self=True))
+        assert len(assignments) == 4
+
+    def test_colors_multiply_options(self):
+        assignments = list(
+            enumerate_message_assignments(2, 1, colors=(None, "red"))
+        )
+        assert len(assignments) == 4
+        colors = {a[0].color for a in assignments}
+        assert colors == {None, "red"}
+
+    def test_ids_are_sequential(self):
+        for assignment in enumerate_message_assignments(2, 3):
+            assert [m.id for m in assignment] == ["m1", "m2", "m3"]
+            break
+
+
+class TestCompleteRuns:
+    def test_single_message_has_one_run(self):
+        messages = [Message(id="m1", sender=0, receiver=1)]
+        runs = list(enumerate_complete_runs(messages))
+        assert len(runs) == 1
+        assert runs[0].before(Event.send("m1"), Event.deliver("m1"))
+
+    def test_same_channel_two_messages(self):
+        messages = [
+            Message(id="m1", sender=0, receiver=1),
+            Message(id="m2", sender=0, receiver=1),
+        ]
+        runs = list(enumerate_complete_runs(messages))
+        # 2 send orders x 2 delivery orders = 4 interleavings, all acyclic.
+        assert len(runs) == 4
+
+    def test_opposite_channels_prune_cyclic_interleavings(self):
+        messages = [
+            Message(id="m1", sender=0, receiver=1),
+            Message(id="m2", sender=1, receiver=0),
+        ]
+        runs = list(enumerate_complete_runs(messages))
+        # 2 orders at each process = 4 combos; the one where each process
+        # delivers before sending (m1.r -> m2.s -> m2.r -> m1.s -> m1.r)
+        # is cyclic and must be dropped.
+        assert len(runs) == 3
+
+    def test_all_runs_valid_and_complete(self):
+        for run in enumerate_universe(2, 2):
+            run.validate()
+            assert run.is_complete()
+
+    def test_runs_are_distinct(self):
+        runs = list(enumerate_universe(2, 2))
+        assert len(runs) == len(set(runs))
+
+    def test_determinism(self):
+        first = [r.canonical_form() for r in enumerate_universe(2, 2)]
+        second = [r.canonical_form() for r in enumerate_universe(2, 2)]
+        assert first == second
+
+
+class TestUniverseSize:
+    def test_known_sizes(self):
+        assert universe_size(2, 1) == 2
+        assert universe_size(2, 2) == 14  # 2x4 same-channel + 2x3 opposite
+
+    def test_size_matches_enumeration(self):
+        assert universe_size(3, 2) == sum(1 for _ in enumerate_universe(3, 2))

@@ -1,0 +1,101 @@
+"""Tests for predicate evaluation over runs."""
+
+import pytest
+
+from repro.events import Event, Message
+from repro.predicates import parse_predicate
+from repro.predicates.catalog import CAUSAL_B2, FIFO, crown
+from repro.predicates.evaluation import (
+    find_assignment,
+    run_admitted,
+    satisfying_assignments,
+)
+from repro.runs.user_run import UserRun
+
+
+class TestBasicEvaluation:
+    def test_causal_violation_found(self, co_violating_run):
+        assignment = find_assignment(co_violating_run, CAUSAL_B2)
+        assert assignment is not None
+        assert assignment["x"].id == "m1"
+        assert assignment["y"].id == "m2"
+
+    def test_ordered_run_admitted(self, co_ordered_run):
+        assert run_admitted(co_ordered_run, CAUSAL_B2)
+
+    def test_all_assignments_enumerated(self, co_violating_run):
+        assignments = list(satisfying_assignments(co_violating_run, CAUSAL_B2))
+        assert len(assignments) == 1
+
+    def test_missing_events_block_satisfaction(self):
+        run = UserRun()
+        run.add_message(Message(id="m1", sender=0, receiver=1), with_events=False)
+        run.add_message(Message(id="m2", sender=0, receiver=1), with_events=False)
+        run.add_event(Event.send("m1"))
+        run.add_event(Event.send("m2"))
+        run.order(Event.send("m1"), Event.send("m2"))
+        # Without deliveries the causal predicate cannot fire.
+        assert run_admitted(run, CAUSAL_B2)
+
+
+class TestGuardedEvaluation:
+    def test_fifo_guards_restrict_to_same_channel(self):
+        m1 = Message(id="m1", sender=0, receiver=1)
+        m2 = Message(id="m2", sender=2, receiver=1)  # different sender
+        run = UserRun.from_process_sequences(
+            [m1, m2],
+            {
+                0: [Event.send("m1")],
+                2: [Event.send("m2")],
+                1: [Event.deliver("m2"), Event.deliver("m1")],
+            },
+            extra_relations=[(Event.send("m1"), Event.send("m2"))],
+        )
+        # Causal predicate fires (m1.s > m2.s via the extra relation,
+        # m2.r > m1.r) but FIFO's sender guard blocks it.
+        assert not run_admitted(run, CAUSAL_B2)
+        assert run_admitted(run, FIFO)
+
+    def test_color_guard(self, co_violating_run):
+        red_only = parse_predicate("color(y) = red :: x.s < y.s & y.r < x.r")
+        # No red message in the run: admitted.
+        assert run_admitted(co_violating_run, red_only)
+
+
+class TestDistinctness:
+    def test_crown_requires_distinct_messages(self, co_ordered_run):
+        # Without distinctness x1=x2 satisfies the 2-crown trivially.
+        assert run_admitted(co_ordered_run, crown(2))
+
+    def test_crown_fires_on_crossing_messages(self, crossing_run):
+        assignment = find_assignment(crossing_run, crown(2))
+        assert assignment is not None
+        assert {assignment["x1"].id, assignment["x2"].id} == {"m1", "m2"}
+
+    def test_non_distinct_predicate_can_bind_repeats(self, co_ordered_run):
+        self_pattern = parse_predicate("x.s < y.r")
+        assignment = find_assignment(co_ordered_run, self_pattern)
+        assert assignment is not None  # x = y = m1 works
+
+
+class TestArityVsRunSize:
+    def test_predicate_larger_than_run_never_fires_distinct(self, co_ordered_run):
+        assert run_admitted(co_ordered_run, crown(3))
+
+    def test_three_crown_fires_on_three_cycle(self):
+        messages = [
+            Message(id="m1", sender=0, receiver=1),
+            Message(id="m2", sender=1, receiver=2),
+            Message(id="m3", sender=2, receiver=0),
+        ]
+        run = UserRun.from_process_sequences(
+            messages,
+            {
+                0: [Event.send("m1"), Event.deliver("m3")],
+                1: [Event.send("m2"), Event.deliver("m1")],
+                2: [Event.send("m3"), Event.deliver("m2")],
+            },
+        )
+        assert find_assignment(run, crown(3)) is not None
+        # No 2-crown hides inside this 3-crown.
+        assert run_admitted(run, crown(2))

@@ -1,0 +1,121 @@
+"""Unit tests for the event and message model."""
+
+import pytest
+
+from repro.events import (
+    DELIVER,
+    INVOKE,
+    RECEIVE,
+    SEND,
+    Event,
+    EventKind,
+    Message,
+)
+from repro.events.events import kind_from_symbol
+from repro.events.message import MessageTable
+
+
+class TestEventKind:
+    def test_internal_order_of_a_message(self):
+        assert INVOKE < SEND < RECEIVE < DELIVER
+
+    def test_symbols_match_paper_notation(self):
+        assert INVOKE.symbol == "s*"
+        assert SEND.symbol == "s"
+        assert RECEIVE.symbol == "r*"
+        assert DELIVER.symbol == "r"
+
+    def test_user_visible_kinds(self):
+        assert SEND.is_user_visible
+        assert DELIVER.is_user_visible
+        assert not INVOKE.is_user_visible
+        assert not RECEIVE.is_user_visible
+
+    def test_star_kinds(self):
+        assert INVOKE.is_star and RECEIVE.is_star
+        assert not SEND.is_star and not DELIVER.is_star
+
+    def test_symbol_round_trip(self):
+        for kind in EventKind:
+            assert kind_from_symbol(kind.symbol) is kind
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(ValueError, match="unknown event symbol"):
+            kind_from_symbol("q")
+
+    def test_comparison_against_other_types(self):
+        with pytest.raises(TypeError):
+            SEND < 3
+
+
+class TestEvent:
+    def test_repr_uses_paper_notation(self):
+        assert repr(Event.send("m1")) == "m1.s"
+        assert repr(Event.receive("m1")) == "m1.r*"
+
+    def test_constructors(self):
+        assert Event.invoke("x").kind is INVOKE
+        assert Event.send("x").kind is SEND
+        assert Event.receive("x").kind is RECEIVE
+        assert Event.deliver("x").kind is DELIVER
+
+    def test_equality_and_hash(self):
+        assert Event.send("m1") == Event("m1", SEND)
+        assert len({Event.send("m1"), Event("m1", SEND)}) == 1
+
+    def test_sorting_is_by_message_then_kind(self):
+        events = [Event.deliver("m2"), Event.send("m2"), Event.deliver("m1")]
+        assert sorted(events) == [
+            Event.deliver("m1"),
+            Event.send("m2"),
+            Event.deliver("m2"),
+        ]
+
+    def test_kind_must_be_event_kind(self):
+        with pytest.raises(TypeError):
+            Event("m1", "s")
+
+
+class TestMessage:
+    def test_channel(self):
+        assert Message(id="m", sender=2, receiver=5).channel == (2, 5)
+
+    def test_negative_process_rejected(self):
+        with pytest.raises(ValueError):
+            Message(id="m", sender=-1, receiver=0)
+
+    def test_attribute_lookup(self):
+        message = Message(id="m", sender=1, receiver=2, color="red")
+        assert message.attribute("sender") == 1
+        assert message.attribute("receiver") == 2
+        assert message.attribute("color") == "red"
+
+    def test_unknown_attribute(self):
+        with pytest.raises(KeyError):
+            Message(id="m", sender=0, receiver=1).attribute("priority")
+
+    def test_color_defaults_to_none(self):
+        assert Message(id="m", sender=0, receiver=1).color is None
+
+
+class TestMessageTable:
+    def test_add_and_lookup(self):
+        table = MessageTable()
+        message = Message(id="m1", sender=0, receiver=1)
+        table.add(message)
+        assert table["m1"] is message
+        assert "m1" in table
+
+    def test_duplicate_rejected(self):
+        table = MessageTable()
+        table.add(Message(id="m1", sender=0, receiver=1))
+        with pytest.raises(ValueError, match="duplicate"):
+            table.add(Message(id="m1", sender=1, receiver=0))
+
+    def test_iteration_is_sorted(self):
+        table = MessageTable()
+        for mid in ("m3", "m1", "m2"):
+            table.add(Message(id=mid, sender=0, receiver=1))
+        assert list(table) == ["m1", "m2", "m3"]
+        assert [m.id for m in table.messages()] == ["m1", "m2", "m3"]
+        assert len(table) == 3

@@ -1,0 +1,44 @@
+"""Every example script must run clean -- they are deliverables too."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES = sorted(
+    name
+    for name in os.listdir(os.path.join(REPO, "examples"))
+    if name.endswith(".py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(REPO, "examples", script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=REPO,
+    )
+    assert result.returncode == 0, result.stdout[-2000:] + result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_present():
+    expected = {
+        "quickstart.py",
+        "classification_tour.py",
+        "mobile_handoff.py",
+        "flush_channels.py",
+        "protocol_comparison.py",
+        "custom_ordering.py",
+        "replicated_log.py",
+        "global_snapshot.py",
+        "group_chat.py",
+        "figure_scenarios.py",
+        "paper_walkthrough.py",
+    }
+    assert expected <= set(EXAMPLES)

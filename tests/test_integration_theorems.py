@@ -1,0 +1,184 @@
+"""Integration tests tying the paper's theorems end to end.
+
+Each test follows a theorem's statement across several modules:
+predicate -> graph -> classification -> witness run -> limit sets ->
+protocol -> simulation -> verification.
+"""
+
+import pytest
+
+from repro.core.api import protocol_for, simulate, verify
+from repro.core.classifier import ProtocolClass, classify
+from repro.core.containment import check_limit_containments
+from repro.predicates import parse_predicate
+from repro.predicates.catalog import (
+    CATALOG,
+    CAUSAL_ORDERING,
+    LOGICALLY_SYNCHRONOUS,
+    MOBILE_HANDOFF_SPEC,
+    catalog_by_name,
+)
+from repro.predicates.spec import Specification
+from repro.protocols import SyncCoordinatorProtocol, SyncRendezvousProtocol
+from repro.protocols.base import make_factory
+from repro.runs.construction import run_from_predicate_instance
+from repro.runs.limit_sets import (
+    is_causally_ordered,
+    is_logically_synchronous,
+)
+from repro.simulation import (
+    UniformLatency,
+    mobile_handoff_scenario,
+    random_traffic,
+    run_simulation,
+)
+from repro.verification import check_simulation
+
+
+class TestCorollary1:
+    """Implementable iff X_sync ⊆ Y -- checked three ways for every
+    catalogue entry: classifier, containment sweep, witness run."""
+
+    @pytest.mark.parametrize("entry", CATALOG, ids=lambda e: e.name)
+    def test_implementable_iff_sync_contained(self, entry):
+        colors = (None,)
+        if "flush" in entry.name or "marker" in entry.name:
+            colors = (None, "red")
+        if entry.name == "mobile-handoff":
+            colors = (None, "handoff")
+        if entry.name == "priority-classes":
+            colors = (None, "red", "blue")
+        verdict = (
+            classify(entry.specification.predicates[0])
+            if entry.specification.predicates
+            else None
+        )
+        report = check_limit_containments(
+            entry.specification, n_processes=2, n_messages=2, colors=colors
+        )
+        implementable = entry.expected_class != "not_implementable"
+        assert report.sync_contained == implementable
+
+    def test_unimplementable_witness_is_sync(self):
+        """Theorem 2's construction: for an acyclic predicate graph the
+        witness is logically synchronous, i.e. unavoidable."""
+        predicate = catalog_by_name()["second-before-first"].specification.predicates[0]
+        witness = run_from_predicate_instance(predicate)
+        assert is_logically_synchronous(witness)
+        spec = Specification(name="sbf", predicates=(predicate,))
+        assert not spec.admits(witness)
+
+
+class TestTheorem1Constructive:
+    """The 'if' directions: a protocol of the right class implements each
+    implementable catalogue spec (on simulated workloads)."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "causal-B2",
+            "fifo",
+            "local-forward-flush",
+            "global-forward-flush",
+            "red-marker-no-overtake",
+            "asynchronous",
+        ],
+    )
+    def test_synthesized_protocol_implements_spec(self, name):
+        entry = catalog_by_name()[name]
+        color_every = 4 if ("flush" in name or "marker" in name) else None
+        workload = random_traffic(3, 24, seed=11, color_every=color_every)
+        result = simulate(entry.specification, workload, seed=11)
+        outcome = verify(result, entry.specification)
+        assert outcome.ok, outcome.summary()
+
+    def test_sync_spec_needs_general_protocol(self):
+        factory = protocol_for(LOGICALLY_SYNCHRONOUS)
+        workload = random_traffic(3, 20, seed=4)
+        result = run_simulation(factory, workload, seed=4)
+        assert check_simulation(result, LOGICALLY_SYNCHRONOUS).ok
+        assert result.stats.control_messages > 0
+
+
+class TestMobileHandoffScenario:
+    """§6 end to end: the handoff spec needs control messages, and a
+    general protocol discharges it on the roaming workload."""
+
+    def test_classified_general(self):
+        verdict = classify(MOBILE_HANDOFF_SPEC.predicates[0])
+        assert verdict.protocol_class is ProtocolClass.GENERAL
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            make_factory(SyncCoordinatorProtocol),
+            make_factory(SyncRendezvousProtocol),
+        ],
+        ids=["coordinator", "rendezvous"],
+    )
+    def test_general_protocol_satisfies_handoff_spec(self, factory):
+        for seed in range(5):
+            result = run_simulation(
+                factory,
+                mobile_handoff_scenario(n_stations=3, messages_per_phase=4, seed=seed),
+                seed=seed,
+                latency=UniformLatency(1.0, 40.0),
+            )
+            outcome = check_simulation(result, MOBILE_HANDOFF_SPEC)
+            assert outcome.ok, outcome.summary()
+
+    def test_causal_protocol_fails_handoff_somewhere(self):
+        from repro.protocols import CausalRstProtocol
+
+        violated = False
+        for seed in range(15):
+            result = run_simulation(
+                make_factory(CausalRstProtocol),
+                mobile_handoff_scenario(n_stations=3, messages_per_phase=5, seed=seed),
+                seed=seed,
+                latency=UniformLatency(1.0, 80.0),
+            )
+            if not check_simulation(result, MOBILE_HANDOFF_SPEC).safe:
+                violated = True
+                break
+        assert violated
+
+
+class TestRelatedWorkClaim:
+    """§2: no amount of extra tagging restricts ordering below X_co --
+    the causal-ordering limit is the floor for tag-only protocols.
+
+    Empirically: the causal protocols' runs cover non-sync runs (so a
+    tagged protocol cannot implement the sync spec), while every sync run
+    is admitted by every tagged-implementable catalogue spec.
+    """
+
+    def test_tagged_protocols_produce_non_sync_runs(self):
+        from repro.protocols import CausalRstProtocol
+
+        non_sync = 0
+        for seed in range(10):
+            result = run_simulation(
+                make_factory(CausalRstProtocol),
+                random_traffic(4, 30, seed=seed),
+                seed=seed,
+                latency=UniformLatency(1.0, 60.0),
+            )
+            assert is_causally_ordered(result.user_run)
+            if not is_logically_synchronous(result.user_run):
+                non_sync += 1
+        assert non_sync > 0
+
+    def test_every_tagged_spec_contains_x_co(self):
+        for entry in CATALOG:
+            if entry.expected_class != "tagged":
+                continue
+            colors = (None,)
+            if "flush" in entry.name or "marker" in entry.name:
+                colors = (None, "red")
+            if entry.name.startswith("k-weaker"):
+                continue  # arity exceeds the 2-message universe
+            report = check_limit_containments(
+                entry.specification, n_processes=2, n_messages=2, colors=colors
+            )
+            assert report.co_contained, entry.name

@@ -1,0 +1,154 @@
+"""Tests for the appendix constructions (Lemma 2, A.1-A.3)."""
+
+import pytest
+
+from repro.events import Event, EventKind
+from repro.runs.construction import system_run_from_user_run
+from repro.runs.enumeration import enumerate_universe
+from repro.runs.lemma2 import (
+    check_a1_staging,
+    pending_localized_at,
+    singleton_pending,
+    staged_prefixes,
+    tagged_witness,
+    tagless_witness,
+)
+from repro.runs.limit_sets import is_logically_synchronous
+from repro.runs.system_run import causal_past, in_x_gn, in_x_td, in_x_u
+
+
+def gn_runs(n=2, m=2):
+    """System expansions of the logically synchronous user runs."""
+    for user_run in enumerate_universe(n, m):
+        if is_logically_synchronous(user_run):
+            yield system_run_from_user_run(user_run)
+
+
+def td_runs(n=2, m=2):
+    from repro.runs.limit_sets import is_causally_ordered
+
+    for user_run in enumerate_universe(n, m):
+        if is_causally_ordered(user_run):
+            yield system_run_from_user_run(user_run)
+
+
+def u_runs(n=2, m=2):
+    for user_run in enumerate_universe(n, m):
+        yield system_run_from_user_run(user_run)
+
+
+class TestA1GeneralStaging:
+    def test_every_stage_has_singleton_pending(self):
+        count = 0
+        for run in gn_runs():
+            assert in_x_gn(run)
+            stages, forced = check_a1_staging(run)
+            assert stages == len(run.events()) + 1
+            assert forced == stages, "a stage left the protocol a choice"
+            count += 1
+        assert count == 8  # the X_sync runs of the 2p/2m universe
+
+    def test_prefix_chain_grows_one_event_at_a_time(self):
+        run = next(gn_runs())
+        previous = None
+        for prefix in staged_prefixes(run):
+            if previous is not None:
+                assert previous.is_prefix_of(prefix)
+                assert len(prefix) == len(previous) + 1
+            previous = prefix
+        assert previous.sequences() == run.sequences()
+
+    def test_non_gn_run_rejected(self):
+        for run in u_runs():
+            if not in_x_gn(run):
+                with pytest.raises(ValueError, match="numbering"):
+                    list(staged_prefixes(run))
+                break
+
+
+class TestA2TaggedWitness:
+    def _stage_points(self, run):
+        """Prefixes of the run at every event count (via trace order)."""
+        prefix = type(run)(run.n_processes, run.messages())
+        yield prefix.copy()
+        order = []
+        cursors = [0] * run.n_processes
+        # Rebuild a valid append order from a linear extension.
+        events = run.happened_before().a_linear_extension()
+        for event in events:
+            prefix.append(run.process_of(event), event)
+            yield prefix.copy()
+
+    def test_witness_preserves_causal_past_and_localizes_pending(self):
+        checked = 0
+        for run in td_runs():
+            assert in_x_td(run)
+            for prefix in self._stage_points(run):
+                for j in range(run.n_processes):
+                    witness = tagged_witness(prefix, j)
+                    witness.validate()
+                    past_original = causal_past(prefix, j)
+                    past_witness = causal_past(witness, j)
+                    assert past_witness.sequences() == past_original.sequences()
+                    # No receives pending anywhere; all control at j.
+                    for process in range(run.n_processes):
+                        assert not witness.pending_receives(process)
+                        if process != j:
+                            assert not witness.controllable(process)
+                    checked += 1
+        assert checked > 100
+
+    def test_witness_is_a_valid_run(self):
+        run = next(td_runs())
+        for j in range(run.n_processes):
+            tagged_witness(run, j).validate()
+
+
+class TestA3TaglessWitness:
+    def test_witness_preserves_local_history_and_localizes_pending(self):
+        checked = 0
+        for run in u_runs():
+            if not in_x_u(run):
+                continue
+            for j in range(run.n_processes):
+                witness = tagless_witness(run, j)
+                witness.validate()
+                assert witness.sequence(j) == run.sequence(j)
+                assert pending_localized_at(witness, j)
+                checked += 1
+        assert checked > 10
+
+    def test_unrelated_messages_are_dropped(self):
+        # In a 3-process run, traffic between processes 1 and 2 must not
+        # appear in process 0's tagless witness.
+        from repro.events import Message
+        from repro.runs.system_run import SystemRun
+
+        m1 = Message(id="m1", sender=1, receiver=2)
+        run = SystemRun(3, [m1])
+        run.append(1, Event.invoke("m1"))
+        run.append(1, Event.send("m1"))
+        run.append(2, Event.receive("m1"))
+        run.append(2, Event.deliver("m1"))
+        witness = tagless_witness(run, 0)
+        assert witness.events() == []
+
+
+class TestSingletonPending:
+    def test_empty_run_is_trivially_singleton(self):
+        run = next(u_runs())
+        empty = type(run)(run.n_processes, run.messages())
+        assert singleton_pending(empty)
+
+    def test_two_pending_sends_fail(self):
+        from repro.events import Message
+        from repro.runs.system_run import SystemRun
+
+        messages = [
+            Message(id="m1", sender=0, receiver=1),
+            Message(id="m2", sender=0, receiver=1),
+        ]
+        run = SystemRun(2, messages)
+        run.append(0, Event.invoke("m1"))
+        run.append(0, Event.invoke("m2"))
+        assert not singleton_pending(run)

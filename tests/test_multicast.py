@@ -1,0 +1,138 @@
+"""Tests for causal multicast to arbitrary subsets (overlapping groups)."""
+
+import pytest
+
+from repro.apps import run_chat_experiment
+from repro.broadcast import (
+    CausalBroadcastProtocol,
+    CausalMulticastProtocol,
+    delivery_order_at,
+    random_multicasts,
+)
+from repro.predicates.catalog import CAUSAL_ORDERING
+from repro.protocols import CausalRstProtocol, TaglessProtocol
+from repro.protocols.base import make_factory
+from repro.simulation import UniformLatency, run_simulation
+from repro.verification import check_simulation
+
+ADVERSARIAL = UniformLatency(low=1.0, high=60.0)
+
+
+class TestWorkload:
+    def test_subsets_vary_in_size(self):
+        workload = random_multicasts(5, 20, seed=3)
+        sizes = {}
+        for message in workload.messages():
+            sizes.setdefault(message.group, set()).add(message.receiver)
+        counts = {len(s) for s in sizes.values()}
+        assert len(counts) > 1  # genuinely partial multicasts
+        assert max(counts) <= 4
+
+    def test_copies_share_origin_and_time(self):
+        workload = random_multicasts(4, 10, seed=1)
+        by_group = {}
+        for request in workload.requests:
+            by_group.setdefault(request.group, []).append(request)
+        for copies in by_group.values():
+            assert len({r.sender for r in copies}) == 1
+            assert len({r.time for r in copies}) == 1
+
+
+class TestCausalMulticast:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_causal_and_live_on_subsets(self, seed):
+        result = run_simulation(
+            make_factory(CausalMulticastProtocol),
+            random_multicasts(5, 12, seed=seed),
+            seed=seed,
+            latency=ADVERSARIAL,
+        )
+        outcome = check_simulation(result, CAUSAL_ORDERING)
+        assert outcome.ok, outcome.summary()
+        assert result.stats.control_messages == 0
+
+    def test_matrix_tag_shape(self):
+        n = 4
+        result = run_simulation(
+            make_factory(CausalMulticastProtocol),
+            random_multicasts(n, 8, seed=0),
+            seed=0,
+        )
+        # n x n matrix plus the destination tuple: at least the matrix.
+        assert result.stats.max_tag_bytes >= 8 + n * (8 + n * 8)
+
+    def test_group_level_causality_in_chat(self):
+        """The multicast semantics carries over to group conversation:
+        zero reply-before-question anomalies (where unicast CO leaks)."""
+        multicast_anomalies = 0
+        unicast_anomalies = 0
+        for seed in range(8):
+            multicast_anomalies += len(
+                run_chat_experiment(
+                    make_factory(CausalMulticastProtocol),
+                    seed=seed,
+                    latency=ADVERSARIAL,
+                ).anomalies
+            )
+            unicast_anomalies += len(
+                run_chat_experiment(
+                    make_factory(CausalRstProtocol),
+                    seed=seed,
+                    latency=ADVERSARIAL,
+                ).anomalies
+            )
+        assert multicast_anomalies == 0
+        assert unicast_anomalies > 0
+
+    def test_works_for_broadcast_to_all_too(self):
+        from repro.broadcast import group_broadcasts
+
+        for seed in range(4):
+            result = run_simulation(
+                make_factory(CausalMulticastProtocol),
+                group_broadcasts(4, 10, seed=seed),
+                seed=seed,
+                latency=ADVERSARIAL,
+            )
+            assert check_simulation(result, CAUSAL_ORDERING).ok
+
+    def test_bss_cannot_handle_subsets(self):
+        """The broadcast-to-all protocol wedges on partial multicasts:
+        missing copies look like FIFO gaps forever."""
+        stuck = False
+        for seed in range(8):
+            result = run_simulation(
+                make_factory(CausalBroadcastProtocol),
+                random_multicasts(5, 12, seed=seed, min_size=1),
+                seed=seed,
+                latency=ADVERSARIAL,
+            )
+            if not result.delivered_all:
+                stuck = True
+                break
+        assert stuck
+
+    def test_tagless_violates_on_subsets(self):
+        violated = False
+        for seed in range(10):
+            result = run_simulation(
+                make_factory(TaglessProtocol),
+                random_multicasts(5, 12, seed=seed),
+                seed=seed,
+                latency=ADVERSARIAL,
+            )
+            if not check_simulation(result, CAUSAL_ORDERING).safe:
+                violated = True
+                break
+        assert violated
+
+    def test_deterministic(self):
+        def once():
+            return run_simulation(
+                make_factory(CausalMulticastProtocol),
+                random_multicasts(4, 10, seed=6),
+                seed=6,
+                latency=ADVERSARIAL,
+            ).user_run
+
+        assert once() == once()

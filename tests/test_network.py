@@ -1,0 +1,117 @@
+"""Tests for the simulated network."""
+
+import pytest
+
+from repro.events import Message
+from repro.simulation.network import (
+    FixedLatency,
+    Network,
+    Packet,
+    UniformLatency,
+)
+from repro.simulation.sim import Simulator
+
+
+def build(n=2, **kwargs):
+    sim = Simulator()
+    network = Network(sim, n, **kwargs)
+    inboxes = {i: [] for i in range(n)}
+    for i in range(n):
+        network.attach(i, lambda p, i=i: inboxes[i].append((network.sim.now, p)))
+    return sim, network, inboxes
+
+
+class TestRouting:
+    def test_user_packet_arrives_at_destination(self):
+        sim, network, inboxes = build(latency=FixedLatency(2.0))
+        message = Message(id="m1", sender=0, receiver=1)
+        network.send_user(0, 1, message)
+        sim.run()
+        assert len(inboxes[1]) == 1
+        time, packet = inboxes[1][0]
+        assert time == 2.0
+        assert packet.message is message
+        assert packet.is_user
+
+    def test_control_packet(self):
+        sim, network, inboxes = build()
+        network.send_control(1, 0, ("token",))
+        sim.run()
+        _, packet = inboxes[0][0]
+        assert not packet.is_user
+        assert packet.payload == ("token",)
+
+    def test_unknown_destination_rejected(self):
+        sim, network, _ = build()
+        with pytest.raises(ValueError):
+            network.send_control(0, 9, "boom")
+
+    def test_double_attach_rejected(self):
+        sim, network, _ = build()
+        with pytest.raises(ValueError):
+            network.attach(0, lambda p: None)
+
+
+class TestLatencyModels:
+    def test_uniform_bounds(self):
+        import random
+
+        model = UniformLatency(low=1.0, high=5.0)
+        rng = random.Random(0)
+        for _ in range(100):
+            sample = model.sample(rng, 0, 1)
+            assert 1.0 <= sample < 5.0
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            UniformLatency(low=5.0, high=1.0)
+
+    def test_reordering_possible_without_fifo(self):
+        sim, network, inboxes = build(
+            latency=UniformLatency(low=1.0, high=50.0), seed=3
+        )
+        for i in range(20):
+            network.send_user(0, 1, Message(id="m%d" % i, sender=0, receiver=1))
+        sim.run()
+        order = [p.message.id for _, p in inboxes[1]]
+        assert order != ["m%d" % i for i in range(20)]
+
+    def test_fifo_channels_preserve_order(self):
+        sim, network, inboxes = build(
+            latency=UniformLatency(low=1.0, high=50.0),
+            seed=3,
+            fifo_channels=True,
+        )
+        for i in range(20):
+            network.send_user(0, 1, Message(id="m%d" % i, sender=0, receiver=1))
+        sim.run()
+        order = [p.message.id for _, p in inboxes[1]]
+        assert order == ["m%d" % i for i in range(20)]
+
+
+class TestDeterminism:
+    def run_once(self, seed):
+        sim, network, inboxes = build(
+            latency=UniformLatency(low=1.0, high=10.0), seed=seed
+        )
+        for i in range(10):
+            network.send_user(0, 1, Message(id="m%d" % i, sender=0, receiver=1))
+        sim.run()
+        return [(round(t, 9), p.message.id) for t, p in inboxes[1]]
+
+    def test_same_seed_same_schedule(self):
+        assert self.run_once(5) == self.run_once(5)
+
+    def test_different_seed_differs(self):
+        assert self.run_once(5) != self.run_once(6)
+
+
+class TestCounters:
+    def test_packet_counters(self):
+        sim, network, _ = build()
+        network.send_user(0, 1, Message(id="m1", sender=0, receiver=1))
+        network.send_control(0, 1, "x")
+        network.send_control(1, 0, "y")
+        assert network.packets_sent == 3
+        assert network.user_packets == 1
+        assert network.control_packets == 2

@@ -1,0 +1,125 @@
+"""Unit tests for PartialOrder."""
+
+import pytest
+
+from repro.poset import CycleError, PartialOrder
+
+
+def diamond() -> PartialOrder:
+    """a < b, a < c, b < d, c < d."""
+    return PartialOrder(
+        elements="abcd",
+        relations=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+    )
+
+
+class TestQueries:
+    def test_less_is_transitive(self):
+        order = diamond()
+        assert order.less("a", "d")
+        assert not order.less("d", "a")
+
+    def test_leq(self):
+        order = diamond()
+        assert order.leq("a", "a")
+        assert order.leq("a", "d")
+
+    def test_concurrent(self):
+        order = diamond()
+        assert order.concurrent("b", "c")
+        assert not order.concurrent("a", "d")
+        assert not order.concurrent("a", "a")
+
+    def test_down_and_up_sets(self):
+        order = diamond()
+        assert order.down_set("d") == {"a", "b", "c"}
+        assert order.up_set("a") == {"b", "c", "d"}
+        assert order.down_set("a") == set()
+
+    def test_minimal_maximal(self):
+        order = diamond()
+        assert order.minimal_elements() == ["a"]
+        assert order.maximal_elements() == ["d"]
+
+    def test_relation_pairs_full_closure(self):
+        order = diamond()
+        assert ("a", "d") in order.relation_pairs()
+        assert len(order.relation_pairs()) == 5
+
+    def test_covering_pairs_drop_transitive(self):
+        order = PartialOrder(relations=[("a", "b"), ("b", "c"), ("a", "c")])
+        assert order.covering_pairs() == [("a", "b"), ("b", "c")]
+
+    def test_generating_pairs_are_as_recorded(self):
+        order = PartialOrder(relations=[("a", "b"), ("b", "c"), ("a", "c")])
+        assert order.generating_pairs() == [("a", "b"), ("a", "c"), ("b", "c")]
+
+
+class TestCycleHandling:
+    def test_reflexive_relation_rejected_immediately(self):
+        order = PartialOrder()
+        order.add_element("a")
+        with pytest.raises(CycleError):
+            order.add_relation("a", "a")
+
+    def test_cycle_detected_lazily(self):
+        order = PartialOrder(relations=[("a", "b"), ("b", "c")])
+        order.add_relation("c", "a")
+        assert not order.is_valid()
+        with pytest.raises(CycleError):
+            order.validate()
+
+    def test_cycle_error_carries_cycle(self):
+        order = PartialOrder(relations=[("a", "b"), ("b", "a")])
+        with pytest.raises(CycleError) as excinfo:
+            order.validate()
+        assert set(excinfo.value.cycle) >= {"a", "b"}
+
+
+class TestOperations:
+    def test_linear_extension_respects_order(self):
+        order = diamond()
+        extension = order.a_linear_extension()
+        position = {node: i for i, node in enumerate(extension)}
+        for low, high in order.relation_pairs():
+            assert position[low] < position[high]
+
+    def test_all_linear_extensions_of_diamond(self):
+        order = diamond()
+        extensions = list(order.all_linear_extensions())
+        assert len(extensions) == 2  # b and c can swap
+
+    def test_restricted_to_preserves_closure(self):
+        order = PartialOrder(relations=[("a", "b"), ("b", "c")])
+        restricted = order.restricted_to({"a", "c"})
+        assert restricted.less("a", "c")
+
+    def test_is_down_closed(self):
+        order = diamond()
+        assert order.is_down_closed({"a", "b"})
+        assert not order.is_down_closed({"b"})
+        assert order.is_down_closed(set())
+
+    def test_copy_independent(self):
+        order = diamond()
+        clone = order.copy()
+        clone.add_relation("d", "e")
+        assert "e" not in order
+        assert clone.less("a", "e")
+
+    def test_equality_by_closure(self):
+        left = PartialOrder(relations=[("a", "b"), ("b", "c"), ("a", "c")])
+        right = PartialOrder(relations=[("a", "b"), ("b", "c")])
+        assert left == right
+
+    def test_add_element_keeps_cached_closure_fresh(self):
+        order = PartialOrder(relations=[("a", "b")])
+        assert order.less("a", "b")  # force closure cache
+        order.add_element("z")
+        assert "z" in order.elements()
+        assert not order.less("z", "a")
+        assert order.down_set("z") == set()
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(PartialOrder())

@@ -1,0 +1,107 @@
+"""Tests for trace and run serialization."""
+
+import io
+import json
+
+import pytest
+
+from repro.protocols import CausalRstProtocol
+from repro.protocols.base import make_factory
+from repro.simulation import UniformLatency, random_traffic, run_simulation
+from repro.simulation.persistence import (
+    load_trace,
+    message_from_dict,
+    message_to_dict,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+    user_run_from_dict,
+    user_run_to_dict,
+)
+from repro.verification import check_run
+from repro.predicates.catalog import CAUSAL_ORDERING
+
+
+@pytest.fixture
+def recorded():
+    return run_simulation(
+        make_factory(CausalRstProtocol),
+        random_traffic(3, 15, seed=2, color_every=5),
+        seed=2,
+        latency=UniformLatency(1.0, 30.0),
+    )
+
+
+class TestMessageCodec:
+    def test_round_trip_with_attributes(self):
+        from repro.events import Message
+
+        message = Message(id="m1", sender=0, receiver=2, color="red", group="b1")
+        assert message_from_dict(message_to_dict(message)) == message
+
+    def test_optional_fields_omitted(self):
+        from repro.events import Message
+
+        payload = message_to_dict(Message(id="m1", sender=0, receiver=1))
+        assert "color" not in payload and "group" not in payload
+
+
+class TestTraceCodec:
+    def test_dict_round_trip(self, recorded):
+        payload = trace_to_dict(recorded.trace)
+        restored = trace_from_dict(payload)
+        assert restored.to_system_run().sequences() == recorded.system_run.sequences()
+        assert restored.to_user_run() == recorded.user_run
+
+    def test_file_round_trip(self, recorded, tmp_path):
+        path = str(tmp_path / "trace.json")
+        save_trace(recorded.trace, path)
+        restored = load_trace(path)
+        assert restored.to_user_run() == recorded.user_run
+
+    def test_stream_round_trip(self, recorded):
+        buffer = io.StringIO()
+        save_trace(recorded.trace, buffer)
+        buffer.seek(0)
+        restored = load_trace(buffer)
+        assert len(restored) == len(recorded.trace)
+
+    def test_format_guard(self):
+        with pytest.raises(ValueError, match="not a repro trace"):
+            trace_from_dict({"format": "something-else"})
+
+    def test_times_preserved(self, recorded):
+        restored = trace_from_dict(trace_to_dict(recorded.trace))
+        for record in recorded.trace.records():
+            assert restored.time_of(record.event) == record.time
+
+    def test_restored_run_verifies_identically(self, recorded):
+        restored = trace_from_dict(trace_to_dict(recorded.trace))
+        original = check_run(recorded.user_run, CAUSAL_ORDERING)
+        replayed = check_run(restored.to_user_run(), CAUSAL_ORDERING)
+        assert original.safe == replayed.safe
+
+
+class TestUserRunCodec:
+    def test_round_trip(self, recorded):
+        payload = user_run_to_dict(recorded.user_run)
+        restored = user_run_from_dict(payload)
+        assert restored == recorded.user_run
+
+    def test_json_serializable(self, recorded):
+        text = json.dumps(user_run_to_dict(recorded.user_run))
+        restored = user_run_from_dict(json.loads(text))
+        assert restored == recorded.user_run
+
+    def test_format_guard(self):
+        with pytest.raises(ValueError, match="not a repro user run"):
+            user_run_from_dict({"format": "nope"})
+
+    def test_abstract_runs_round_trip(self):
+        """Runs with non-realizable cross-process order survive too."""
+        from repro.predicates.catalog import CAUSAL_B2
+        from repro.runs.construction import run_from_predicate_instance
+
+        run = run_from_predicate_instance(CAUSAL_B2)
+        restored = user_run_from_dict(user_run_to_dict(run))
+        assert restored == run

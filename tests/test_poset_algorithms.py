@@ -1,0 +1,131 @@
+"""Unit tests for the graph algorithms underlying posets and cycles."""
+
+import pytest
+
+from repro.poset.algorithms import (
+    find_cycle,
+    is_acyclic,
+    linear_extensions,
+    strongly_connected_components,
+    topological_sort,
+    transitive_closure,
+    transitive_reduction,
+)
+from repro.poset.digraph import Digraph
+
+
+class TestTopologicalSort:
+    def test_respects_edges(self):
+        graph = Digraph(edges=[("b", "a"), ("c", "b")])
+        assert topological_sort(graph) == ["c", "b", "a"]
+
+    def test_lexicographically_least(self):
+        graph = Digraph(nodes=["a", "b", "c"], edges=[("b", "c")])
+        assert topological_sort(graph) == ["a", "b", "c"]
+
+    def test_cycle_rejected(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "a")])
+        with pytest.raises(ValueError, match="cycle"):
+            topological_sort(graph)
+
+    def test_empty_graph(self):
+        assert topological_sort(Digraph()) == []
+
+
+class TestFindCycle:
+    def test_acyclic_returns_none(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "c")])
+        assert find_cycle(graph) is None
+        assert is_acyclic(graph)
+
+    def test_cycle_found_and_closed(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+        cycle = find_cycle(graph)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        for tail, head in zip(cycle, cycle[1:]):
+            assert graph.has_edge(tail, head)
+
+    def test_self_loop_detected(self):
+        graph = Digraph(edges=[("a", "a")])
+        cycle = find_cycle(graph)
+        assert cycle == ["a", "a"]
+
+    def test_cycle_off_the_main_component(self):
+        graph = Digraph(edges=[("a", "b"), ("x", "y"), ("y", "x")])
+        assert find_cycle(graph) is not None
+
+
+class TestClosureAndReduction:
+    def test_closure_adds_transitive_edges(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "c")])
+        closure = transitive_closure(graph)
+        assert closure.has_edge("a", "c")
+
+    def test_reduction_removes_redundant_edges(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        reduction = transitive_reduction(graph)
+        assert reduction.edges() == [("a", "b"), ("b", "c")]
+
+    def test_reduction_of_reduction_is_identity(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "c"), ("a", "c"), ("a", "d")])
+        once = transitive_reduction(graph)
+        twice = transitive_reduction(once)
+        assert once.edges() == twice.edges()
+
+    def test_reduction_rejects_cycles(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "a")])
+        with pytest.raises(ValueError):
+            transitive_reduction(graph)
+
+    def test_closure_then_reduction_recovers_chain(self):
+        chain = Digraph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+        assert transitive_reduction(transitive_closure(chain)).edges() == chain.edges()
+
+
+class TestLinearExtensions:
+    def test_total_order_has_one_extension(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "c")])
+        assert list(linear_extensions(graph)) == [["a", "b", "c"]]
+
+    def test_antichain_has_factorial_extensions(self):
+        graph = Digraph(nodes=["a", "b", "c"])
+        extensions = list(linear_extensions(graph))
+        assert len(extensions) == 6
+        assert extensions[0] == ["a", "b", "c"]  # lexicographic first
+
+    def test_every_extension_respects_order(self):
+        graph = Digraph(edges=[("a", "c"), ("b", "c"), ("c", "d")])
+        for extension in linear_extensions(graph):
+            position = {node: i for i, node in enumerate(extension)}
+            for tail, head in graph.edges():
+                assert position[tail] < position[head]
+
+    def test_limit(self):
+        graph = Digraph(nodes=["a", "b", "c", "d"])
+        assert len(list(linear_extensions(graph, limit=5))) == 5
+
+    def test_cyclic_input_rejected(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "a")])
+        with pytest.raises(ValueError):
+            list(linear_extensions(graph))
+
+
+class TestStronglyConnectedComponents:
+    def test_dag_components_are_singletons(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "c")])
+        assert strongly_connected_components(graph) == [["a"], ["b"], ["c"]]
+
+    def test_cycle_is_one_component(self):
+        graph = Digraph(edges=[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")])
+        components = strongly_connected_components(graph)
+        assert ["a", "b", "c"] in components
+        assert ["d"] in components
+
+    def test_two_cycles_bridged(self):
+        graph = Digraph(
+            edges=[("a", "b"), ("b", "a"), ("b", "c"), ("c", "d"), ("d", "c")]
+        )
+        components = strongly_connected_components(graph)
+        assert ["a", "b"] in components
+        assert ["c", "d"] in components

@@ -1,0 +1,76 @@
+"""Tests for predicate graph construction (§4.2, Example 1)."""
+
+import pytest
+
+from repro.events import DELIVER, SEND
+from repro.graphs.predicate_graph import PredicateGraph
+from repro.poset.algorithms import find_cycle
+from repro.predicates import parse_predicate
+from repro.predicates.catalog import CAUSAL_B2, EXAMPLE_1
+
+
+class TestExample1:
+    """The worked example of §4.2."""
+
+    def test_vertices(self):
+        graph = PredicateGraph(EXAMPLE_1)
+        assert set(graph.vertices) == {"x1", "x2", "x3", "x4", "x5"}
+
+    def test_edges_match_conjuncts(self):
+        graph = PredicateGraph(EXAMPLE_1)
+        pairs = [(e.tail, e.head) for e in graph.edges]
+        assert pairs == [
+            ("x1", "x2"),
+            ("x2", "x3"),
+            ("x3", "x4"),
+            ("x4", "x5"),
+            ("x4", "x1"),
+            ("x1", "x4"),
+        ]
+
+    def test_edge_labels(self):
+        graph = PredicateGraph(EXAMPLE_1)
+        first = graph.edges[0]
+        assert first.p is DELIVER and first.q is SEND  # x1.r > x2.s
+
+
+class TestMultigraphFeatures:
+    def test_parallel_edges_preserved(self):
+        predicate = parse_predicate("x.s < y.s & x.r < y.r")
+        graph = PredicateGraph(predicate)
+        assert len(graph.parallel_edges("x", "y")) == 2
+
+    def test_self_loops(self):
+        predicate = parse_predicate("x.s < x.r & x.s < y.s")
+        graph = PredicateGraph(predicate)
+        loops = graph.self_loops()
+        assert len(loops) == 1
+        assert loops[0].is_degenerate
+
+    def test_non_degenerate_self_loop(self):
+        predicate = parse_predicate("x.r < x.s")
+        graph = PredicateGraph(predicate)
+        assert graph.self_loops()[0].is_degenerate is False
+
+    def test_underlying_digraph_excludes_self_loops_by_default(self):
+        predicate = parse_predicate("x.s < x.r & x.s < y.s")
+        graph = PredicateGraph(predicate)
+        assert not graph.underlying_digraph().has_edge("x", "x")
+        assert graph.underlying_digraph(include_self_loops=True).has_edge("x", "x")
+
+
+class TestEventGraph:
+    def test_satisfiable_predicate_has_acyclic_event_graph(self):
+        graph = PredicateGraph(CAUSAL_B2)
+        assert find_cycle(graph.event_graph()) is None
+
+    def test_unsatisfiable_predicate_has_cyclic_event_graph(self):
+        predicate = parse_predicate("x.s < y.s & y.s < x.s")
+        graph = PredicateGraph(predicate)
+        assert find_cycle(graph.event_graph()) is not None
+
+    def test_implicit_send_before_deliver_edges_used(self):
+        # x.s>y.s & y.r>x.s is unsatisfiable only through y.s -> y.r.
+        predicate = parse_predicate("x.s < y.s & y.r < x.s")
+        graph = PredicateGraph(predicate)
+        assert find_cycle(graph.event_graph()) is not None

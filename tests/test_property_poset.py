@@ -1,0 +1,135 @@
+"""Property-based tests for the partial-order substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.poset import PartialOrder
+from repro.poset.algorithms import (
+    find_cycle,
+    is_acyclic,
+    linear_extensions,
+    strongly_connected_components,
+    topological_sort,
+    transitive_closure,
+    transitive_reduction,
+)
+from repro.poset.digraph import Digraph
+
+
+@st.composite
+def dags(draw, max_nodes=8):
+    """Random DAGs: edges only from lower to higher labels."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    nodes = list(range(n))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).filter(lambda e: e[0] < e[1]),
+            max_size=3 * n,
+        )
+    )
+    return Digraph(nodes=nodes, edges=edges)
+
+
+@st.composite
+def digraphs(draw, max_nodes=7):
+    """Random directed graphs, possibly cyclic."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=3 * n,
+        )
+    )
+    return Digraph(nodes=range(n), edges=edges)
+
+
+class TestClosureProperties:
+    @given(dags())
+    def test_closure_is_idempotent(self, graph):
+        once = transitive_closure(graph)
+        twice = transitive_closure(once)
+        assert once.edges() == twice.edges()
+
+    @given(dags())
+    def test_closure_contains_graph(self, graph):
+        closure = transitive_closure(graph)
+        for edge in graph.edges():
+            assert edge in closure.edges() or edge[0] == edge[1]
+
+    @given(dags())
+    def test_reduction_round_trips_through_closure(self, graph):
+        closure = transitive_closure(graph)
+        reduction = transitive_reduction(closure)
+        assert transitive_closure(reduction).edges() == closure.edges()
+
+    @given(dags())
+    def test_reduction_is_subset(self, graph):
+        closure = transitive_closure(graph)
+        assert set(transitive_reduction(closure).edges()) <= set(closure.edges())
+
+
+class TestOrderProperties:
+    @given(dags())
+    def test_topological_sort_respects_all_edges(self, graph):
+        order = topological_sort(graph)
+        position = {node: i for i, node in enumerate(order)}
+        for tail, head in graph.edges():
+            assert position[tail] < position[head]
+
+    @given(dags())
+    def test_linear_extensions_all_valid(self, graph):
+        count = 0
+        for extension in linear_extensions(graph, limit=20):
+            position = {node: i for i, node in enumerate(extension)}
+            for tail, head in graph.edges():
+                assert position[tail] < position[head]
+            count += 1
+        assert count >= 1
+
+    @given(dags())
+    def test_down_set_up_set_duality(self, graph):
+        order = PartialOrder(elements=graph.nodes(), relations=graph.edges())
+        for a in graph.nodes():
+            for b in order.up_set(a):
+                assert a in order.down_set(b)
+
+    @given(dags())
+    def test_less_is_a_strict_order(self, graph):
+        order = PartialOrder(elements=graph.nodes(), relations=graph.edges())
+        nodes = graph.nodes()
+        for a in nodes:
+            assert not order.less(a, a)
+            for b in nodes:
+                if order.less(a, b):
+                    assert not order.less(b, a)
+                for c in nodes:
+                    if order.less(a, b) and order.less(b, c):
+                        assert order.less(a, c)
+
+
+class TestCycleDetectionProperties:
+    @given(digraphs())
+    def test_find_cycle_returns_real_cycle_or_proves_acyclic(self, graph):
+        cycle = find_cycle(graph)
+        if cycle is None:
+            topological_sort(graph)  # must not raise
+        else:
+            assert cycle[0] == cycle[-1]
+            for tail, head in zip(cycle, cycle[1:]):
+                assert graph.has_edge(tail, head)
+
+    @given(digraphs())
+    def test_scc_partitions_nodes(self, graph):
+        components = strongly_connected_components(graph)
+        flattened = [node for component in components for node in component]
+        assert sorted(flattened) == graph.nodes()
+
+    @given(digraphs())
+    def test_acyclic_iff_all_sccs_trivial(self, graph):
+        has_self_loop = any(graph.has_edge(n, n) for n in graph.nodes())
+        nontrivial = any(
+            len(c) > 1 for c in strongly_connected_components(graph)
+        )
+        assert is_acyclic(graph) == (not nontrivial and not has_self_loop)

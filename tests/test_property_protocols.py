@@ -1,0 +1,100 @@
+"""Property-style protocol hammering: broad seed sweeps on every protocol.
+
+These are the empirical halves of Theorem 1: each protocol's recorded
+runs stay inside its specification's run set across workloads, seeds and
+adversarial latency; and each weaker class exhibits violations of the
+stronger specifications somewhere in the sweep.
+"""
+
+import pytest
+
+from repro.predicates.catalog import (
+    CAUSAL_ORDERING,
+    FIFO_ORDERING,
+    LOGICALLY_SYNCHRONOUS,
+)
+from repro.protocols import (
+    CausalRstProtocol,
+    CausalSesProtocol,
+    FifoProtocol,
+    SyncCoordinatorProtocol,
+    SyncRendezvousProtocol,
+    TaglessProtocol,
+)
+from repro.protocols.base import make_factory
+from repro.simulation import (
+    UniformLatency,
+    broadcast_storm,
+    client_server,
+    pipeline_chain,
+    random_traffic,
+    run_simulation,
+)
+from repro.verification import check_simulation
+
+SEEDS = range(8)
+HARSH = UniformLatency(low=0.5, high=80.0)
+
+WORKLOADS = [
+    lambda seed: random_traffic(4, 30, seed=seed),
+    lambda seed: broadcast_storm(4, rounds=5, seed=seed),
+    lambda seed: client_server(3, 3, seed=seed),
+    lambda seed: pipeline_chain(4, 5, seed=seed),
+]
+
+
+def sweep(factory, spec):
+    """Run the protocol over the whole grid; return per-run check results."""
+    outcomes = []
+    for make_workload in WORKLOADS:
+        for seed in SEEDS:
+            result = run_simulation(
+                factory, make_workload(seed), seed=seed, latency=HARSH
+            )
+            outcomes.append(check_simulation(result, spec))
+    return outcomes
+
+
+class TestSafetySweeps:
+    def test_fifo_protocol_sweep(self):
+        outcomes = sweep(make_factory(FifoProtocol), FIFO_ORDERING)
+        assert all(o.ok for o in outcomes)
+
+    def test_causal_rst_sweep(self):
+        outcomes = sweep(make_factory(CausalRstProtocol), CAUSAL_ORDERING)
+        assert all(o.ok for o in outcomes)
+
+    def test_causal_ses_sweep(self):
+        outcomes = sweep(make_factory(CausalSesProtocol), CAUSAL_ORDERING)
+        assert all(o.ok for o in outcomes)
+
+    def test_sync_coordinator_sweep(self):
+        outcomes = sweep(
+            make_factory(SyncCoordinatorProtocol), LOGICALLY_SYNCHRONOUS
+        )
+        assert all(o.ok for o in outcomes)
+
+    def test_sync_rendezvous_sweep(self):
+        outcomes = sweep(
+            make_factory(SyncRendezvousProtocol), LOGICALLY_SYNCHRONOUS
+        )
+        assert all(o.ok for o in outcomes)
+
+
+class TestHierarchySweeps:
+    """Each class's protocol violates the next-stronger spec somewhere."""
+
+    def test_tagless_violates_causal(self):
+        outcomes = sweep(make_factory(TaglessProtocol), CAUSAL_ORDERING)
+        assert all(o.live for o in outcomes)
+        assert any(not o.safe for o in outcomes)
+
+    def test_causal_violates_sync(self):
+        outcomes = sweep(make_factory(CausalRstProtocol), LOGICALLY_SYNCHRONOUS)
+        assert all(o.live for o in outcomes)
+        assert any(not o.safe for o in outcomes)
+
+    def test_sync_satisfies_everything_downward(self):
+        for spec in (CAUSAL_ORDERING, FIFO_ORDERING):
+            outcomes = sweep(make_factory(SyncCoordinatorProtocol), spec)
+            assert all(o.ok for o in outcomes)

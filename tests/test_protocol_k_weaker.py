@@ -1,0 +1,112 @@
+"""The k-weaker causal ordering protocol (§6)."""
+
+import pytest
+
+from repro.predicates.catalog import CAUSAL_ORDERING, k_weaker_causal_spec
+from repro.protocols import KWeakerCausalProtocol, TaglessProtocol
+from repro.protocols.base import make_factory
+from repro.simulation import UniformLatency, broadcast_storm, random_traffic, run_simulation
+from repro.verification import check_simulation
+
+ADVERSARIAL = UniformLatency(low=1.0, high=60.0)
+
+
+class TestConstruction:
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            KWeakerCausalProtocol(-1)
+
+    def test_name_includes_k(self):
+        assert KWeakerCausalProtocol(2).name == "k-weaker-causal(2)"
+
+
+class TestSafety:
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_spec_satisfied(self, k, seed):
+        result = run_simulation(
+            make_factory(KWeakerCausalProtocol, k),
+            random_traffic(4, 40, seed=seed),
+            seed=seed,
+            latency=ADVERSARIAL,
+        )
+        outcome = check_simulation(result, k_weaker_causal_spec(k))
+        assert outcome.ok, outcome.summary()
+
+    def test_k0_equals_causal_ordering(self):
+        for seed in range(4):
+            result = run_simulation(
+                make_factory(KWeakerCausalProtocol, 0),
+                broadcast_storm(3, rounds=5, seed=seed),
+                seed=seed,
+                latency=ADVERSARIAL,
+            )
+            assert check_simulation(result, CAUSAL_ORDERING).ok
+
+    def test_weaker_spec_still_holds_for_larger_chain(self):
+        # A protocol for k also satisfies every weaker (larger-k) spec.
+        result = run_simulation(
+            make_factory(KWeakerCausalProtocol, 1),
+            random_traffic(3, 40, seed=7),
+            seed=7,
+            latency=ADVERSARIAL,
+        )
+        assert check_simulation(result, k_weaker_causal_spec(1)).ok
+        assert check_simulation(result, k_weaker_causal_spec(2)).ok
+
+
+class TestRelaxationPaysOff:
+    def test_larger_k_delays_fewer_deliveries(self):
+        delays = {}
+        for k in (0, 2, 5):
+            total = 0
+            for seed in range(4):
+                result = run_simulation(
+                    make_factory(KWeakerCausalProtocol, k),
+                    broadcast_storm(4, rounds=8, seed=seed),
+                    seed=seed,
+                    latency=ADVERSARIAL,
+                )
+                total += result.stats.delayed_deliveries
+            delays[k] = total
+        assert delays[0] >= delays[2] >= delays[5]
+        assert delays[0] > delays[5]
+
+    def test_k1_allows_causal_violations_tagless_style(self):
+        """k >= 1 genuinely relaxes: some run violates strict CO."""
+        violated = False
+        for seed in range(10):
+            result = run_simulation(
+                make_factory(KWeakerCausalProtocol, 3),
+                random_traffic(3, 40, seed=seed),
+                seed=seed,
+                latency=ADVERSARIAL,
+            )
+            if not check_simulation(result, CAUSAL_ORDERING).safe:
+                violated = True
+                break
+        assert violated
+
+
+class TestNecessitySide:
+    def test_tagless_violates_k_weaker_somewhere(self):
+        violated = False
+        for seed in range(15):
+            result = run_simulation(
+                make_factory(TaglessProtocol),
+                broadcast_storm(3, rounds=8, seed=seed),
+                seed=seed,
+                latency=ADVERSARIAL,
+            )
+            if not check_simulation(result, k_weaker_causal_spec(1)).safe:
+                violated = True
+                break
+        assert violated
+
+    def test_no_control_messages(self):
+        result = run_simulation(
+            make_factory(KWeakerCausalProtocol, 1),
+            random_traffic(3, 30, seed=0),
+            seed=0,
+        )
+        assert result.stats.control_messages == 0

@@ -1,0 +1,169 @@
+"""Per-protocol behaviour: tagless, FIFO, flush channels.
+
+The *necessity* side of the theorems also appears here: under an
+adversarial (reordering) network the weaker protocol must actually exhibit
+the violations the stronger ones exclude.
+"""
+
+import pytest
+
+from repro.predicates.catalog import (
+    FIFO_ORDERING,
+    LOCAL_BACKWARD_FLUSH,
+    LOCAL_FORWARD_FLUSH,
+    TWO_WAY_FLUSH,
+)
+from repro.protocols import FifoProtocol, FlushChannelProtocol, TaglessProtocol
+from repro.protocols.base import make_factory
+from repro.protocols.flush import BACKWARD, FORWARD, ORDINARY, TWO_WAY
+from repro.simulation import (
+    UniformLatency,
+    random_traffic,
+    red_marker_stream,
+    run_simulation,
+)
+from repro.verification import check_simulation
+
+ADVERSARIAL = UniformLatency(low=1.0, high=60.0)
+
+
+class TestTagless:
+    def test_liveness_everywhere(self):
+        for seed in range(5):
+            result = run_simulation(
+                make_factory(TaglessProtocol),
+                random_traffic(4, 40, seed=seed),
+                seed=seed,
+                latency=ADVERSARIAL,
+            )
+            assert result.delivered_all
+
+    def test_no_overhead(self):
+        result = run_simulation(
+            make_factory(TaglessProtocol), random_traffic(3, 20, seed=0), seed=0
+        )
+        assert result.stats.control_messages == 0
+        assert result.stats.tag_bytes_total <= result.stats.user_messages
+        assert result.stats.delayed_deliveries == 0
+
+    def test_violates_fifo_under_reordering(self):
+        """Necessity: with no protocol, some seed reorders a channel."""
+        violated = False
+        for seed in range(10):
+            result = run_simulation(
+                make_factory(TaglessProtocol),
+                random_traffic(2, 30, seed=seed),
+                seed=seed,
+                latency=ADVERSARIAL,
+            )
+            if not check_simulation(result, FIFO_ORDERING).safe:
+                violated = True
+                break
+        assert violated
+
+
+class TestFifo:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fifo_spec_satisfied(self, seed):
+        result = run_simulation(
+            make_factory(FifoProtocol),
+            random_traffic(3, 40, seed=seed),
+            seed=seed,
+            latency=ADVERSARIAL,
+        )
+        outcome = check_simulation(result, FIFO_ORDERING)
+        assert outcome.ok, outcome.summary()
+
+    def test_tag_is_one_integer(self):
+        result = run_simulation(
+            make_factory(FifoProtocol), random_traffic(3, 20, seed=1), seed=1
+        )
+        assert result.stats.max_tag_bytes == 8
+        assert result.stats.control_messages == 0
+
+    def test_channels_are_independent(self):
+        # FIFO only orders same-channel messages; cross-channel causal
+        # inversions are allowed and do occur.
+        from repro.predicates.catalog import CAUSAL_ORDERING
+
+        violated = False
+        for seed in range(10):
+            result = run_simulation(
+                make_factory(FifoProtocol),
+                random_traffic(4, 40, seed=seed),
+                seed=seed,
+                latency=ADVERSARIAL,
+            )
+            assert check_simulation(result, FIFO_ORDERING).safe
+            if not check_simulation(result, CAUSAL_ORDERING).safe:
+                violated = True
+        assert violated
+
+
+class TestFlushChannels:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_two_way_flush_spec(self, seed):
+        result = run_simulation(
+            make_factory(FlushChannelProtocol),
+            red_marker_stream(40, marker_every=5, seed=seed),
+            seed=seed,
+            latency=ADVERSARIAL,
+        )
+        outcome = check_simulation(result, TWO_WAY_FLUSH)
+        assert outcome.ok, outcome.summary()
+
+    def test_forward_only_flush(self):
+        factory = make_factory(FlushChannelProtocol, {"red": FORWARD})
+        for seed in range(5):
+            result = run_simulation(
+                factory,
+                red_marker_stream(40, marker_every=5, seed=seed),
+                seed=seed,
+                latency=ADVERSARIAL,
+            )
+            assert check_simulation(result, LOCAL_FORWARD_FLUSH).ok
+
+    def test_backward_only_flush(self):
+        factory = make_factory(FlushChannelProtocol, {"red": BACKWARD})
+        for seed in range(5):
+            result = run_simulation(
+                factory,
+                red_marker_stream(40, marker_every=5, seed=seed),
+                seed=seed,
+                latency=ADVERSARIAL,
+            )
+            assert check_simulation(result, LOCAL_BACKWARD_FLUSH).ok
+
+    def test_ordinary_messages_may_still_reorder(self):
+        """Flush channels are weaker than FIFO: ordinary traffic between
+        markers can overtake."""
+        violated = False
+        for seed in range(10):
+            result = run_simulation(
+                make_factory(FlushChannelProtocol),
+                red_marker_stream(40, marker_every=10, seed=seed),
+                seed=seed,
+                latency=ADVERSARIAL,
+            )
+            assert check_simulation(result, TWO_WAY_FLUSH).safe
+            if not check_simulation(result, FIFO_ORDERING).safe:
+                violated = True
+        assert violated
+
+    def test_ordinary_color_mapping(self):
+        protocol = FlushChannelProtocol({"red": TWO_WAY, "blue": FORWARD})
+        from repro.events import Message
+
+        assert protocol.kind_of(Message(id="a", sender=0, receiver=1)) == ORDINARY
+        assert (
+            protocol.kind_of(Message(id="b", sender=0, receiver=1, color="red"))
+            == TWO_WAY
+        )
+        assert (
+            protocol.kind_of(Message(id="c", sender=0, receiver=1, color="blue"))
+            == FORWARD
+        )
+
+    def test_unknown_flush_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FlushChannelProtocol({"red": "sideways"})

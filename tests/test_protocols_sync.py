@@ -1,0 +1,119 @@
+"""The two general (control-message) logically synchronous protocols."""
+
+import pytest
+
+from repro.predicates.catalog import CAUSAL_ORDERING, LOGICALLY_SYNCHRONOUS
+from repro.protocols import (
+    CausalRstProtocol,
+    SyncCoordinatorProtocol,
+    SyncRendezvousProtocol,
+)
+from repro.protocols.base import make_factory
+from repro.runs.limit_sets import is_logically_synchronous, sync_numbering
+from repro.simulation import (
+    UniformLatency,
+    broadcast_storm,
+    client_server,
+    random_traffic,
+    run_simulation,
+)
+from repro.verification import check_simulation
+
+ADVERSARIAL = UniformLatency(low=1.0, high=60.0)
+
+SYNC_FACTORIES = [
+    pytest.param(make_factory(SyncCoordinatorProtocol), id="coordinator"),
+    pytest.param(make_factory(SyncRendezvousProtocol), id="rendezvous"),
+]
+
+
+@pytest.mark.parametrize("factory", SYNC_FACTORIES)
+class TestSynchrony:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_runs_are_logically_synchronous(self, factory, seed):
+        result = run_simulation(
+            factory,
+            random_traffic(4, 40, seed=seed),
+            seed=seed,
+            latency=ADVERSARIAL,
+        )
+        outcome = check_simulation(result, LOGICALLY_SYNCHRONOUS)
+        assert outcome.ok, outcome.summary()
+        assert is_logically_synchronous(result.user_run)
+
+    def test_numbering_witness_exists(self, factory):
+        result = run_simulation(
+            factory, random_traffic(3, 20, seed=2), seed=2
+        )
+        assert sync_numbering(result.user_run) is not None
+
+    def test_sync_implies_causal(self, factory):
+        result = run_simulation(
+            factory,
+            broadcast_storm(3, rounds=5, seed=1),
+            seed=1,
+            latency=ADVERSARIAL,
+        )
+        assert check_simulation(result, CAUSAL_ORDERING).ok
+
+    def test_control_messages_are_used(self, factory):
+        """Theorem 1.1: this class cannot exist without control traffic."""
+        result = run_simulation(
+            factory, random_traffic(4, 30, seed=3), seed=3
+        )
+        assert result.stats.control_messages > 0
+
+    def test_client_server_liveness(self, factory):
+        result = run_simulation(
+            factory, client_server(3, 3, seed=0), seed=0, latency=ADVERSARIAL
+        )
+        assert result.delivered_all
+
+
+class TestControlOverheadShape:
+    def test_coordinator_three_control_messages_per_transfer(self):
+        workload = random_traffic(4, 30, seed=5)
+        result = run_simulation(
+            make_factory(SyncCoordinatorProtocol), workload, seed=5
+        )
+        # REQ + GRANT + DONE per remote transfer; transfers touching the
+        # coordinator replace some legs with local calls.
+        assert 0 < result.stats.control_messages <= 3 * 30
+
+    def test_rendezvous_three_control_messages_plus_retries(self):
+        workload = random_traffic(4, 30, seed=5)
+        result = run_simulation(
+            make_factory(SyncRendezvousProtocol), workload, seed=5
+        )
+        # REQ + ACK + FIN per transfer, plus REQ + NACK per refusal.
+        overhead = result.stats.control_messages - 3 * 30
+        assert overhead >= 0 and overhead % 2 == 0
+
+    def test_tagged_protocol_is_not_synchronous(self):
+        """The converse: causal protocols do not produce only sync runs."""
+        found_non_sync = False
+        for seed in range(10):
+            result = run_simulation(
+                make_factory(CausalRstProtocol),
+                random_traffic(4, 30, seed=seed),
+                seed=seed,
+                latency=ADVERSARIAL,
+            )
+            if not is_logically_synchronous(result.user_run):
+                found_non_sync = True
+                break
+        assert found_non_sync
+
+
+class TestStress:
+    @pytest.mark.parametrize("factory", SYNC_FACTORIES)
+    def test_many_seeds_no_deadlock(self, factory):
+        for seed in range(12):
+            result = run_simulation(
+                factory,
+                random_traffic(5, 25, seed=seed),
+                seed=seed,
+                latency=UniformLatency(low=1.0, high=30.0),
+            )
+            assert result.delivered_all
+            assert is_logically_synchronous(result.user_run)

@@ -1,0 +1,101 @@
+"""Tests for Lemma 4 cycle contraction."""
+
+import pytest
+
+from repro.graphs.beta import beta_vertices, cycle_order
+from repro.graphs.cycles import resolved_cycles
+from repro.graphs.predicate_graph import PredicateGraph
+from repro.graphs.reduction import cycle_to_predicate, reduce_cycle
+from repro.predicates import parse_predicate
+from repro.predicates.catalog import CAUSAL_B2, EXAMPLE_1, crown
+
+
+def only_cycle(predicate):
+    cycles = resolved_cycles(PredicateGraph(predicate))
+    assert len(cycles) == 1
+    return cycles[0]
+
+
+def example_2_cycle():
+    cycles = resolved_cycles(PredicateGraph(EXAMPLE_1))
+    (cycle,) = [c for c in cycles if c.length == 4]
+    return cycle
+
+
+class TestLemma4Postconditions:
+    def test_example_1_reduces_to_two_vertices(self):
+        reduction = reduce_cycle(example_2_cycle())
+        assert reduction.reduced.length == 2
+        assert reduction.order == 1  # order preserved
+        assert "x4" in reduction.reduced.vertices  # the β vertex survives
+
+    def test_example_3_intermediate_contraction(self):
+        """§4.2.1 Example 3 contracts x3 first: the derived edge merges
+        x2.s > x3.s and x3.r > x4.r into x2.s > x4.r."""
+        reduction = reduce_cycle(example_2_cycle())
+        step_edges = [
+            (s.removed, repr(s.new_edge)) for s in reduction.steps
+        ]
+        removed = [s.removed for s in reduction.steps]
+        assert set(removed) <= {"x1", "x2", "x3"}  # x4 is β, never removed
+
+    def test_crown_is_already_all_beta(self):
+        cycle = only_cycle(crown(4))
+        reduction = reduce_cycle(cycle)
+        assert reduction.steps == ()
+        assert reduction.reduced == cycle
+
+    def test_two_vertex_cycle_is_fixed_point(self):
+        cycle = only_cycle(CAUSAL_B2)
+        reduction = reduce_cycle(cycle)
+        assert reduction.steps == ()
+        assert reduction.reduced == cycle
+
+    @pytest.mark.parametrize(
+        "text, expected_order",
+        [
+            ("x.r < y.s & y.r < z.s & z.r < x.s", 0),  # event cycle: unsat
+            ("x.s < y.s & y.s < z.s & z.r < x.r", 1),
+            ("x.s < y.s & y.s < z.s & z.s < x.s", 0),
+            ("x.r < y.s & y.s < z.s & z.s < x.r", 0),
+            ("x.s < y.r & y.s < z.r & z.s < x.r", 3),
+        ],
+    )
+    def test_order_invariant_under_reduction(self, text, expected_order):
+        cycle = only_cycle(parse_predicate(text, distinct=True))
+        assert cycle_order(cycle) == expected_order
+        reduction = reduce_cycle(cycle)
+        assert reduction.order == expected_order
+        assert reduction.reduced.length == 2 or all(
+            v in beta_vertices(reduction.reduced)
+            for v in reduction.reduced.vertices
+        )
+
+    def test_long_mixed_cycle(self):
+        # Five vertices, three β vertices (a, b, e): must reduce to the
+        # all-β 3-crown over the β variables.
+        text = "a.s < b.r & b.s < c.s & c.s < d.s & d.s < e.r & e.s < a.r"
+        cycle = only_cycle(parse_predicate(text, distinct=True))
+        assert cycle_order(cycle) == 3
+        reduction = reduce_cycle(cycle)
+        assert reduction.order == 3
+        assert reduction.reduced.length == 3
+
+
+class TestCycleToPredicate:
+    def test_round_trip_structure(self):
+        cycle = only_cycle(CAUSAL_B2)
+        predicate = cycle_to_predicate(cycle, name="round-trip")
+        assert predicate.name == "round-trip"
+        rebuilt = only_cycle(predicate)
+        assert [repr(e) for e in rebuilt.edges] == [repr(e) for e in cycle.edges]
+
+    def test_reduced_predicate_is_weaker(self):
+        """B implies the reduced B': any run satisfying B satisfies B'."""
+        from repro.predicates.evaluation import find_assignment
+        from repro.runs.construction import run_from_predicate_instance
+
+        reduction = reduce_cycle(example_2_cycle())
+        reduced_predicate = cycle_to_predicate(reduction.reduced)
+        witness = run_from_predicate_instance(EXAMPLE_1)
+        assert find_assignment(witness, reduced_predicate) is not None

@@ -1,0 +1,65 @@
+"""Tests for Specification and PredicateFamily."""
+
+import pytest
+
+from repro.predicates.catalog import (
+    CAUSAL_B2,
+    CROWN_FAMILY,
+    LOCAL_BACKWARD_FLUSH,
+    LOCAL_FORWARD_FLUSH,
+    LOGICALLY_SYNCHRONOUS,
+    TWO_WAY_FLUSH,
+    crown,
+)
+from repro.predicates.spec import PredicateFamily, Specification
+
+
+class TestPredicateFamily:
+    def test_instances_bounded_by_arity(self):
+        instances = CROWN_FAMILY.instances(max_arity=4)
+        assert [p.arity for p in instances] == [2, 3, 4]
+
+    def test_no_instances_below_k_min(self):
+        assert CROWN_FAMILY.instances(max_arity=1) == []
+
+    def test_generator_values(self):
+        member = CROWN_FAMILY.generator(3)
+        assert member.name == "crown-3"
+        assert member.distinct
+
+
+class TestSpecification:
+    def test_requires_content(self):
+        with pytest.raises(ValueError):
+            Specification(name="empty")
+
+    def test_members_for_scales_with_run(self, crossing_run):
+        members = LOGICALLY_SYNCHRONOUS.members_for(crossing_run)
+        assert [m.name for m in members] == ["crown-2"]
+
+    def test_admits_sync_run(self, sync_run):
+        assert LOGICALLY_SYNCHRONOUS.admits(sync_run)
+
+    def test_rejects_crossing_run(self, crossing_run):
+        assert not LOGICALLY_SYNCHRONOUS.admits(crossing_run)
+        violations = LOGICALLY_SYNCHRONOUS.violations(crossing_run)
+        assert len(violations) == 1
+        predicate, assignment = violations[0]
+        assert predicate.name == "crown-2"
+        assert set(assignment) == {"x1", "x2"}
+
+    def test_multi_predicate_spec(self, co_violating_run):
+        assert TWO_WAY_FLUSH.admits(co_violating_run)  # no red messages
+
+    def test_all_predicates_combines_fixed_and_family(self):
+        spec = Specification(
+            name="mixed",
+            predicates=(CAUSAL_B2,),
+            families=(CROWN_FAMILY,),
+        )
+        names = [p.name for p in spec.all_predicates(3)]
+        assert names == ["causal-B2", "crown-2", "crown-3"]
+
+    def test_spec_admits_agrees_with_member_conjunction(self, co_violating_run):
+        spec = Specification(name="co", predicates=(CAUSAL_B2,))
+        assert not spec.admits(co_violating_run)

@@ -1,0 +1,129 @@
+"""Bounded stress grids kept as permanent regression nets.
+
+Trimmed versions of the one-off hunts that found (and now guard against)
+the bugs fixed during development: the rendezvous 3-crown, the generated
+protocol's B1/B3 liveness wedges, and the sequencer's duplicate sequence
+numbers.
+"""
+
+import itertools
+
+import pytest
+
+from repro.broadcast import SequencerBroadcastProtocol, check_total_order, group_broadcasts
+from repro.predicates.ast import ForbiddenPredicate
+from repro.predicates.dsl import parse_predicate
+from repro.predicates.guards import ColorGuard, ProcessGuard
+from repro.protocols import GeneratedTaggedProtocol, SyncRendezvousProtocol
+from repro.protocols.base import make_factory
+from repro.runs.limit_sets import is_logically_synchronous
+from repro.simulation import AlternatingLatency, UniformLatency, random_traffic, run_simulation
+from repro.verification import check_simulation
+
+
+class TestRendezvousCrownHunt:
+    """The priority-exception ancestor of this protocol produced a
+    3-crown at (5 processes, seed 8); the grid pins the fix."""
+
+    @pytest.mark.parametrize("seed", [8, 3, 11, 17])
+    @pytest.mark.parametrize(
+        "latency",
+        [UniformLatency(1.0, 80.0), AlternatingLatency(1.0, 60.0)],
+        ids=["uniform", "alternating"],
+    )
+    def test_no_crowns(self, seed, latency):
+        result = run_simulation(
+            make_factory(SyncRendezvousProtocol),
+            random_traffic(5, 30, seed=seed),
+            seed=seed,
+            latency=latency,
+        )
+        assert result.delivered_all
+        assert is_logically_synchronous(result.user_run)
+
+
+class TestGeneratedEngineRegressions:
+    """Seeds that wedged the single-future engine before the tautology /
+    causal-fallback fixes."""
+
+    def test_b1_seed0_liveness(self):
+        pred = parse_predicate("x.s < y.r & y.r < x.r", name="B1")
+        result = run_simulation(
+            make_factory(GeneratedTaggedProtocol, [pred]),
+            random_traffic(3, 18, seed=0, color_every=5),
+            seed=0,
+            latency=UniformLatency(1.0, 50.0),
+        )
+        assert check_simulation(result, pred).ok
+
+    def test_b1_red_seed1_liveness(self):
+        base = parse_predicate("x.s < y.r & y.r < x.r")
+        pred = ForbiddenPredicate.build(
+            base.conjuncts, guards=[ColorGuard("y", "red")], name="B1red"
+        )
+        result = run_simulation(
+            make_factory(GeneratedTaggedProtocol, [pred]),
+            random_traffic(3, 18, seed=1, color_every=5),
+            seed=1,
+            latency=UniformLatency(1.0, 50.0),
+        )
+        assert check_simulation(result, pred).ok
+
+    def test_b3_red_seed129_liveness(self):
+        base = parse_predicate("x.s < y.s & y.s < x.r")
+        pred = ForbiddenPredicate.build(
+            base.conjuncts, guards=[ColorGuard("y", "red")], name="B3red"
+        )
+        result = run_simulation(
+            make_factory(GeneratedTaggedProtocol, [pred]),
+            random_traffic(3, 18, seed=129, color_every=5),
+            seed=129,
+            latency=UniformLatency(1.0, 50.0),
+        )
+        assert check_simulation(result, pred).ok
+
+    def test_mini_grid_all_order_one_shapes(self):
+        """A 72-run sample of the full 432-run grid that validated the
+        engine (all six order-1 shapes x three guard sets x four seeds)."""
+        shapes = []
+        for p, q, p2, q2 in itertools.product("sr", repeat=4):
+            if int(q == "r" and p2 == "s") + int(q2 == "r" and p == "s") == 1:
+                shapes.append("x.%s < y.%s & y.%s < x.%s" % (p, q, p2, q2))
+        guard_sets = [
+            (),
+            (ColorGuard("y", "red"),),
+            (
+                ProcessGuard(("x", "sender"), ("y", "sender")),
+                ProcessGuard(("x", "receiver"), ("y", "receiver")),
+            ),
+        ]
+        for text in shapes:
+            base = parse_predicate(text, name=text)
+            for guards in guard_sets:
+                pred = ForbiddenPredicate.build(
+                    base.conjuncts, guards=guards, name=text
+                )
+                for seed in (0, 129):
+                    result = run_simulation(
+                        make_factory(GeneratedTaggedProtocol, [pred]),
+                        random_traffic(3, 14, seed=seed, color_every=4),
+                        seed=seed,
+                        latency=UniformLatency(1.0, 50.0),
+                    )
+                    outcome = check_simulation(result, pred)
+                    assert outcome.ok, "%s %s seed %d: %s" % (
+                        text, guards, seed, outcome.summary())
+
+
+class TestSequencerRegressions:
+    def test_no_duplicate_sequence_numbers_when_sequencer_broadcasts(self):
+        """The sequencer's own broadcasts once got one number per copy."""
+        for seed in range(6):
+            result = run_simulation(
+                make_factory(SequencerBroadcastProtocol),
+                group_broadcasts(4, 10, seed=seed),
+                seed=seed,
+                latency=UniformLatency(1.0, 60.0),
+            )
+            assert result.delivered_all
+            assert check_total_order(result.user_run) == []

@@ -1,0 +1,111 @@
+"""Tests for traces, statistics and the size estimator."""
+
+import pytest
+
+from repro.events import Event, Message
+from repro.simulation.trace import SimulationStats, Trace, estimate_size
+
+
+M1 = Message(id="m1", sender=0, receiver=1)
+
+
+class TestEstimateSize:
+    def test_scalars(self):
+        assert estimate_size(None) == 1
+        assert estimate_size(True) == 1
+        assert estimate_size(7) == 8
+        assert estimate_size(3.14) == 8
+        assert estimate_size("abcd") == 4
+
+    def test_containers_recursive(self):
+        assert estimate_size([1, 2]) == 8 + 16
+        assert estimate_size({"a": 1}) == 8 + 1 + 8
+        assert estimate_size((1, (2,))) == 8 + 8 + (8 + 8)
+
+    def test_message(self):
+        plain = estimate_size(Message(id="m1", sender=0, receiver=1))
+        colored = estimate_size(Message(id="m1", sender=0, receiver=1, color="red"))
+        assert colored > plain
+
+    def test_matrix_tag_grows_with_dimensions(self):
+        # 2x2 -> 8 + 2*(8 + 16) = 56; 4x4 -> 8 + 4*(8 + 32) = 168.
+        assert estimate_size([[0] * 2 for _ in range(2)]) == 56
+        assert estimate_size([[0] * 4 for _ in range(4)]) == 168
+
+
+class TestTrace:
+    def test_record_requires_registration(self):
+        trace = Trace(2)
+        with pytest.raises(ValueError, match="unregistered"):
+            trace.record(0.0, 0, Event.invoke("m1"))
+
+    def test_double_record_rejected(self):
+        trace = Trace(2)
+        trace.register_message(M1)
+        trace.record(0.0, 0, Event.invoke("m1"))
+        with pytest.raises(ValueError, match="twice"):
+            trace.record(1.0, 0, Event.invoke("m1"))
+
+    def test_conflicting_registration_rejected(self):
+        trace = Trace(2)
+        trace.register_message(M1)
+        trace.register_message(M1)  # same content is fine
+        with pytest.raises(ValueError, match="conflicting"):
+            trace.register_message(Message(id="m1", sender=1, receiver=0))
+
+    def test_to_system_run(self):
+        trace = Trace(2)
+        trace.register_message(M1)
+        trace.record(0.0, 0, Event.invoke("m1"))
+        trace.record(0.1, 0, Event.send("m1"))
+        trace.record(1.0, 1, Event.receive("m1"))
+        trace.record(1.1, 1, Event.deliver("m1"))
+        run = trace.to_system_run()
+        assert run.sequence(0) == [Event.invoke("m1"), Event.send("m1")]
+        assert run.sequence(1) == [Event.receive("m1"), Event.deliver("m1")]
+        assert run.is_complete()
+
+    def test_to_user_run(self):
+        trace = Trace(2)
+        trace.register_message(M1)
+        for time, proc, event in [
+            (0.0, 0, Event.invoke("m1")),
+            (0.1, 0, Event.send("m1")),
+            (1.0, 1, Event.receive("m1")),
+            (1.1, 1, Event.deliver("m1")),
+        ]:
+            trace.record(time, proc, event)
+        user = trace.to_user_run()
+        assert user.before(Event.send("m1"), Event.deliver("m1"))
+
+    def test_undelivered_messages(self):
+        trace = Trace(2)
+        trace.register_message(M1)
+        trace.record(0.0, 0, Event.invoke("m1"))
+        assert trace.undelivered_messages() == ["m1"]
+
+    def test_time_of(self):
+        trace = Trace(2)
+        trace.register_message(M1)
+        trace.record(4.2, 0, Event.invoke("m1"))
+        assert trace.time_of(Event.invoke("m1")) == 4.2
+
+
+class TestSimulationStats:
+    def test_means_with_no_traffic(self):
+        stats = SimulationStats()
+        assert stats.mean_tag_bytes == 0.0
+        assert stats.mean_delivery_latency == 0.0
+        assert stats.control_per_user_message() == 0.0
+
+    def test_aggregation(self):
+        stats = SimulationStats(
+            user_messages=4,
+            control_messages=8,
+            tag_bytes_total=40,
+            delivery_latencies=[1.0, 3.0],
+        )
+        assert stats.mean_tag_bytes == 10.0
+        assert stats.mean_delivery_latency == 2.0
+        assert stats.max_delivery_latency == 3.0
+        assert stats.control_per_user_message() == 2.0

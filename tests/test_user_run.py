@@ -1,0 +1,151 @@
+"""Unit tests for the user-view run model."""
+
+import pytest
+
+from repro.events import Event, Message
+from repro.runs.user_run import UserRun
+
+
+def two_messages():
+    return (
+        Message(id="m1", sender=0, receiver=1),
+        Message(id="m2", sender=1, receiver=0),
+    )
+
+
+class TestConstruction:
+    def test_add_message_adds_both_events_with_message_edge(self):
+        run = UserRun()
+        run.add_message(Message(id="m1", sender=0, receiver=1))
+        assert run.before(Event.send("m1"), Event.deliver("m1"))
+
+    def test_add_message_without_events(self):
+        run = UserRun()
+        run.add_message(Message(id="m1", sender=0, receiver=1), with_events=False)
+        assert run.events() == []
+        assert run.is_complete()  # vacuously: neither event present
+        run.add_event(Event.send("m1"))
+        assert not run.is_complete()
+
+    def test_event_for_unknown_message_rejected(self):
+        run = UserRun()
+        with pytest.raises(ValueError, match="unknown message"):
+            run.add_event(Event.send("ghost"))
+
+    def test_only_user_events_allowed(self):
+        run = UserRun()
+        run.add_message(Message(id="m1", sender=0, receiver=1), with_events=False)
+        with pytest.raises(ValueError, match="send/deliver"):
+            run.add_event(Event.receive("m1"))
+
+    def test_order_requires_present_events(self):
+        run = UserRun([Message(id="m1", sender=0, receiver=1)])
+        run.add_message(Message(id="m2", sender=0, receiver=1), with_events=False)
+        with pytest.raises(ValueError, match="not part of this run"):
+            run.order(Event.send("m1"), Event.send("m2"))
+
+    def test_order_chain(self):
+        m1, m2 = two_messages()
+        run = UserRun([m1, m2])
+        run.order_chain([Event.send("m1"), Event.deliver("m1"), Event.send("m2")])
+        assert run.before(Event.send("m1"), Event.send("m2"))
+
+
+class TestValidity:
+    def test_valid_run(self):
+        run = UserRun(two_messages())
+        run.validate()
+        assert run.is_valid()
+
+    def test_cyclic_order_invalid(self):
+        m1, m2 = two_messages()
+        run = UserRun([m1, m2])
+        run.order(Event.deliver("m1"), Event.send("m2"))
+        run.order(Event.deliver("m2"), Event.send("m1"))
+        assert not run.is_valid()
+
+    def test_completeness(self):
+        run = UserRun()
+        run.add_message(Message(id="m1", sender=0, receiver=1), with_events=False)
+        run.add_event(Event.send("m1"))
+        assert not run.is_complete()
+        run.add_event(Event.deliver("m1"))
+        assert run.is_complete()
+
+
+class TestProcessStructure:
+    def test_events_of_process(self):
+        m1, m2 = two_messages()
+        run = UserRun([m1, m2])
+        assert run.events_of_process(0) == [Event.send("m1"), Event.deliver("m2")]
+        assert run.events_of_process(1) == [Event.deliver("m1"), Event.send("m2")]
+
+    def test_process_of_event(self):
+        m1, _ = two_messages()
+        run = UserRun([m1])
+        assert run.process_of_event(Event.send("m1")) == 0
+        assert run.process_of_event(Event.deliver("m1")) == 1
+
+    def test_processes(self):
+        run = UserRun(two_messages())
+        assert run.processes() == [0, 1]
+
+
+class TestFromProcessSequences:
+    def test_process_order_becomes_causality(self):
+        m1, m2 = two_messages()
+        run = UserRun.from_process_sequences(
+            [m1, m2],
+            {
+                0: [Event.send("m1"), Event.deliver("m2")],
+                1: [Event.deliver("m1"), Event.send("m2")],
+            },
+        )
+        # Chain: m1.s -> m1.r -> m2.s -> m2.r.
+        assert run.before(Event.send("m1"), Event.deliver("m2"))
+
+    def test_event_at_wrong_process_rejected(self):
+        m1, _ = two_messages()
+        with pytest.raises(ValueError, match="does not belong"):
+            UserRun.from_process_sequences([m1], {1: [Event.send("m1")]})
+
+
+class TestEqualityAndCopy:
+    def test_equality_is_structural(self):
+        m1, m2 = two_messages()
+        sequences = {
+            0: [Event.send("m1"), Event.deliver("m2")],
+            1: [Event.deliver("m1"), Event.send("m2")],
+        }
+        left = UserRun.from_process_sequences([m1, m2], sequences)
+        right = UserRun.from_process_sequences([m1, m2], sequences)
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_different_order_differ(self):
+        m1, m2 = two_messages()
+        left = UserRun.from_process_sequences(
+            [m1, m2],
+            {0: [Event.send("m1"), Event.deliver("m2")],
+             1: [Event.deliver("m1"), Event.send("m2")]},
+        )
+        right = UserRun.from_process_sequences(
+            [m1, m2],
+            {0: [Event.deliver("m2"), Event.send("m1")],
+             1: [Event.send("m2"), Event.deliver("m1")]},
+        )
+        assert left != right
+
+    def test_copy_preserves_order(self):
+        run = UserRun(two_messages())
+        run.order(Event.deliver("m1"), Event.send("m2"))
+        clone = run.copy()
+        assert clone == run
+        clone.order(Event.deliver("m2"), Event.send("m1"))  # now cyclic
+        assert run.is_valid()
+
+    def test_concurrent_query(self, crossing_run):
+        assert crossing_run.concurrent(Event.send("m1"), Event.send("m2"))
+        assert not crossing_run.concurrent(
+            Event.send("m1"), Event.deliver("m1")
+        )

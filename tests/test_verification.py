@@ -1,0 +1,65 @@
+"""Tests for the run checker."""
+
+import pytest
+
+from repro.predicates.catalog import CAUSAL_B2, CAUSAL_ORDERING, FIFO_ORDERING
+from repro.protocols import TaglessProtocol
+from repro.protocols.base import make_factory
+from repro.simulation import FixedLatency, random_traffic, run_simulation
+from repro.verification import Violation, check_run, check_simulation
+
+
+class TestCheckRun:
+    def test_violation_reported_with_binding(self, co_violating_run):
+        outcome = check_run(co_violating_run, CAUSAL_ORDERING)
+        assert not outcome.safe
+        assert outcome.violations[0].predicate_name == "causal-B2"
+        assert outcome.violations[0].assignment == {"x": "m1", "y": "m2"}
+
+    def test_clean_run_passes(self, co_ordered_run):
+        outcome = check_run(co_ordered_run, CAUSAL_ORDERING)
+        assert outcome.ok
+        assert outcome.violations == []
+
+    def test_bare_predicate_accepted(self, co_violating_run):
+        outcome = check_run(co_violating_run, CAUSAL_B2)
+        assert not outcome.safe
+
+    def test_max_violations_cap(self):
+        from repro.events import Event, Message
+
+        messages = [Message(id="m%d" % i, sender=0, receiver=1) for i in range(5)]
+        run_sequences = {
+            0: [Event.send(m.id) for m in messages],
+            1: [Event.deliver(m.id) for m in reversed(messages)],
+        }
+        from repro.runs.user_run import UserRun
+
+        run = UserRun.from_process_sequences(messages, run_sequences)
+        outcome = check_run(run, CAUSAL_ORDERING, max_violations=3)
+        assert len(outcome.violations) == 3
+
+    def test_summary_text(self, co_violating_run, co_ordered_run):
+        bad = check_run(co_violating_run, CAUSAL_ORDERING).summary()
+        good = check_run(co_ordered_run, CAUSAL_ORDERING).summary()
+        assert bad.startswith("FAIL")
+        assert good.startswith("OK")
+
+
+class TestCheckSimulation:
+    def test_liveness_folded_in(self):
+        result = run_simulation(
+            make_factory(TaglessProtocol),
+            random_traffic(3, 10, seed=0),
+            seed=0,
+            latency=FixedLatency(1.0),
+        )
+        outcome = check_simulation(result, FIFO_ORDERING)
+        assert outcome.live
+
+    def test_violation_repr_readable(self):
+        violation = Violation(
+            predicate_name="fifo", assignment={"x": "m1", "y": "m2"}
+        )
+        text = repr(violation)
+        assert "fifo" in text and "x=m1" in text

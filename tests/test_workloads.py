@@ -1,0 +1,112 @@
+"""Tests for workload generators."""
+
+import pytest
+
+from repro.simulation.workloads import (
+    SendRequest,
+    Workload,
+    broadcast_storm,
+    client_server,
+    mobile_handoff_scenario,
+    pipeline_chain,
+    random_traffic,
+    red_marker_stream,
+    ring_traffic,
+)
+
+
+class TestValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            SendRequest(time=-1.0, sender=0, receiver=1)
+
+    def test_out_of_range_processes_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(
+                name="bad",
+                n_processes=2,
+                requests=(SendRequest(time=0.0, sender=0, receiver=5),),
+            )
+
+    def test_messages_materialized_in_order(self):
+        workload = ring_traffic(3, rounds=1)
+        messages = workload.messages()
+        assert [m.id for m in messages] == ["m1", "m2", "m3"]
+        assert all(
+            m.sender == r.sender and m.receiver == r.receiver
+            for m, r in zip(messages, workload.requests)
+        )
+
+
+class TestGenerators:
+    def test_random_traffic_no_self_messages(self):
+        workload = random_traffic(4, 100, seed=1)
+        assert all(r.sender != r.receiver for r in workload.requests)
+        assert workload.message_count == 100
+
+    def test_random_traffic_needs_two_processes(self):
+        with pytest.raises(ValueError):
+            random_traffic(1, 10)
+
+    def test_random_traffic_coloring(self):
+        workload = random_traffic(3, 10, seed=1, color_every=5)
+        colors = [r.color for r in workload.requests]
+        assert colors[4] == "red" and colors[9] == "red"
+        assert colors.count("red") == 2
+
+    def test_ring_traffic_topology(self):
+        workload = ring_traffic(4, rounds=2)
+        assert all(
+            r.receiver == (r.sender + 1) % 4 for r in workload.requests
+        )
+        assert workload.message_count == 8
+
+    def test_client_server_roles(self):
+        workload = client_server(3, requests_per_client=2)
+        assert workload.n_processes == 4
+        for request in workload.requests:
+            assert request.sender == 0 or request.receiver == 0
+
+    def test_broadcast_storm_fanout(self):
+        workload = broadcast_storm(4, rounds=2)
+        assert workload.message_count == 2 * 3
+        first_round = workload.requests[:3]
+        assert len({r.sender for r in first_round}) == 1
+        assert len({r.time for r in first_round}) == 1
+
+    def test_red_marker_stream(self):
+        workload = red_marker_stream(10, marker_every=3)
+        colors = [r.color for r in workload.requests]
+        assert colors[2] == "red" and colors[5] == "red" and colors[8] == "red"
+        assert all(r.sender == 0 and r.receiver == 1 for r in workload.requests)
+
+    def test_mobile_handoff_has_handoffs_between_phases(self):
+        workload = mobile_handoff_scenario(n_stations=3, messages_per_phase=2)
+        handoffs = [r for r in workload.requests if r.color == "handoff"]
+        assert len(handoffs) == 2  # n_stations - 1
+        assert all(r.sender == 0 for r in handoffs)
+
+    def test_pipeline_chain_stages(self):
+        workload = pipeline_chain(4, items=3)
+        assert workload.message_count == 3 * 3
+        for request in workload.requests:
+            assert request.receiver == request.sender + 1
+
+    def test_times_sorted_where_promised(self):
+        for workload in (client_server(2, 2), pipeline_chain(3, 3)):
+            times = [r.time for r in workload.requests]
+            assert times == sorted(times)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda s: random_traffic(4, 30, seed=s),
+            lambda s: broadcast_storm(3, 4, seed=s),
+            lambda s: mobile_handoff_scenario(seed=s),
+        ],
+    )
+    def test_same_seed_same_workload(self, factory):
+        assert factory(3).requests == factory(3).requests
+        assert factory(3).requests != factory(4).requests
