@@ -1,0 +1,67 @@
+"""Micro-benchmark: an attached-but-unobserved bus must be (nearly) free.
+
+The observability contract is "zero overhead when disabled": probe sites
+guard emissions with ``bus is not None and bus.active``, so a simulation
+run with a subscriber-less :class:`repro.obs.Bus` attached must stay
+within 5% of the uninstrumented wall-clock.  Timings interleave the two
+configurations and compare best-of-N to squeeze out scheduler noise; the
+measured ratio is recorded under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import format_table, write_result
+
+from repro.obs import Bus
+from repro.protocols import CausalRstProtocol
+from repro.protocols.base import make_factory
+from repro.simulation import UniformLatency, random_traffic, run_simulation
+
+ROUNDS = 7
+MAX_OVERHEAD = 0.05
+
+WORKLOAD = random_traffic(4, 250, seed=1)
+LATENCY = UniformLatency(low=1.0, high=40.0)
+
+
+def _time(bus) -> float:
+    factory = make_factory(CausalRstProtocol)
+    started = time.perf_counter()
+    run_simulation(factory, WORKLOAD, seed=1, latency=LATENCY, bus=bus)
+    return time.perf_counter() - started
+
+
+def test_unobserved_bus_overhead_under_five_percent():
+    # Warm up both paths (imports, allocator, branch caches).
+    _time(None)
+    _time(Bus())
+
+    baseline = []
+    instrumented = []
+    for _ in range(ROUNDS):
+        baseline.append(_time(None))
+        instrumented.append(_time(Bus()))  # attached, zero subscribers
+
+    best_off = min(baseline)
+    best_on = min(instrumented)
+    ratio = best_on / best_off
+
+    table = format_table(
+        ("configuration", "best of %d (s)" % ROUNDS, "ratio vs. off"),
+        [
+            ("bus=None (default)", "%.4f" % best_off, "1.000"),
+            ("bus attached, no subscribers", "%.4f" % best_on, "%.3f" % ratio),
+        ],
+    )
+    write_result(
+        "obs_overhead",
+        table
+        + "\nworkload: %s, causal-rst, %d rounds; overhead budget: %.0f%%\n"
+        % (WORKLOAD.name, ROUNDS, MAX_OVERHEAD * 100),
+    )
+    assert ratio < 1.0 + MAX_OVERHEAD, (
+        "unobserved bus costs %.1f%% (budget %.0f%%)"
+        % ((ratio - 1.0) * 100, MAX_OVERHEAD * 100)
+    )

@@ -105,19 +105,94 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         color_every=color_every,
         color=args.color,
     )
+    bus = tracer = recorder = watchdog = None
+    instrument = args.trace_out or args.metrics_out
+    if instrument:
+        from repro.obs import Bus, MetricsRecorder, SpanTracer, Watchdog
+
+        bus = Bus()
+        watchdog = Watchdog(bus)
+        if args.trace_out:
+            tracer = SpanTracer(bus)
+        if args.metrics_out:
+            recorder = MetricsRecorder(bus)
     result = run_simulate(
         specification,
         workload,
         seed=args.seed,
         latency=UniformLatency(low=1.0, high=args.max_latency),
+        bus=bus,
     )
     print(result.summary())
     outcome = verify(result, specification)
     print("verification:      %s" % outcome.summary())
+    if bus is not None:
+        bus.emit(
+            "verify.check",
+            0.0,
+            spec=specification.name,
+            protocol=result.protocol_name,
+            workload=workload.name,
+            safe=outcome.safe,
+            live=outcome.live,
+            violations=len(outcome.violations),
+        )
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+
+        end = max((record.time for record in result.trace.records()), default=0.0)
+        tracer.finish(end)
+        write_chrome_trace(
+            args.trace_out, tracer, n_processes=workload.n_processes
+        )
+        print("trace:             %s (open in https://ui.perfetto.dev)"
+              % args.trace_out)
+    if recorder is not None:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(recorder.registry.to_json())
+        print("metrics:           %s" % args.metrics_out)
+    if not result.delivered_all:
+        if watchdog is None:
+            from repro.obs import Watchdog
+
+            watchdog = Watchdog.from_trace(result.trace)
+        print(watchdog.render(protocols=result.protocols))
     if args.diagram:
         print()
         print(render_user_run(result.user_run))
     return 0 if outcome.ok else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        DEFAULT_PROFILE_PROTOCOLS,
+        catalog_protocols,
+        profile_protocols,
+        render_profiles,
+    )
+
+    available = catalog_protocols()
+    names = args.protocols or list(DEFAULT_PROFILE_PROTOCOLS)
+    unknown = [name for name in names if name not in available]
+    if unknown:
+        raise SystemExit(
+            "unknown protocol(s) %s; available: %s"
+            % (", ".join(unknown), ", ".join(sorted(available)))
+        )
+    workload = random_traffic(
+        args.processes, args.messages, seed=args.seed, color_every=6
+    )
+    profiles = profile_protocols(
+        [(name, available[name]) for name in names],
+        workload,
+        seed=args.seed,
+        latency=UniformLatency(low=1.0, high=args.max_latency),
+    )
+    print("workload: %s   seed: %d" % (workload.name, args.seed))
+    print("phase costs are mean virtual-time per message")
+    print()
+    print(render_profiles(profiles))
+    return 0
 
 
 def _cmd_selftest(args: argparse.Namespace) -> int:
@@ -227,7 +302,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "--diagram", action="store_true", help="print the run's time diagram"
     )
+    p_sim.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace-event file (openable in Perfetto)",
+    )
+    p_sim.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the run's metrics registry as JSON",
+    )
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="per-phase cost breakdown (inhibit/network/buffer) per protocol",
+    )
+    p_prof.add_argument(
+        "--protocols",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="protocols to profile (default: tagless fifo causal-rst sync-coord)",
+    )
+    p_prof.add_argument("--processes", type=int, default=4)
+    p_prof.add_argument("--messages", type=int, default=40)
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--max-latency", type=float, default=40.0)
+    p_prof.set_defaults(func=_cmd_profile)
 
     p_self = sub.add_parser(
         "selftest",

@@ -1,0 +1,71 @@
+"""Observability: instrumentation bus, metrics, causal spans, profiling.
+
+The layer the ROADMAP's production ambitions need: typed probe points
+emitted from the simulator, network, protocol hosts and the verification
+harness (:mod:`repro.obs.bus`); a metrics registry of the paper's cost
+dimensions that subsumes ``SimulationStats`` (:mod:`repro.obs.metrics`);
+a span-based causal tracer with Chrome trace-event export so a run opens
+in Perfetto (:mod:`repro.obs.spans`, :mod:`repro.obs.export`); a
+liveness watchdog naming what blocks each stuck message
+(:mod:`repro.obs.watchdog`); and a per-phase protocol profiler behind
+``repro profile`` (:mod:`repro.obs.profile`).  Everything is opt-in:
+with no bus attached the simulation path is unchanged and its schedule
+bit-identical.
+"""
+
+from repro.obs.bus import PROBES, Bus, ProbeEvent, ProbeLog
+from repro.obs.export import (
+    TIME_SCALE,
+    probe_log_to_jsonl,
+    spans_to_chrome_trace,
+    write_chrome_trace,
+    write_probe_log,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRecorder,
+    MetricsRegistry,
+    stats_to_registry,
+)
+from repro.obs.profile import (
+    DEFAULT_PROFILE_PROTOCOLS,
+    ProtocolProfile,
+    catalog_protocols,
+    profile_protocol,
+    profile_protocols,
+    render_profiles,
+)
+from repro.obs.spans import PHASES, Flow, Span, SpanTracer
+from repro.obs.watchdog import StuckMessage, Watchdog
+
+__all__ = [
+    "PROBES",
+    "Bus",
+    "ProbeEvent",
+    "ProbeLog",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsRecorder",
+    "stats_to_registry",
+    "PHASES",
+    "Span",
+    "Flow",
+    "SpanTracer",
+    "TIME_SCALE",
+    "spans_to_chrome_trace",
+    "write_chrome_trace",
+    "probe_log_to_jsonl",
+    "write_probe_log",
+    "StuckMessage",
+    "Watchdog",
+    "ProtocolProfile",
+    "DEFAULT_PROFILE_PROTOCOLS",
+    "catalog_protocols",
+    "profile_protocol",
+    "profile_protocols",
+    "render_profiles",
+]

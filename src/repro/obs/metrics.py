@@ -1,0 +1,414 @@
+"""Metrics registry: counters, gauges and histograms over probe events.
+
+The registry is a flat namespace of named metrics; the
+:class:`MetricsRecorder` subscribes a registry to an instrumentation bus
+and maintains the protocol-cost metrics the paper's analysis cares about:
+inhibition time (``x.s* -> x.s``), network transit (``x.s -> x.r*``),
+delivery buffering (``x.r* -> x.r``), tag bytes, control fan-out per
+channel, buffer occupancy per process, and per-channel reordering.
+
+The recorder *subsumes* :class:`~repro.simulation.trace.SimulationStats`:
+:meth:`MetricsRecorder.as_simulation_stats` reconstructs a bit-identical
+stats object purely from the probe stream, so the legacy aggregate API
+keeps working while richer metrics ride on the same events.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.bus import Bus, ProbeEvent
+from repro.simulation.trace import SimulationStats, estimate_size
+
+
+class Counter:
+    """A monotonically increasing count, with an optional label breakdown."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+        self.by_label: Dict[str, float] = {}
+
+    def inc(self, amount: float = 1.0, label: Optional[str] = None) -> None:
+        """Add ``amount`` (to the total, and to ``label``'s bucket if given)."""
+        if amount < 0:
+            raise ValueError("counters only go up (amount=%r)" % amount)
+        self.value += amount
+        if label is not None:
+            self.by_label[label] = self.by_label.get(label, 0.0) + amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready view of the counter."""
+        data: Dict[str, Any] = {"kind": self.kind, "value": self.value}
+        if self.by_label:
+            data["by_label"] = dict(sorted(self.by_label.items()))
+        return data
+
+
+class Gauge:
+    """An instantaneous value whose extremes are tracked, per label."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+        self.max_seen = 0.0
+        self.by_label: Dict[str, float] = {}
+        self.max_by_label: Dict[str, float] = {}
+
+    def set(self, value: float, label: Optional[str] = None) -> None:
+        """Record the current value (for the total, or for one label)."""
+        if label is None:
+            self.value = value
+            self.max_seen = max(self.max_seen, value)
+        else:
+            self.by_label[label] = value
+            self.max_by_label[label] = max(self.max_by_label.get(label, value), value)
+
+    def add(self, delta: float, label: Optional[str] = None) -> None:
+        """Shift the current value by ``delta``."""
+        current = self.by_label.get(label, 0.0) if label is not None else self.value
+        self.set(current + delta, label=label)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready view of the gauge."""
+        data: Dict[str, Any] = {
+            "kind": self.kind,
+            "value": self.value,
+            "max": self.max_seen,
+        }
+        if self.by_label:
+            data["by_label"] = dict(sorted(self.by_label.items()))
+            data["max_by_label"] = dict(sorted(self.max_by_label.items()))
+        return data
+
+
+class Histogram:
+    """A distribution of observed values (exact; keeps every observation)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        """Sum of observations."""
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0 when empty)."""
+        return self.total / len(self._values) if self._values else 0.0
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (0 when empty)."""
+        return min(self._values) if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest observation (0 when empty)."""
+        return max(self._values) if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The nearest-rank ``p``-th percentile (0 when empty)."""
+        if not self._values:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100], got %r" % p)
+        ordered = sorted(self._values)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def values(self) -> List[float]:
+        """All observations, in recording order."""
+        return list(self._values)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready summary of the distribution."""
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """A named, typed collection of metrics (create-or-get semantics)."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get_or_create(self, cls, name: str, help: str):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    "metric %r already registered as %s" % (name, existing.kind)
+                )
+            return existing
+        metric = cls(name, help)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """The counter named ``name``, created on first use."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """The gauge named ``name``, created on first use."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        """The histogram named ``name``, created on first use."""
+        return self._get_or_create(Histogram, name, help)
+
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def get(self, name: str):
+        """The metric named ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready view of every metric, keyed by name."""
+        return {name: self._metrics[name].snapshot() for name in self.names()}
+
+    def to_json(self, indent: int = 2) -> str:
+        """The snapshot serialized as JSON text."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+def stats_to_registry(
+    stats: SimulationStats, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Export a legacy :class:`SimulationStats` into registry metrics.
+
+    Lets post-hoc aggregates from un-instrumented runs participate in the
+    same export/reporting surface as live-recorded metrics.
+    """
+    registry = registry or MetricsRegistry()
+    registry.counter("messages.user", "user messages released").inc(
+        stats.user_messages
+    )
+    registry.counter("net.control.messages", "control messages sent").inc(
+        stats.control_messages
+    )
+    registry.counter("net.control.bytes", "control payload bytes").inc(
+        stats.control_bytes
+    )
+    registry.counter("tag.bytes", "total tag bytes piggybacked").inc(
+        stats.tag_bytes_total
+    )
+    registry.gauge("tag.bytes.max", "largest single tag").set(stats.max_tag_bytes)
+    registry.counter("messages.delivered", "deliveries executed").inc(
+        stats.deliveries
+    )
+    registry.counter("messages.delayed", "deliveries after receive time").inc(
+        stats.delayed_deliveries
+    )
+    network = registry.histogram("latency.delivery", "send -> deliver time")
+    for value in stats.delivery_latencies:
+        network.observe(value)
+    e2e = registry.histogram("latency.end_to_end", "invoke -> deliver time")
+    for value in stats.end_to_end_latencies:
+        e2e.observe(value)
+    return registry
+
+
+class MetricsRecorder:
+    """Subscribes a registry to a bus and maintains protocol-cost metrics.
+
+    Metrics maintained (names are part of the observability contract):
+
+    - ``messages.invoked`` / ``messages.user`` / ``messages.delivered`` /
+      ``messages.delayed`` (counters),
+    - ``messages.inhibited`` -- invokes the protocol did not release
+      synchronously,
+    - ``latency.inhibition`` / ``latency.network`` / ``latency.buffering`` /
+      ``latency.delivery`` / ``latency.end_to_end`` (histograms),
+    - ``tag.bytes`` (counter) and ``tag.bytes.per_message`` (histogram) and
+      ``tag.bytes.max`` (gauge),
+    - ``net.control.messages`` / ``net.control.bytes`` (counters, with a
+      per-channel ``pSRC->pDST`` label breakdown -- the control fan-out),
+    - ``buffer.occupancy`` (gauge; received-not-yet-delivered, global and
+      per ``pN`` label),
+    - ``channel.reordered`` (counter, per-channel: arrivals overtaken by a
+      later-sent packet on the same channel).
+    """
+
+    def __init__(self, bus: Bus, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry or MetricsRegistry()
+        self._invoke_time: Dict[str, float] = {}
+        self._release_time: Dict[str, float] = {}
+        self._receive_time: Dict[str, float] = {}
+        self._tag_bytes: Dict[str, int] = {}
+        self._occupancy: Dict[int, int] = {}
+        self._channel_send_high: Dict[Tuple[int, int], float] = {}
+        self._unsubscribers = [
+            bus.subscribe("host.invoke", self._on_invoke),
+            bus.subscribe("host.inhibit", self._on_inhibit),
+            bus.subscribe("host.release", self._on_release),
+            bus.subscribe("host.receive", self._on_receive),
+            bus.subscribe("host.deliver", self._on_deliver),
+            bus.subscribe("net.control", self._on_control),
+        ]
+
+    def close(self) -> None:
+        """Detach from the bus (the registry keeps its values)."""
+        for unsubscribe in self._unsubscribers:
+            unsubscribe()
+        self._unsubscribers = []
+
+    # Probe handlers -------------------------------------------------------
+
+    def _on_invoke(self, event: ProbeEvent) -> None:
+        message_id = event.data["message_id"]
+        self._invoke_time[message_id] = event.time
+        self.registry.counter("messages.invoked", "send requests (x.s*)").inc()
+
+    def _on_inhibit(self, event: ProbeEvent) -> None:
+        self.registry.counter(
+            "messages.inhibited", "invokes not released synchronously"
+        ).inc()
+
+    def _on_release(self, event: ProbeEvent) -> None:
+        message_id = event.data["message_id"]
+        tag_bytes = event.data["tag_bytes"]
+        self._release_time[message_id] = event.time
+        self._tag_bytes[message_id] = tag_bytes
+        registry = self.registry
+        registry.counter("messages.user", "user messages released").inc()
+        registry.counter("tag.bytes", "total tag bytes piggybacked").inc(tag_bytes)
+        registry.histogram("tag.bytes.per_message", "tag size distribution").observe(
+            tag_bytes
+        )
+        registry.gauge("tag.bytes.max", "largest single tag").set(
+            max(registry.gauge("tag.bytes.max").max_seen, tag_bytes)
+        )
+        invoked_at = self._invoke_time.get(message_id)
+        if invoked_at is not None:
+            registry.histogram(
+                "latency.inhibition", "invoke -> send (send inhibition)"
+            ).observe(event.time - invoked_at)
+
+    def _on_receive(self, event: ProbeEvent) -> None:
+        message_id = event.data["message_id"]
+        process = event.data["process"]
+        sender = event.data["sender"]
+        self._receive_time[message_id] = event.time
+        registry = self.registry
+        released_at = self._release_time.get(message_id)
+        if released_at is not None:
+            registry.histogram(
+                "latency.network", "send -> receive (transit)"
+            ).observe(event.time - released_at)
+            channel = (sender, process)
+            high = self._channel_send_high.get(channel)
+            if high is not None and released_at < high:
+                registry.counter(
+                    "channel.reordered", "arrivals overtaken on their channel"
+                ).inc(label="p%d->p%d" % channel)
+            if high is None or released_at > high:
+                self._channel_send_high[channel] = released_at
+        self._occupancy[process] = self._occupancy.get(process, 0) + 1
+        occupancy = registry.gauge(
+            "buffer.occupancy", "received but not yet delivered"
+        )
+        occupancy.add(1)
+        occupancy.set(self._occupancy[process], label="p%d" % process)
+
+    def _on_deliver(self, event: ProbeEvent) -> None:
+        message_id = event.data["message_id"]
+        process = event.data["process"]
+        registry = self.registry
+        registry.counter("messages.delivered", "deliveries executed").inc()
+        if event.data.get("delayed"):
+            registry.counter(
+                "messages.delayed", "deliveries after receive time"
+            ).inc()
+        received_at = self._receive_time.get(message_id)
+        if received_at is not None:
+            registry.histogram(
+                "latency.buffering", "receive -> deliver (delivery buffering)"
+            ).observe(event.time - received_at)
+        released_at = self._release_time.get(message_id)
+        if released_at is not None:
+            registry.histogram(
+                "latency.delivery", "send -> deliver time"
+            ).observe(event.time - released_at)
+        invoked_at = self._invoke_time.get(message_id)
+        if invoked_at is not None:
+            registry.histogram(
+                "latency.end_to_end", "invoke -> deliver time"
+            ).observe(event.time - invoked_at)
+        self._occupancy[process] = self._occupancy.get(process, 0) - 1
+        occupancy = registry.gauge(
+            "buffer.occupancy", "received but not yet delivered"
+        )
+        occupancy.add(-1)
+        occupancy.set(self._occupancy[process], label="p%d" % process)
+
+    def _on_control(self, event: ProbeEvent) -> None:
+        src = event.data["src"]
+        dst = event.data["dst"]
+        label = "p%d->p%d" % (src, dst)
+        payload_bytes = estimate_size(event.data.get("payload"))
+        self.registry.counter("net.control.messages", "control messages sent").inc(
+            label=label
+        )
+        self.registry.counter("net.control.bytes", "control payload bytes").inc(
+            payload_bytes, label=label
+        )
+
+    # Legacy surface -------------------------------------------------------
+
+    def as_simulation_stats(self) -> SimulationStats:
+        """Reconstruct the legacy stats object from the probe stream.
+
+        For an instrumented run this is bit-identical to the
+        :class:`SimulationStats` the host populated directly (the same
+        subtractions over the same virtual times), which is how the
+        registry subsumes the old API without breaking it.
+        """
+        registry = self.registry
+        delivery = registry.histogram("latency.delivery")
+        e2e = registry.histogram("latency.end_to_end")
+        tags = registry.histogram("tag.bytes.per_message")
+        return SimulationStats(
+            user_messages=int(registry.counter("messages.user").value),
+            control_messages=int(registry.counter("net.control.messages").value),
+            control_bytes=int(registry.counter("net.control.bytes").value),
+            tag_bytes_total=int(registry.counter("tag.bytes").value),
+            max_tag_bytes=int(tags.max),
+            deliveries=int(registry.counter("messages.delivered").value),
+            delayed_deliveries=int(registry.counter("messages.delayed").value),
+            delivery_latencies=delivery.values(),
+            end_to_end_latencies=e2e.values(),
+        )

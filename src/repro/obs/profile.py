@@ -1,0 +1,192 @@
+"""Protocol profiling: where does each protocol pay for its ordering?
+
+Runs a workload under several protocols with the instrumentation bus
+attached and breaks each message's end-to-end latency into the paper's
+three phases -- send inhibition (``x.s* -> x.s``), network transit
+(``x.s -> x.r*``), and delivery buffering (``x.r* -> x.r``) -- alongside
+the wire overheads (control messages/bytes, tag bytes).  Backs the
+``repro profile`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.obs.bus import Bus
+from repro.obs.metrics import MetricsRecorder, MetricsRegistry
+from repro.obs.watchdog import Watchdog
+from repro.simulation.network import LatencyModel
+from repro.simulation.runner import run_simulation
+from repro.simulation.workloads import Workload
+
+
+def catalog_protocols() -> "dict[str, Callable[[int, int], object]]":
+    """The named protocol factories available for profiling."""
+    from repro.protocols import (
+        CausalRstProtocol,
+        CausalSesProtocol,
+        FifoProtocol,
+        FlushChannelProtocol,
+        KWeakerCausalProtocol,
+        SyncCoordinatorProtocol,
+        SyncRendezvousProtocol,
+        TaglessProtocol,
+    )
+    from repro.protocols.base import make_factory
+
+    return {
+        "tagless": make_factory(TaglessProtocol),
+        "fifo": make_factory(FifoProtocol),
+        "flush": make_factory(FlushChannelProtocol),
+        "k-weaker(2)": make_factory(KWeakerCausalProtocol, 2),
+        "causal-rst": make_factory(CausalRstProtocol),
+        "causal-ses": make_factory(CausalSesProtocol),
+        "sync-coord": make_factory(SyncCoordinatorProtocol),
+        "sync-rdv": make_factory(SyncRendezvousProtocol),
+    }
+
+
+#: The default comparison set of ``repro profile``.
+DEFAULT_PROFILE_PROTOCOLS = ("tagless", "fifo", "causal-rst", "sync-coord")
+
+
+@dataclass(frozen=True)
+class ProtocolProfile:
+    """Per-phase cost breakdown of one protocol on one workload."""
+
+    name: str
+    messages: int
+    delivered: int
+    undelivered: int
+    inhibition_mean: float
+    inhibition_total: float
+    network_mean: float
+    buffering_mean: float
+    buffering_total: float
+    end_to_end_mean: float
+    end_to_end_p95: float
+    control_messages: int
+    control_bytes: int
+    tag_bytes_per_message: float
+    reordered_arrivals: int
+
+    def as_row(self) -> Tuple:
+        """The profile formatted for table rendering (matches HEADERS)."""
+        return (
+            self.name,
+            self.messages,
+            "%.2f" % self.inhibition_mean,
+            "%.2f" % self.network_mean,
+            "%.2f" % self.buffering_mean,
+            "%.2f" % self.end_to_end_mean,
+            "%.2f" % self.end_to_end_p95,
+            self.control_messages,
+            self.control_bytes,
+            "%.1f" % self.tag_bytes_per_message,
+            self.reordered_arrivals,
+            self.undelivered,
+        )
+
+    HEADERS = (
+        "protocol",
+        "msgs",
+        "inhibit",
+        "network",
+        "buffer",
+        "invoke->r",
+        "p95",
+        "ctrl",
+        "ctrlB",
+        "tagB/msg",
+        "reordered",
+        "stuck",
+    )
+
+
+def profile_protocol(
+    name: str,
+    factory: Callable[[int, int], object],
+    workload: Workload,
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+    fifo_channels: bool = False,
+) -> ProtocolProfile:
+    """Run one instrumented simulation and reduce it to a profile."""
+    bus = Bus()
+    recorder = MetricsRecorder(bus, MetricsRegistry())
+    watchdog = Watchdog(bus)
+    result = run_simulation(
+        factory,
+        workload,
+        seed=seed,
+        latency=latency,
+        fifo_channels=fifo_channels,
+        bus=bus,
+    )
+    registry = recorder.registry
+    inhibition = registry.histogram("latency.inhibition")
+    network = registry.histogram("latency.network")
+    buffering = registry.histogram("latency.buffering")
+    e2e = registry.histogram("latency.end_to_end")
+    user_messages = registry.counter("messages.user").value
+    tag_bytes = registry.counter("tag.bytes").value
+    return ProtocolProfile(
+        name=name,
+        messages=int(registry.counter("messages.invoked").value),
+        delivered=int(registry.counter("messages.delivered").value),
+        undelivered=len(watchdog.stuck(protocols=result.protocols)),
+        inhibition_mean=inhibition.mean,
+        inhibition_total=inhibition.total,
+        network_mean=network.mean,
+        buffering_mean=buffering.mean,
+        buffering_total=buffering.total,
+        end_to_end_mean=e2e.mean,
+        end_to_end_p95=e2e.percentile(95),
+        control_messages=int(registry.counter("net.control.messages").value),
+        control_bytes=int(registry.counter("net.control.bytes").value),
+        tag_bytes_per_message=(
+            tag_bytes / user_messages if user_messages else 0.0
+        ),
+        reordered_arrivals=int(registry.counter("channel.reordered").value),
+    )
+
+
+def profile_protocols(
+    entries: Sequence[Tuple[str, Callable[[int, int], object]]],
+    workload: Workload,
+    seed: int = 0,
+    latency: Optional[LatencyModel] = None,
+    fifo_channels: bool = False,
+) -> List[ProtocolProfile]:
+    """Profile each ``(name, factory)`` on the same workload and seed."""
+    return [
+        profile_protocol(
+            name,
+            factory,
+            workload,
+            seed=seed,
+            latency=latency,
+            fifo_channels=fifo_channels,
+        )
+        for name, factory in entries
+    ]
+
+
+def render_profiles(profiles: Sequence[ProtocolProfile]) -> str:
+    """The profiles as a monospace comparison table."""
+    rows = [profile.as_row() for profile in profiles]
+    columns = list(zip(ProtocolProfile.HEADERS, *rows))
+    widths = [max(len(str(cell)) for cell in column) for column in columns]
+
+    def format_row(cells) -> str:
+        return "  ".join(
+            str(cell).ljust(width) for cell, width in zip(cells, widths)
+        ).rstrip()
+
+    lines = [
+        format_row(ProtocolProfile.HEADERS),
+        format_row(["-" * width for width in widths]),
+    ]
+    lines.extend(format_row(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,235 @@
+"""Span-based causal tracing of message lifecycles.
+
+Each message's ``invoke -> send -> receive -> deliver`` lifecycle becomes
+three spans with causal parent links:
+
+- ``inhibit`` (invoke to send, on the sender's track) -- where
+  send-inhibitory protocols pay;
+- ``transit`` (send to receive, on the sender's track, parented by the
+  inhibit span) -- the network's share;
+- ``buffer`` (receive to deliver, on the receiver's track, parented by
+  the transit span) -- where delivery-buffering protocols pay.
+
+The tracer also records one *flow* per message (send at the sender to
+receive at the receiver), which the Chrome exporter turns into the
+causal arrows Perfetto draws between tracks.  Phases a run never
+completed are closed at :meth:`SpanTracer.finish` time and marked
+``incomplete``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.bus import Bus, ProbeEvent
+
+#: Lifecycle phases, in causal order.
+PHASES = ("inhibit", "transit", "buffer")
+
+
+@dataclass
+class Span:
+    """One closed interval of a message's lifecycle on one track."""
+
+    span_id: int
+    name: str
+    category: str  # one of PHASES
+    track: int  # process index whose timeline carries the span
+    start: float
+    end: float
+    parent_id: Optional[int] = None
+    message_id: str = ""
+    incomplete: bool = False
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """The span's extent in virtual time."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A causal arrow: the send at the sender to the receive at the receiver."""
+
+    flow_id: int
+    message_id: str
+    src: int
+    dst: int
+    send_time: float
+    receive_time: float
+
+
+class SpanTracer:
+    """Builds the causal span tree of a run from host probe events."""
+
+    def __init__(self, bus: Bus):
+        self._spans: List[Span] = []
+        self._flows: List[Flow] = []
+        self._next_id = 1
+        # Per-message lifecycle state.
+        self._invoke: Dict[str, ProbeEvent] = {}
+        self._release: Dict[str, ProbeEvent] = {}
+        self._receive: Dict[str, ProbeEvent] = {}
+        self._span_of: Dict[str, Dict[str, int]] = {}  # message -> phase -> id
+        self._finished = False
+        self._unsubscribers = [
+            bus.subscribe("host.invoke", self._on_invoke),
+            bus.subscribe("host.release", self._on_release),
+            bus.subscribe("host.receive", self._on_receive),
+            bus.subscribe("host.deliver", self._on_deliver),
+        ]
+
+    def _new_span(
+        self,
+        name: str,
+        category: str,
+        track: int,
+        start: float,
+        end: float,
+        parent_id: Optional[int],
+        message_id: str,
+        incomplete: bool = False,
+        **args: Any,
+    ) -> Span:
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            category=category,
+            track=track,
+            start=start,
+            end=end,
+            parent_id=parent_id,
+            message_id=message_id,
+            incomplete=incomplete,
+            args=args,
+        )
+        self._next_id += 1
+        self._spans.append(span)
+        self._span_of.setdefault(message_id, {})[category] = span.span_id
+        return span
+
+    # Probe handlers -------------------------------------------------------
+
+    def _on_invoke(self, event: ProbeEvent) -> None:
+        self._invoke[event.data["message_id"]] = event
+
+    def _on_release(self, event: ProbeEvent) -> None:
+        message_id = event.data["message_id"]
+        self._release[message_id] = event
+        invoke = self._invoke.get(message_id)
+        start = invoke.time if invoke is not None else event.time
+        self._new_span(
+            name="%s inhibit" % message_id,
+            category="inhibit",
+            track=event.data["process"],
+            start=start,
+            end=event.time,
+            parent_id=None,
+            message_id=message_id,
+            tag_bytes=event.data.get("tag_bytes"),
+        )
+
+    def _on_receive(self, event: ProbeEvent) -> None:
+        message_id = event.data["message_id"]
+        self._receive[message_id] = event
+        release = self._release.get(message_id)
+        sender = event.data["sender"]
+        start = release.time if release is not None else event.time
+        parent = self._span_of.get(message_id, {}).get("inhibit")
+        self._new_span(
+            name="%s transit" % message_id,
+            category="transit",
+            track=sender,
+            start=start,
+            end=event.time,
+            parent_id=parent,
+            message_id=message_id,
+        )
+        self._flows.append(
+            Flow(
+                flow_id=len(self._flows) + 1,
+                message_id=message_id,
+                src=sender,
+                dst=event.data["process"],
+                send_time=start,
+                receive_time=event.time,
+            )
+        )
+
+    def _on_deliver(self, event: ProbeEvent) -> None:
+        message_id = event.data["message_id"]
+        receive = self._receive.get(message_id)
+        start = receive.time if receive is not None else event.time
+        parent = self._span_of.get(message_id, {}).get("transit")
+        self._new_span(
+            name="%s buffer" % message_id,
+            category="buffer",
+            track=event.data["process"],
+            start=start,
+            end=event.time,
+            parent_id=parent,
+            message_id=message_id,
+            delayed=event.data.get("delayed"),
+        )
+
+    # Lifecycle ------------------------------------------------------------
+
+    def finish(self, now: float) -> None:
+        """Close the spans of unfinished lifecycles at time ``now``.
+
+        A message invoked but never released gets an ``incomplete``
+        inhibit span; one received but never delivered an ``incomplete``
+        buffer span.  Idempotent.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        for message_id, invoke in sorted(self._invoke.items()):
+            if message_id not in self._release:
+                self._new_span(
+                    name="%s inhibit" % message_id,
+                    category="inhibit",
+                    track=invoke.data["process"],
+                    start=invoke.time,
+                    end=max(now, invoke.time),
+                    parent_id=None,
+                    message_id=message_id,
+                    incomplete=True,
+                )
+        for message_id, receive in sorted(self._receive.items()):
+            spans = self._span_of.get(message_id, {})
+            if "buffer" not in spans:
+                self._new_span(
+                    name="%s buffer" % message_id,
+                    category="buffer",
+                    track=receive.data["process"],
+                    start=receive.time,
+                    end=max(now, receive.time),
+                    parent_id=spans.get("transit"),
+                    message_id=message_id,
+                    incomplete=True,
+                )
+
+    def close(self) -> None:
+        """Detach from the bus (recorded spans remain queryable)."""
+        for unsubscribe in self._unsubscribers:
+            unsubscribe()
+        self._unsubscribers = []
+
+    # Queries --------------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        """All spans, ordered by (start time, creation order)."""
+        return sorted(self._spans, key=lambda span: (span.start, span.span_id))
+
+    def spans_of(self, message_id: str) -> Dict[str, Span]:
+        """The spans of one message, keyed by phase."""
+        ids = self._span_of.get(message_id, {})
+        by_id = {span.span_id: span for span in self._spans}
+        return {phase: by_id[span_id] for phase, span_id in ids.items()}
+
+    def flows(self) -> List[Flow]:
+        """All send->receive flows, in receive order."""
+        return list(self._flows)

@@ -10,7 +10,7 @@ messages.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from repro.events import Message
 from repro.simulation.host import HostContext
@@ -38,6 +38,16 @@ class Protocol:
         raise NotImplementedError(
             "%s received an unexpected control message" % type(self).__name__
         )
+
+    def blocking_reason(self, message_id: str) -> Optional[str]:
+        """Why this instance is withholding ``message_id``, or ``None``.
+
+        An observability hook (see :mod:`repro.obs.watchdog`): protocols
+        holding a message back -- an inhibited send or a buffered
+        delivery -- may describe the condition they are waiting on
+        ("waiting for seq 3 from P0").  The default knows nothing.
+        """
+        return None
 
 
 def make_factory(protocol_cls, *args, **kwargs) -> Callable[[int, int], Protocol]:

@@ -7,7 +7,7 @@ tag is a single integer per message.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.events import Message
 from repro.protocols.base import Protocol
@@ -41,3 +41,14 @@ class FifoProtocol(Protocol):
             ctx.deliver(self._held.pop((sender, expected)))
             expected += 1
         self._next_in[sender] = expected
+
+    def blocking_reason(self, message_id: str) -> Optional[str]:
+        """Name the sequence-number gap a held message is waiting behind."""
+        for (sender, seq), message in self._held.items():
+            if message.id == message_id:
+                return "holding seq %d from P%d, waiting for seq %d" % (
+                    seq,
+                    sender,
+                    self._next_in.get(sender, 0),
+                )
+        return None

@@ -8,12 +8,15 @@ host enforces the event preconditions and records everything.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Set
+from typing import TYPE_CHECKING, Any, Dict, Optional, Set
 
 from repro.events import Event, Message
 from repro.simulation.network import Network, Packet
 from repro.simulation.sim import Simulator
 from repro.simulation.trace import SimulationStats, Trace, estimate_size
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs depends on us)
+    from repro.obs.bus import Bus
 
 
 class ProtocolError(RuntimeError):
@@ -66,11 +69,13 @@ class ProtocolHost:
         stats: SimulationStats,
         process_id: int,
         protocol: "Protocol",
+        bus: "Optional[Bus]" = None,
     ):
         self.sim = sim
         self.network = network
         self.trace = trace
         self.stats = stats
+        self._bus = bus
         self.process_id = process_id
         self.n_processes = network.n_processes
         self.protocol = protocol
@@ -102,7 +107,24 @@ class ProtocolHost:
         self.trace.register_message(message)
         self._invoked.add(message.id)
         self.trace.record(self.sim.now, self.process_id, Event.invoke(message.id))
+        bus = self._bus
+        if bus is not None and bus.active:
+            bus.emit(
+                "host.invoke",
+                self.sim.now,
+                message_id=message.id,
+                process=self.process_id,
+                receiver=message.receiver,
+            )
         self.protocol.on_invoke(self.ctx, message)
+        if message.id not in self._sent and bus is not None and bus.active:
+            # The protocol returned without releasing: the send is inhibited.
+            bus.emit(
+                "host.inhibit",
+                self.sim.now,
+                message_id=message.id,
+                process=self.process_id,
+            )
 
     # Protocol-facing -----------------------------------------------------------
 
@@ -120,6 +142,16 @@ class ProtocolHost:
         self.stats.user_messages += 1
         self.stats.tag_bytes_total += tag_bytes
         self.stats.max_tag_bytes = max(self.stats.max_tag_bytes, tag_bytes)
+        bus = self._bus
+        if bus is not None and bus.active:
+            bus.emit(
+                "host.release",
+                self.sim.now,
+                message_id=message.id,
+                process=self.process_id,
+                receiver=message.receiver,
+                tag_bytes=tag_bytes,
+            )
         self.network.send_user(self.process_id, message.receiver, message, tag)
 
     def deliver(self, message: Message) -> None:
@@ -133,12 +165,23 @@ class ProtocolHost:
         self._delivered.add(message.id)
         self.trace.record(self.sim.now, self.process_id, Event.deliver(message.id))
         self.stats.deliveries += 1
-        if self.sim.now > self._receive_time[message.id]:
+        delayed = self.sim.now > self._receive_time[message.id]
+        if delayed:
             self.stats.delayed_deliveries += 1
         send_time = self.trace.time_of(Event.send(message.id))
         self.stats.delivery_latencies.append(self.sim.now - send_time)
         invoke_time = self.trace.time_of(Event.invoke(message.id))
         self.stats.end_to_end_latencies.append(self.sim.now - invoke_time)
+        bus = self._bus
+        if bus is not None and bus.active:
+            bus.emit(
+                "host.deliver",
+                self.sim.now,
+                message_id=message.id,
+                process=self.process_id,
+                sender=message.sender,
+                delayed=delayed,
+            )
         if self.delivery_listener is not None:
             self.delivery_listener(message)
 
@@ -162,6 +205,15 @@ class ProtocolHost:
             self.trace.record(
                 self.sim.now, self.process_id, Event.receive(message.id)
             )
+            bus = self._bus
+            if bus is not None and bus.active:
+                bus.emit(
+                    "host.receive",
+                    self.sim.now,
+                    message_id=message.id,
+                    process=self.process_id,
+                    sender=message.sender,
+                )
             self.protocol.on_user_message(self.ctx, message, packet.tag)
         else:
             self.protocol.on_control(self.ctx, packet.src, packet.payload)

@@ -10,10 +10,13 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.events import Message
 from repro.simulation.sim import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs depends on us)
+    from repro.obs.bus import Bus
 
 
 class LatencyModel:
@@ -146,11 +149,13 @@ class Network:
         latency: Optional[LatencyModel] = None,
         seed: int = 0,
         fifo_channels: bool = False,
+        bus: "Optional[Bus]" = None,
     ):
         self.sim = sim
         self.n_processes = n_processes
         self.latency = latency or UniformLatency()
         self.fifo_channels = fifo_channels
+        self._bus = bus
         self._rng = random.Random(seed)
         self._handlers: Dict[int, Callable[[Packet], None]] = {}
         self._last_arrival: Dict[Tuple[int, int], float] = {}
@@ -182,6 +187,30 @@ class Network:
             self.user_packets += 1
         else:
             self.control_packets += 1
+        bus = self._bus
+        if bus is not None and bus.active:
+            if packet.is_user:
+                message = packet.message
+                bus.emit(
+                    "net.send",
+                    self.sim.now,
+                    src=packet.src,
+                    dst=packet.dst,
+                    message_id=message.id if message is not None else None,
+                    tag=packet.tag,
+                    delay=arrival - self.sim.now,
+                    arrival=arrival,
+                )
+            else:
+                bus.emit(
+                    "net.control",
+                    self.sim.now,
+                    src=packet.src,
+                    dst=packet.dst,
+                    payload=packet.payload,
+                    delay=arrival - self.sim.now,
+                    arrival=arrival,
+                )
         handler = self._handlers[packet.dst]
         self.sim.schedule(arrival - self.sim.now, lambda: handler(packet))
 

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.runs.system_run import SystemRun
 from repro.runs.user_run import UserRun
@@ -12,6 +12,9 @@ from repro.simulation.network import LatencyModel, Network, UniformLatency
 from repro.simulation.sim import Simulator
 from repro.simulation.trace import SimulationStats, Trace
 from repro.simulation.workloads import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs depends on us)
+    from repro.obs.bus import Bus
 
 # A factory builds one protocol instance per process: (process_id, n) -> Protocol
 ProtocolFactory = Callable[[int, int], "Protocol"]
@@ -29,6 +32,9 @@ class SimulationResult:
     user_run: UserRun
     delivered_all: bool
     undelivered: List[str]
+    # The per-process protocol instances, in process order (observability
+    # consumers ask them why a message is stuck).
+    protocols: List[object] = field(default_factory=list)
 
     def summary(self) -> str:
         """A short human-readable result block."""
@@ -37,9 +43,14 @@ class SimulationResult:
             "protocol:          %s" % self.protocol_name,
             "user messages:     %d" % self.stats.user_messages,
             "control messages:  %d" % self.stats.control_messages,
+            "control bytes:     %d" % self.stats.control_bytes,
             "mean tag bytes:    %.1f" % self.stats.mean_tag_bytes,
+            "max tag bytes:     %d" % self.stats.max_tag_bytes,
             "delayed delivers:  %d" % self.stats.delayed_deliveries,
             "mean latency:      %.3f" % self.stats.mean_delivery_latency,
+            "p95 latency:       %.3f" % self.stats.delivery_latency_percentile(95),
+            "max latency:       %.3f" % self.stats.max_delivery_latency,
+            "mean invoke->r:    %.3f" % self.stats.mean_end_to_end_latency,
             "all delivered:     %s" % self.delivered_all,
         ]
         return "\n".join(lines)
@@ -52,20 +63,25 @@ def run_simulation(
     latency: Optional[LatencyModel] = None,
     fifo_channels: bool = False,
     max_events: int = 1_000_000,
+    bus: "Optional[Bus]" = None,
 ) -> SimulationResult:
     """Run ``workload`` under the protocol and record the execution.
 
     The network seed controls latencies; the workload's own seed already
     fixed the request script, so (factory, workload, seed) determines the
-    run completely.
+    run completely.  An optional instrumentation ``bus``
+    (:class:`repro.obs.Bus`) receives probe events from the simulator,
+    network and hosts; subscribers only observe, so the schedule -- and
+    every statistic -- is identical with or without one.
     """
-    sim = Simulator()
+    sim = Simulator(bus=bus)
     network = Network(
         sim,
         workload.n_processes,
         latency=latency or UniformLatency(low=1.0, high=10.0),
         seed=seed,
         fifo_channels=fifo_channels,
+        bus=bus,
     )
     trace = Trace(workload.n_processes)
     stats = SimulationStats()
@@ -77,6 +93,7 @@ def run_simulation(
             stats,
             process_id,
             protocol_factory(process_id, workload.n_processes),
+            bus=bus,
         )
         for process_id in range(workload.n_processes)
     ]
@@ -108,4 +125,5 @@ def run_simulation(
         user_run=system_run.users_view(),
         delivered_all=not undelivered,
         undelivered=undelivered,
+        protocols=[host.protocol for host in hosts],
     )

@@ -8,6 +8,7 @@ recording order.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -39,6 +40,17 @@ def estimate_size(obj: Any) -> int:
     if hasattr(obj, "__dict__"):
         return 8 + estimate_size(vars(obj))
     return 8
+
+
+def _percentile(values: List[float], p: float) -> float:
+    """Nearest-rank percentile; 0 on an empty list."""
+    if not values:
+        return 0.0
+    if not 0 <= p <= 100:
+        raise ValueError("percentile must be in [0, 100], got %r" % p)
+    ordered = sorted(values)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
 
 
 @dataclass(frozen=True)
@@ -78,6 +90,10 @@ class SimulationStats:
     @property
     def max_delivery_latency(self) -> float:
         return max(self.delivery_latencies) if self.delivery_latencies else 0.0
+
+    def delivery_latency_percentile(self, p: float) -> float:
+        """The nearest-rank ``p``-th percentile of send->deliver latency."""
+        return _percentile(self.delivery_latencies, p)
 
     @property
     def mean_end_to_end_latency(self) -> float:

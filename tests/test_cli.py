@@ -87,6 +87,60 @@ class TestSimulateCommand:
         with pytest.raises(ValueError, match="not implementable"):
             main(["simulate", "second-before-first"])
 
+    def test_trace_and_metrics_out(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "run.json"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "simulate",
+                "x.s < y.s & y.r < x.r",
+                "--messages",
+                "12",
+                "--seed",
+                "4",
+                "--trace-out",
+                str(trace_path),
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "perfetto" in out
+
+        trace = json.loads(trace_path.read_text())
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 3 * 12  # inhibit/transit/buffer per message
+        assert any(e["ph"] == "s" for e in trace["traceEvents"])
+
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["messages.delivered"]["value"] == 12
+        assert "latency.end_to_end" in metrics
+
+
+class TestProfileCommand:
+    def test_default_breakdown(self, capsys):
+        assert main(["profile", "--messages", "20", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "inhibit" in out and "buffer" in out and "tagB/msg" in out
+        for name in ("tagless", "fifo", "causal-rst", "sync-coord"):
+            assert name in out
+
+    def test_explicit_protocol_subset(self, capsys):
+        code = main(
+            ["profile", "--protocols", "fifo", "flush", "--messages", "10"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fifo" in out and "flush" in out
+        assert "sync-coord" not in out
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit, match="unknown protocol"):
+            main(["profile", "--protocols", "carrier-pigeon"])
+
 
 class TestCompareCommand:
     def test_cost_table_shape(self, capsys):

@@ -26,6 +26,7 @@ MODULES = [
     "repro.verification.online",
     "repro.broadcast",
     "repro.apps",
+    "repro.obs",
     "repro.cli",
 ]
 

@@ -1,0 +1,191 @@
+"""Tests for the metrics registry and the probe-driven recorder."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Bus,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRecorder,
+    MetricsRegistry,
+    stats_to_registry,
+)
+from repro.protocols import CausalRstProtocol, FifoProtocol
+from repro.protocols.base import make_factory
+from repro.simulation import UniformLatency, random_traffic, run_simulation
+from repro.simulation.trace import SimulationStats
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5, label="a")
+        assert counter.value == 3.5
+        assert counter.by_label == {"a": 2.5}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("c").inc(-1)
+
+    def test_snapshot(self):
+        counter = Counter("c")
+        counter.inc(1, label="b")
+        counter.inc(1, label="a")
+        assert counter.snapshot() == {
+            "kind": "counter",
+            "value": 2.0,
+            "by_label": {"a": 1.0, "b": 1.0},
+        }
+
+
+class TestGauge:
+    def test_tracks_extremes(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(1)
+        assert gauge.value == 1
+        assert gauge.max_seen == 3
+
+    def test_add_and_labels(self):
+        gauge = Gauge("g")
+        gauge.add(2, label="p0")
+        gauge.add(-1, label="p0")
+        assert gauge.by_label["p0"] == 1
+        assert gauge.max_by_label["p0"] == 2
+
+
+class TestHistogram:
+    def test_empty(self):
+        histogram = Histogram("h")
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.percentile(95) == 0.0
+
+    def test_aggregates(self):
+        histogram = Histogram("h")
+        for value in (4.0, 1.0, 3.0, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == 10.0
+        assert histogram.mean == 2.5
+        assert histogram.min == 1.0
+        assert histogram.max == 4.0
+        assert histogram.percentile(50) == 2.0
+        assert histogram.percentile(100) == 4.0
+        assert histogram.values() == [4.0, 1.0, 3.0, 2.0]
+
+    def test_percentile_bounds(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError, match="percentile"):
+            histogram.percentile(-1)
+
+    def test_snapshot_has_quantiles(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        snapshot = histogram.snapshot()
+        assert snapshot["p50"] == 50.0
+        assert snapshot["p95"] == 95.0
+        assert snapshot["p99"] == 99.0
+
+
+class TestMetricsRegistry:
+    def test_create_or_get(self):
+        registry = MetricsRegistry()
+        first = registry.counter("messages.user", "help text")
+        second = registry.counter("messages.user")
+        assert first is second
+        assert registry.names() == ["messages.user"]
+        assert registry.get("messages.user") is first
+        assert registry.get("nope") is None
+
+    def test_kind_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("x")
+
+    def test_to_json_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.histogram("h").observe(1.0)
+        parsed = json.loads(registry.to_json())
+        assert parsed["c"]["value"] == 3.0
+        assert parsed["h"]["count"] == 1
+
+
+class TestStatsToRegistry:
+    def test_exports_legacy_aggregates(self):
+        stats = SimulationStats(
+            user_messages=4,
+            control_messages=2,
+            control_bytes=16,
+            tag_bytes_total=40,
+            max_tag_bytes=12,
+            deliveries=4,
+            delayed_deliveries=1,
+            delivery_latencies=[1.0, 3.0],
+            end_to_end_latencies=[2.0, 4.0],
+        )
+        registry = stats_to_registry(stats)
+        snapshot = registry.snapshot()
+        assert snapshot["messages.user"]["value"] == 4
+        assert snapshot["net.control.bytes"]["value"] == 16
+        assert snapshot["tag.bytes.max"]["max"] == 12
+        assert snapshot["latency.delivery"]["count"] == 2
+        assert snapshot["latency.end_to_end"]["mean"] == 3.0
+
+
+class TestMetricsRecorder:
+    def _run(self, protocol_cls, seed=5):
+        bus = Bus()
+        recorder = MetricsRecorder(bus)
+        result = run_simulation(
+            make_factory(protocol_cls),
+            random_traffic(4, 60, seed=seed),
+            seed=seed,
+            latency=UniformLatency(low=1.0, high=40.0),
+            bus=bus,
+        )
+        return recorder, result
+
+    @pytest.mark.parametrize("protocol_cls", [FifoProtocol, CausalRstProtocol])
+    def test_subsumes_simulation_stats(self, protocol_cls):
+        # The recorder, fed only probe events, reconstructs the exact
+        # stats object the host populated directly: same counts, same
+        # latencies in the same order.  This is the "subsume without
+        # breaking the API" contract of the tentpole.
+        recorder, result = self._run(protocol_cls)
+        assert recorder.as_simulation_stats() == result.stats
+
+    def test_phase_latencies_decompose_end_to_end(self):
+        recorder, result = self._run(CausalRstProtocol)
+        registry = recorder.registry
+        inhibition = registry.histogram("latency.inhibition")
+        network = registry.histogram("latency.network")
+        buffering = registry.histogram("latency.buffering")
+        e2e = registry.histogram("latency.end_to_end")
+        assert e2e.count == result.stats.deliveries
+        # invoke->deliver == (invoke->send) + (send->receive) + (receive->deliver)
+        assert e2e.total == pytest.approx(
+            inhibition.total + network.total + buffering.total
+        )
+
+    def test_buffer_occupancy_returns_to_zero(self):
+        recorder, result = self._run(FifoProtocol)
+        assert result.delivered_all
+        occupancy = recorder.registry.gauge("buffer.occupancy")
+        assert occupancy.value == 0
+        assert occupancy.max_seen >= 1
+
+    def test_close_detaches(self):
+        bus = Bus()
+        recorder = MetricsRecorder(bus)
+        assert bus.active
+        recorder.close()
+        assert not bus.active

@@ -1,0 +1,105 @@
+"""Tests for the liveness watchdog."""
+
+from repro.obs import Bus, Watchdog
+from repro.protocols import FifoProtocol
+from repro.protocols.base import Protocol, make_factory
+from repro.simulation import UniformLatency, random_traffic, run_simulation
+
+
+class NeverRelease(Protocol):
+    """Inhibits every send forever (deliberately not live)."""
+
+    name = "never-release"
+
+    def on_invoke(self, ctx, message):
+        """Swallow the invoke without releasing."""
+
+    def blocking_reason(self, message_id):
+        """Pretend to wait on an oracle."""
+        return "waiting for an oracle"
+
+
+class NeverDeliver(Protocol):
+    """Releases immediately but buffers every arrival forever."""
+
+    name = "never-deliver"
+
+    def on_invoke(self, ctx, message):
+        """Release straight away."""
+        ctx.release(message)
+
+    def on_user_message(self, ctx, message, tag):
+        """Swallow the arrival without delivering."""
+
+
+def _watched_run(protocol_cls, messages=6, seed=3):
+    bus = Bus()
+    watchdog = Watchdog(bus)
+    result = run_simulation(
+        make_factory(protocol_cls),
+        random_traffic(3, messages, seed=seed),
+        seed=seed,
+        latency=UniformLatency(low=1.0, high=10.0),
+        bus=bus,
+    )
+    return watchdog, result
+
+
+class TestWatchdog:
+    def test_live_run_reports_nothing(self):
+        watchdog, result = _watched_run(FifoProtocol, messages=20)
+        assert result.delivered_all
+        assert watchdog.stuck() == []
+        assert watchdog.render(protocols=result.protocols) == ""
+
+    def test_inhibited_messages_diagnosed_at_sender(self):
+        watchdog, result = _watched_run(NeverRelease)
+        stuck = watchdog.stuck()
+        assert sorted(report.message_id for report in stuck) == sorted(
+            result.undelivered
+        )
+        for report in stuck:
+            assert report.phase == "inhibited"
+            assert report.reason == "protocol never released the send"
+
+    def test_protocol_hook_refines_the_reason(self):
+        watchdog, result = _watched_run(NeverRelease)
+        for report in watchdog.stuck(protocols=result.protocols):
+            assert report.reason == "waiting for an oracle"
+        rendered = watchdog.render(protocols=result.protocols)
+        assert "stuck" in rendered
+        assert "waiting for an oracle" in rendered
+
+    def test_buffered_messages_diagnosed_at_receiver(self):
+        watchdog, result = _watched_run(NeverDeliver)
+        stuck = watchdog.stuck()
+        assert stuck, "never-deliver runs must strand messages"
+        trace_receivers = {
+            message.id: message.receiver for message in result.trace.messages()
+        }
+        for report in stuck:
+            assert report.phase == "buffered"
+            assert report.process == trace_receivers[report.message_id]
+            assert "never delivered" in report.reason
+
+    def test_from_trace_matches_live_bus(self):
+        watchdog, result = _watched_run(NeverDeliver)
+        replayed = Watchdog.from_trace(result.trace)
+        assert replayed.stuck() == watchdog.stuck()
+
+    def test_describe_is_one_line(self):
+        watchdog, _ = _watched_run(NeverRelease)
+        line = watchdog.stuck()[0].describe()
+        assert "\n" not in line
+        assert "inhibited" in line and "since t=" in line
+
+
+class TestFifoBlockingReason:
+    def test_names_the_sequence_gap(self):
+        protocol = FifoProtocol()
+        held = type("M", (), {"id": "m9"})()
+        protocol._held[(0, 2)] = held
+        assert protocol.blocking_reason("m9") == (
+            "holding seq 2 from P0, waiting for seq 0"
+        )
+        assert protocol.blocking_reason("other") is None

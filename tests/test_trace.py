@@ -84,6 +84,54 @@ class TestTrace:
         trace.record(0.0, 0, Event.invoke("m1"))
         assert trace.undelivered_messages() == ["m1"]
 
+    def test_undelivered_on_partially_delivered_run(self):
+        # m1 completes; m2 stalls after receive; m3 stalls after invoke.
+        trace = Trace(2)
+        for message in (
+            M1,
+            Message(id="m2", sender=0, receiver=1),
+            Message(id="m3", sender=1, receiver=0),
+        ):
+            trace.register_message(message)
+        for time, proc, event in [
+            (0.0, 0, Event.invoke("m1")),
+            (0.1, 0, Event.send("m1")),
+            (1.0, 1, Event.receive("m1")),
+            (1.1, 1, Event.deliver("m1")),
+            (0.2, 0, Event.invoke("m2")),
+            (0.3, 0, Event.send("m2")),
+            (2.0, 1, Event.receive("m2")),
+            (0.4, 1, Event.invoke("m3")),
+        ]:
+            trace.record(time, proc, event)
+        assert trace.undelivered_messages() == ["m2", "m3"]
+
+    def test_double_record_rejected_for_every_kind(self):
+        trace = Trace(2)
+        trace.register_message(M1)
+        for maker in (Event.invoke, Event.send, Event.receive, Event.deliver):
+            trace.record(0.0, 0, maker("m1"))
+            with pytest.raises(ValueError, match="twice"):
+                trace.record(1.0, 1, maker("m1"))
+
+    def test_unregistered_rejection_leaves_trace_untouched(self):
+        trace = Trace(2)
+        trace.register_message(M1)
+        trace.record(0.0, 0, Event.invoke("m1"))
+        with pytest.raises(ValueError, match="unregistered"):
+            trace.record(0.5, 0, Event.send("ghost"))
+        assert len(trace) == 1
+        assert not trace.has_event(Event.send("ghost"))
+
+    def test_conflicting_registration_after_records(self):
+        trace = Trace(2)
+        trace.register_message(M1)
+        trace.record(0.0, 0, Event.invoke("m1"))
+        with pytest.raises(ValueError, match="conflicting"):
+            trace.register_message(Message(id="m1", sender=0, receiver=1, color="red"))
+        # The failed registration must not clobber the original message.
+        assert trace.messages()[0].color is None
+
     def test_time_of(self):
         trace = Trace(2)
         trace.register_message(M1)
@@ -109,3 +157,12 @@ class TestSimulationStats:
         assert stats.mean_delivery_latency == 2.0
         assert stats.max_delivery_latency == 3.0
         assert stats.control_per_user_message() == 2.0
+
+    def test_delivery_latency_percentile(self):
+        stats = SimulationStats(delivery_latencies=list(range(1, 101)))
+        assert stats.delivery_latency_percentile(50) == 50
+        assert stats.delivery_latency_percentile(95) == 95
+        assert stats.delivery_latency_percentile(100) == 100
+        assert SimulationStats().delivery_latency_percentile(95) == 0.0
+        with pytest.raises(ValueError, match="percentile"):
+            stats.delivery_latency_percentile(101)
