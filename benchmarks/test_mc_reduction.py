@@ -1,0 +1,110 @@
+"""MC ablation: how much of the schedule tree DPOR + state caching prune.
+
+Runs the model checker over fixed workloads with pruning off, sleep sets
+only, and sleep sets + state cache, asserting that every configuration
+reaches the same distinct user-view runs (soundness) while the pruned
+configurations explore strictly fewer schedules (the point of DPOR).
+Writes the count table to ``benchmarks/results/mc_reduction.txt``.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, write_result
+
+from repro.mc import ModelChecker, resolve_protocol
+from repro.predicates.catalog import ASYNC_ORDERING, CAUSAL_ORDERING, FIFO_ORDERING
+from repro.simulation.workloads import SendRequest, Workload
+
+WORKLOADS = {
+    "fan-in-3": Workload(
+        name="fan-in-3",
+        n_processes=3,
+        requests=(
+            SendRequest(time=0.0, sender=0, receiver=2),
+            SendRequest(time=1.0, sender=1, receiver=2),
+            SendRequest(time=2.0, sender=0, receiver=2),
+        ),
+    ),
+    "relay-3": Workload(
+        name="relay-3",
+        n_processes=3,
+        requests=(
+            SendRequest(time=0.0, sender=0, receiver=1),
+            SendRequest(time=1.0, sender=1, receiver=2),
+            SendRequest(time=2.0, sender=0, receiver=2),
+        ),
+    ),
+}
+
+CASES = (
+    ("tagless", "fan-in-3", ASYNC_ORDERING),
+    ("fifo", "fan-in-3", FIFO_ORDERING),
+    ("causal-rst", "relay-3", CAUSAL_ORDERING),
+)
+
+MODES = (
+    ("naive", {"use_sleep_sets": False, "use_state_cache": False}),
+    ("sleep", {"use_sleep_sets": True, "use_state_cache": False}),
+    ("sleep+state", {"use_sleep_sets": True, "use_state_cache": True}),
+)
+
+
+def explore(protocol, workload, spec, flags):
+    checker = ModelChecker(
+        resolve_protocol(protocol),
+        workload,
+        spec,
+        collect_runs=True,
+        max_schedules=None,
+        minimize=False,
+        **flags,
+    )
+    report = checker.run()
+    assert report.verified, report.summary()
+    return report, checker.complete_runs
+
+
+def test_pruning_reduces_schedules_without_losing_runs():
+    rows = []
+    for protocol, workload_name, spec in CASES:
+        workload = WORKLOADS[workload_name]
+        counts = {}
+        runs = {}
+        for mode, flags in MODES:
+            report, reached = explore(protocol, workload, spec, flags)
+            counts[mode] = (
+                report.schedules_explored,
+                report.replays,
+                report.transitions,
+            )
+            runs[mode] = reached
+            rows.append(
+                [
+                    protocol,
+                    workload_name,
+                    mode,
+                    report.schedules_explored,
+                    report.replays,
+                    report.transitions,
+                    report.distinct_complete_runs,
+                ]
+            )
+        # Soundness: pruning never loses a reachable user-view run.
+        assert runs["naive"] == runs["sleep"] == runs["sleep+state"]
+        # Reduction: each pruning layer strictly helps on these workloads.
+        assert counts["sleep"][0] < counts["naive"][0], protocol
+        assert counts["sleep+state"][0] <= counts["sleep"][0], protocol
+
+    table = format_table(
+        [
+            "protocol",
+            "workload",
+            "mode",
+            "schedules",
+            "replays",
+            "transitions",
+            "distinct runs",
+        ],
+        rows,
+    )
+    write_result("mc_reduction", table)

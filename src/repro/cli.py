@@ -7,6 +7,8 @@
     python -m repro catalog
     python -m repro simulate "x.s < y.s & y.r < x.r" --messages 30 --seed 7
     python -m repro simulate fifo --diagram
+    python -m repro check fifo --workload pair --exhaustive
+    python -m repro check broken-fifo --report-out report.json
 """
 
 from __future__ import annotations
@@ -195,6 +197,73 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.mc import (
+        DEFAULT_MAX_DEPTH,
+        DEFAULT_MAX_SCHEDULES,
+        check_protocol,
+        named_workloads,
+        protocol_factories,
+    )
+    from repro.simulation.persistence import save_schedule
+
+    if args.protocol not in protocol_factories():
+        raise SystemExit(
+            "unknown protocol %r; available: %s"
+            % (args.protocol, ", ".join(sorted(protocol_factories())))
+        )
+    if args.workload == "random":
+        workload = random_traffic(
+            args.processes,
+            args.messages,
+            seed=args.seed,
+            color_every=args.color_every,
+        )
+    else:
+        workload = named_workloads()[args.workload]()
+    spec = _resolve_spec(args.spec, distinct=True) if args.spec else None
+    report = check_protocol(
+        args.protocol,
+        workload,
+        spec=spec,
+        invoke_order=args.invoke_order,
+        max_schedules=(
+            None
+            if args.exhaustive
+            else (
+                args.max_schedules
+                if args.max_schedules is not None
+                else DEFAULT_MAX_SCHEDULES
+            )
+        ),
+        max_depth=(
+            args.max_depth if args.max_depth is not None else DEFAULT_MAX_DEPTH
+        ),
+        max_violations=args.max_violations,
+        minimize=not args.no_minimize,
+    )
+    print(report.summary())
+    for violation in report.violations:
+        for line in violation.stuck:
+            print("stuck:             %s" % line)
+    if args.report_out:
+        with open(args.report_out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=1)
+        print("report:            %s" % args.report_out)
+    if args.counterexample_out:
+        if not report.violations:
+            print("counterexample:    none to save")
+        else:
+            best = report.violations[0]
+            save_schedule(
+                best.minimized or best.schedule, args.counterexample_out
+            )
+            print("counterexample:    %s" % args.counterexample_out)
+    return 1 if report.violations else 0
+
+
 def _cmd_selftest(args: argparse.Namespace) -> int:
     from repro.core.selftest import run_paper_selftest
 
@@ -332,6 +401,69 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--seed", type=int, default=0)
     p_prof.add_argument("--max-latency", type=float, default=40.0)
     p_prof.set_defaults(func=_cmd_profile)
+
+    p_check = sub.add_parser(
+        "check",
+        help="model-check a protocol: explore delivery schedules for a "
+        "specification violation",
+    )
+    p_check.add_argument(
+        "protocol",
+        help="registry protocol name (fifo, causal-rst, broken-fifo, ...)",
+    )
+    p_check.add_argument(
+        "--spec",
+        default=None,
+        help="specification override (catalogue name or DSL); default: the "
+        "protocol's own specification",
+    )
+    p_check.add_argument(
+        "--workload",
+        choices=("pair", "triangle", "flush-pair", "random"),
+        default="triangle",
+        help="deterministic tiny workload, or 'random' traffic",
+    )
+    p_check.add_argument("--processes", type=int, default=3)
+    p_check.add_argument("--messages", type=int, default=4)
+    p_check.add_argument("--seed", type=int, default=0)
+    p_check.add_argument("--color-every", type=int, default=None)
+    p_check.add_argument(
+        "--invoke-order",
+        choices=("script", "free"),
+        default="script",
+        help="'free' also permutes each process's own send order",
+    )
+    p_check.add_argument(
+        "--max-schedules",
+        type=int,
+        default=None,
+        help="schedule budget (default 2000)",
+    )
+    p_check.add_argument("--max-depth", type=int, default=None)
+    p_check.add_argument("--max-violations", type=int, default=1)
+    p_check.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help="no schedule budget: terminate only when the tree is covered",
+    )
+    p_check.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="skip delta-debugging minimization of counterexamples",
+    )
+    p_check.add_argument(
+        "--report-out",
+        metavar="FILE",
+        default=None,
+        help="write the machine-readable JSON report",
+    )
+    p_check.add_argument(
+        "--counterexample-out",
+        metavar="FILE",
+        default=None,
+        help="save the (minimized) counterexample schedule for replay",
+    )
+    p_check.set_defaults(func=_cmd_check)
 
     p_self = sub.add_parser(
         "selftest",

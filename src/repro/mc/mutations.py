@@ -1,0 +1,70 @@
+"""Deliberately broken protocol variants (mutation seeds).
+
+A model checker earns trust by *finding* planted bugs, not only by
+certifying correct protocols.  Each mutation here disables one guard of a
+real protocol -- the kind of off-by-one a refactor introduces -- and a
+seeded random simulation frequently misses, because the buggy path needs
+a specific adversarial reordering.  ``repro check`` must catch every one
+of these within its default budget.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.events import Message
+from repro.protocols.base import make_factory
+from repro.protocols.causal_rst import CausalRstProtocol
+from repro.protocols.fifo import FifoProtocol
+from repro.simulation.host import HostContext
+
+
+class BrokenFifoProtocol(FifoProtocol):
+    """FIFO that skips the sequence check for one sender's channel.
+
+    Messages from ``unchecked_sender`` are delivered the moment they
+    arrive; every other channel still goes through the reorder buffer.
+    Under reordering on the unchecked channel the FIFO forbidden
+    predicate (``x.s ▷ y.s ∧ y.r ▷ x.r``) fires.
+    """
+
+    name = "broken-fifo"
+
+    def __init__(self, unchecked_sender: int = 0) -> None:
+        super().__init__()
+        self.unchecked_sender = unchecked_sender
+
+    def on_user_message(self, ctx: HostContext, message: Message, tag: Any) -> None:
+        if message.sender == self.unchecked_sender:
+            ctx.deliver(message)
+            return
+        super().on_user_message(ctx, message, tag)
+
+
+class BrokenCausalRstProtocol(CausalRstProtocol):
+    """RST causal delivery that ignores the matrix for one sender.
+
+    Messages from ``unchecked_sender`` bypass the deliverability test, so
+    a message can overtake its causal past when it travels through the
+    unchecked channel.
+    """
+
+    name = "broken-causal-rst"
+
+    def __init__(self, unchecked_sender: int = 0) -> None:
+        super().__init__()
+        self.unchecked_sender = unchecked_sender
+
+    def on_user_message(self, ctx: HostContext, message: Message, tag: Any) -> None:
+        if message.sender == self.unchecked_sender:
+            ctx.deliver(message)
+            return
+        super().on_user_message(ctx, message, tag)
+
+
+def mutation_factories() -> Dict[str, Callable[[int, int], object]]:
+    """The named mutation variants, ready for the checker registry."""
+    return {
+        "broken-fifo": make_factory(BrokenFifoProtocol),
+        "broken-causal-rst": make_factory(BrokenCausalRstProtocol),
+    }

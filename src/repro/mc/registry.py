@@ -1,0 +1,115 @@
+"""Named protocol factories and default specifications for the checker.
+
+Counterexample schedules serialize a protocol *name*; replay resolves it
+here, so a schedule file is self-contained (workload + name + keys).  The
+registry is the profiling catalogue plus the deliberately broken mutation
+variants of :mod:`repro.mc.mutations`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.predicates.spec import Specification
+from repro.simulation.workloads import SendRequest, Workload
+
+
+def pair_workload() -> Workload:
+    """Two same-channel messages 0 -> 1: the minimal FIFO test."""
+    return Workload(
+        name="mc-pair",
+        n_processes=2,
+        requests=(
+            SendRequest(time=0.0, sender=0, receiver=1),
+            SendRequest(time=1.0, sender=0, receiver=1),
+        ),
+    )
+
+
+def triangle_workload() -> Workload:
+    """The paper's causal triangle: m1: 0->2, m2: 0->1, m3: 1->2."""
+    return Workload(
+        name="mc-triangle",
+        n_processes=3,
+        requests=(
+            SendRequest(time=0.0, sender=0, receiver=2),
+            SendRequest(time=1.0, sender=0, receiver=1),
+            SendRequest(time=2.0, sender=1, receiver=2),
+        ),
+    )
+
+
+def flush_pair_workload() -> Workload:
+    """Ordinary then red (two-way flush) message on one channel."""
+    return Workload(
+        name="mc-flush-pair",
+        n_processes=2,
+        requests=(
+            SendRequest(time=0.0, sender=0, receiver=1),
+            SendRequest(time=1.0, sender=0, receiver=1, color="red"),
+        ),
+    )
+
+
+def named_workloads() -> Dict[str, Callable[[], Workload]]:
+    """Deterministic tiny workloads selectable from the CLI by name."""
+    return {
+        "pair": pair_workload,
+        "triangle": triangle_workload,
+        "flush-pair": flush_pair_workload,
+    }
+
+
+def protocol_factories() -> Dict[str, Callable[[int, int], object]]:
+    """Every named factory the model checker can (re)instantiate."""
+    from repro.mc.mutations import mutation_factories
+    from repro.obs.profile import catalog_protocols
+
+    registry = dict(catalog_protocols())
+    registry.update(mutation_factories())
+    return registry
+
+
+def resolve_protocol(name: str) -> Callable[[int, int], object]:
+    """Look up a factory by name (helpful error on a miss)."""
+    registry = protocol_factories()
+    if name not in registry:
+        raise KeyError(
+            "unknown protocol %r; available: %s"
+            % (name, ", ".join(sorted(registry)))
+        )
+    return registry[name]
+
+
+def default_spec_for(name: str) -> Specification:
+    """The specification a named protocol claims to implement.
+
+    Mutation variants are checked against the specification of the
+    protocol they break -- that is the point of seeding them.
+    """
+    from repro.predicates.catalog import (
+        ASYNC_ORDERING,
+        CAUSAL_ORDERING,
+        FIFO_ORDERING,
+        LOGICALLY_SYNCHRONOUS,
+        TWO_WAY_FLUSH,
+        k_weaker_causal_spec,
+    )
+
+    table = {
+        "tagless": ASYNC_ORDERING,
+        "fifo": FIFO_ORDERING,
+        "broken-fifo": FIFO_ORDERING,
+        "flush": TWO_WAY_FLUSH,
+        "k-weaker(2)": k_weaker_causal_spec(2),
+        "causal-rst": CAUSAL_ORDERING,
+        "causal-ses": CAUSAL_ORDERING,
+        "broken-causal-rst": CAUSAL_ORDERING,
+        "sync-coord": LOGICALLY_SYNCHRONOUS,
+        "sync-rdv": LOGICALLY_SYNCHRONOUS,
+    }
+    if name not in table:
+        raise KeyError(
+            "no default specification for %r; pass one explicitly" % (name,)
+        )
+    return table[name]

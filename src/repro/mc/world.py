@@ -1,0 +1,287 @@
+"""The controllable execution world: same hosts and protocols, explicit schedule.
+
+:func:`~repro.simulation.runner.run_simulation` resolves the network's
+nondeterminism with seeded latencies; the model checker resolves it
+*adversarially*.  A :class:`ControlledWorld` builds the very same
+:class:`~repro.simulation.host.ProtocolHost` / \
+:class:`~repro.simulation.network.Network` / \
+:class:`~repro.simulation.trace.Trace` stack, but virtual time is a step
+counter, the transport parks packets instead of scheduling arrivals, and
+protocol timers become explicit transitions.  At every point the world
+exposes the set of *enabled transitions*; an explorer (or a replayed
+schedule) chooses which one executes next.
+
+Transition keys -- stable across replays *and* across commutations of
+independent transitions, so they double as schedule serialization format
+and as pruning signatures:
+
+``("invoke", p, i)``
+    the workload's ``i``-th request executes at its sender ``p``;
+``("deliver", s, d, k)``
+    delivery of the ``k``-th packet transmitted on channel ``(s, d)``;
+``("timer", p, j)``
+    the ``j``-th timer created at process ``p`` fires.
+
+Every transition executes at exactly one *home* process (the invoker, the
+packet destination, the timer owner).  Transitions with different homes
+commute: they read and write disjoint protocol state and append to
+disjoint per-process event sequences, so either execution order reaches
+the same world state and the same user-view run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.events import Message
+from repro.simulation.host import ProtocolHost
+from repro.simulation.network import Network, Packet, Transport
+from repro.simulation.trace import SimulationStats, Trace
+from repro.simulation.workloads import Workload
+from repro.runs.user_run import UserRun
+
+#: A transition key (one of the three shapes documented above).
+TransitionKey = Tuple[Any, ...]
+
+#: The protocol factory shape shared with the simulation runner.
+ProtocolFactory = Callable[[int, int], object]
+
+INVOKE_ORDERS = ("script", "free")
+
+
+class ScheduleError(RuntimeError):
+    """A schedule referenced a transition that is not currently enabled."""
+
+
+def transition_home(key: TransitionKey) -> int:
+    """The single process at which a transition executes protocol code."""
+    if key[0] == "deliver":
+        return key[2]
+    return key[1]
+
+
+def transitions_dependent(a: TransitionKey, b: TransitionKey) -> bool:
+    """Whether two transitions may fail to commute (same home process)."""
+    return transition_home(a) == transition_home(b)
+
+
+class StepClock:
+    """A :class:`~repro.simulation.sim.Simulator`-compatible clock whose
+    time is the number of executed transitions.
+
+    ``schedule`` calls (protocol timers via ``ctx.schedule``) are captured
+    as transitions instead of queued: the model checker is time-abstract,
+    so any pending timer may fire whenever the adversary chooses.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._capture: Optional[Callable[[Callable[[], None]], None]] = None
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Capture a protocol timer as a controllable transition."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past (delay=%r)" % delay)
+        assert self._capture is not None
+        self._capture(action)
+
+
+class ControlledTransport(Transport):
+    """Parks transmitted packets until the explorer dispatches them."""
+
+    def __init__(self) -> None:
+        self.pending: Dict[TransitionKey, Packet] = {}
+
+    def transmit(self, network: Network, packet: Packet) -> Optional[float]:
+        """Park the packet under its delivery key; arrival is external."""
+        key = ("deliver", packet.src, packet.dst, packet.channel_seq)
+        self.pending[key] = packet
+        return None
+
+
+def _packet_content(packet: Packet) -> Tuple[Any, ...]:
+    """A structural signature of what the destination protocol will see."""
+    if packet.is_user:
+        message = packet.message
+        assert message is not None
+        return ("user", message.id, repr(packet.tag))
+    return ("control", repr(packet.payload))
+
+
+class ControlledWorld:
+    """One execution under explicit scheduling, built from a fresh stack.
+
+    ``invoke_order`` fixes how much of the request script the adversary
+    controls: ``"script"`` (the default) keeps each process's invokes in
+    workload order (the script is the program; only the network is
+    adversarial), while ``"free"`` lets the explorer also permute a
+    process's own invokes -- the mode in which the reachable user-view
+    runs of the null protocol are exactly the
+    :mod:`repro.runs.enumeration` universe.
+    """
+
+    def __init__(
+        self,
+        protocol_factory: ProtocolFactory,
+        workload: Workload,
+        invoke_order: str = "script",
+    ):
+        if invoke_order not in INVOKE_ORDERS:
+            raise ValueError(
+                "invoke_order must be one of %r, got %r"
+                % (INVOKE_ORDERS, invoke_order)
+            )
+        self.workload = workload
+        self.invoke_order = invoke_order
+        self.clock = StepClock()
+        self.clock._capture = self._capture_timer
+        self.transport = ControlledTransport()
+        self.network = Network(
+            self.clock, workload.n_processes, transport=self.transport
+        )
+        self.trace = Trace(workload.n_processes)
+        self.stats = SimulationStats()
+        self.steps = 0
+        self._timers: Dict[TransitionKey, Callable[[], None]] = {}
+        self._timer_counts: List[int] = [0] * workload.n_processes
+        # Per-process interaction history: everything the local protocol
+        # instance has observed, in order.  Protocols are deterministic
+        # functions of this history, which makes it (together with the
+        # pending sets) a sound state signature.
+        self._histories: List[Tuple[Tuple[Any, ...], ...]] = [
+            () for _ in range(workload.n_processes)
+        ]
+        self._current_process = 0
+        self.hosts = [
+            ProtocolHost(
+                self.clock,
+                self.network,
+                self.trace,
+                self.stats,
+                process_id,
+                protocol_factory(process_id, workload.n_processes),
+            )
+            for process_id in range(workload.n_processes)
+        ]
+        for host in self.hosts:
+            self._current_process = host.process_id
+            host.start()
+        self._invoke_queues: List[List[Tuple[int, Message]]] = [
+            [] for _ in range(workload.n_processes)
+        ]
+        for index, message in enumerate(workload.messages()):
+            self._invoke_queues[message.sender].append((index, message))
+
+    # -- timer capture -----------------------------------------------------
+
+    def _capture_timer(self, action: Callable[[], None]) -> None:
+        owner = self._current_process
+        index = self._timer_counts[owner]
+        self._timer_counts[owner] = index + 1
+        self._timers[("timer", owner, index)] = action
+
+    # -- the explorer's interface ------------------------------------------
+
+    def enabled(self) -> List[TransitionKey]:
+        """Every currently executable transition, in deterministic order."""
+        keys: List[TransitionKey] = []
+        for process, queue in enumerate(self._invoke_queues):
+            if not queue:
+                continue
+            if self.invoke_order == "script":
+                keys.append(("invoke", process, queue[0][0]))
+            else:
+                keys.extend(("invoke", process, index) for index, _ in queue)
+        keys.extend(self.transport.pending.keys())
+        keys.extend(self._timers.keys())
+        return sorted(keys)
+
+    def execute(self, key: TransitionKey) -> None:
+        """Execute one enabled transition (protocol reactions run inline)."""
+        kind = key[0]
+        self.steps += 1
+        self.clock.now = float(self.steps)
+        if kind == "invoke":
+            _, process, index = key
+            queue = self._invoke_queues[process]
+            position = next(
+                (pos for pos, (i, _) in enumerate(queue) if i == index), None
+            )
+            if position is None or (
+                self.invoke_order == "script" and position != 0
+            ):
+                raise ScheduleError("invoke %r is not enabled" % (key,))
+            _, message = queue.pop(position)
+            self._current_process = process
+            self._histories[process] += (("inv", message.id),)
+            self.hosts[process].invoke(message)
+        elif kind == "deliver":
+            packet = self.transport.pending.pop(key, None)
+            if packet is None:
+                raise ScheduleError("delivery %r is not enabled" % (key,))
+            destination = packet.dst
+            self._current_process = destination
+            self._histories[destination] += (
+                ("pkt", packet.src) + _packet_content(packet),
+            )
+            self.network.handler_for(destination)(packet)
+        elif kind == "timer":
+            action = self._timers.pop(key, None)
+            if action is None:
+                raise ScheduleError("timer %r is not enabled" % (key,))
+            _, owner, index = key
+            self._current_process = owner
+            self._histories[owner] += (("timer", index),)
+            action()
+        else:
+            raise ScheduleError("unknown transition key %r" % (key,))
+
+    def run_schedule(self, keys) -> None:
+        """Execute a sequence of transitions (strict: all must be enabled)."""
+        for key in keys:
+            self.execute(key)
+
+    # -- state inspection --------------------------------------------------
+
+    def signature(self) -> Tuple[Any, ...]:
+        """A structural state signature: equal signatures have identical
+        continuations.
+
+        Protocol state is a deterministic function of the per-process
+        interaction history; pending packets are identified by channel
+        position *and* content (two interleavings can load the same
+        channel slot with different tags), timers and remaining invokes
+        by their stable keys.  No lossy hashing is involved, so pruning
+        on signature equality keeps exhaustive exploration exact.
+        """
+        pending = frozenset(
+            key + _packet_content(packet)
+            for key, packet in self.transport.pending.items()
+        )
+        return (
+            tuple(self._histories),
+            pending,
+            frozenset(self._timers),
+            tuple(tuple(i for i, _ in queue) for queue in self._invoke_queues),
+        )
+
+    def is_drained(self) -> bool:
+        """Whether no transition is enabled (the execution is maximal)."""
+        return not (
+            any(self._invoke_queues) or self.transport.pending or self._timers
+        )
+
+    def user_run(self) -> UserRun:
+        """The user's view of the execution so far."""
+        return self.trace.to_user_run()
+
+    def protocols(self) -> List[object]:
+        """The per-process protocol instances (for blocking reports)."""
+        return [host.protocol for host in self.hosts]
+
+    def __repr__(self) -> str:
+        return "ControlledWorld(steps=%d, enabled=%d, workload=%r)" % (
+            self.steps,
+            len(self.enabled()),
+            self.workload.name,
+        )

@@ -28,7 +28,16 @@ probe            payload fields
 ``host.deliver`` ``message_id``, ``process``, ``sender``, ``delayed``
 ``verify.check`` ``spec``, ``protocol``, ``workload``, ``safe``, ``live``,
                  ``violations``
+``mc.schedule``  ``index``, ``depth``, ``outcome``
+``mc.prune``     ``reason``, ``depth``
+``mc.violation`` ``predicate``, ``assignment``, ``depth``
 ===============  ============================================================
+
+The ``mc.*`` probes are emitted by the model checker's explorer
+(:mod:`repro.mc.explorer`): one ``mc.schedule`` per explored maximal
+schedule (``outcome`` is ``"complete"``, ``"violation"`` or
+``"truncated"``), one ``mc.prune`` per skipped subtree (``reason`` is
+``"sleep"`` or ``"state"``), one ``mc.violation`` per counterexample.
 """
 
 from __future__ import annotations
@@ -48,6 +57,9 @@ PROBES = frozenset(
         "host.receive",
         "host.deliver",
         "verify.check",
+        "mc.schedule",
+        "mc.prune",
+        "mc.violation",
     }
 )
 

@@ -33,12 +33,14 @@ class CausalRstProtocol(Protocol):
         self._sent: Optional[List[List[int]]] = None
         self._delivered: Optional[List[int]] = None
         self._pending: List[Tuple[Message, List[List[int]]]] = []
+        self._me: Optional[int] = None
 
     def _ensure_state(self, ctx: HostContext) -> None:
         if self._sent is None:
             n = ctx.n_processes
             self._sent = [[0] * n for _ in range(n)]
             self._delivered = [0] * n
+        self._me = ctx.process_id
 
     def on_invoke(self, ctx: HostContext, message: Message) -> None:
         self._ensure_state(ctx)
@@ -83,3 +85,21 @@ class CausalRstProtocol(Protocol):
                     ctx.deliver(message)
                     progress = True
                     break
+
+    def blocking_reason(self, message_id: str) -> Optional[str]:
+        """Name the unsatisfied matrix constraints a buffered message
+        waits on (``DELIV[k] < SENT[k][me]`` entries of its tag)."""
+        if self._delivered is None or self._me is None:
+            return None
+        for message, matrix in self._pending:
+            if message.id != message_id:
+                continue
+            gaps = [
+                "%d more from P%d (have %d, tag needs %d)"
+                % (matrix[k][self._me] - self._delivered[k], k,
+                   self._delivered[k], matrix[k][self._me])
+                for k in range(len(self._delivered))
+                if self._delivered[k] < matrix[k][self._me]
+            ]
+            return "buffered awaiting " + "; ".join(gaps) if gaps else None
+        return None

@@ -40,10 +40,12 @@ class CausalSesProtocol(Protocol):
         self._clock: Optional[List[int]] = None
         self._constraints: Dict[int, Vector] = {}
         self._pending: List[Tuple[Message, Vector, Dict[int, Vector]]] = []
+        self._me: Optional[int] = None
 
     def _ensure_state(self, ctx: HostContext) -> None:
         if self._clock is None:
             self._clock = [0] * ctx.n_processes
+        self._me = ctx.process_id
 
     def on_invoke(self, ctx: HostContext, message: Message) -> None:
         self._ensure_state(ctx)
@@ -91,3 +93,25 @@ class CausalSesProtocol(Protocol):
                     ctx.deliver(message)
                     progress = True
                     break
+
+    def blocking_reason(self, message_id: str) -> Optional[str]:
+        """Name the destination constraint a buffered message waits on
+        (its carried ``V_P`` entry not yet dominated by the local clock)."""
+        if self._clock is None or self._me is None:
+            return None
+        for message, _timestamp, constraints in self._pending:
+            if message.id != message_id:
+                continue
+            own = constraints.get(self._me)
+            if own is None or _leq(own, tuple(self._clock)):
+                return None
+            lagging = [
+                "P%d (clock %d < constraint %d)" % (k, have, need)
+                for k, (have, need) in enumerate(zip(self._clock, own))
+                if have < need
+            ]
+            return "buffered until clock dominates %r; behind on %s" % (
+                own,
+                ", ".join(lagging),
+            )
+        return None

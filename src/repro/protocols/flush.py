@@ -100,6 +100,28 @@ class FlushChannelProtocol(Protocol):
                 return False
         return True
 
+    def blocking_reason(self, message_id: str) -> Optional[str]:
+        """Name the flush constraint a held message is waiting behind."""
+        for sender, channel in self._in.items():
+            for message, seq, kind, barrier in channel.held:
+                if message.id != message_id:
+                    continue
+                if barrier >= 0 and barrier not in channel.delivered_seqs:
+                    return (
+                        "%s seq %d from P%d waiting for backward barrier seq %d"
+                        % (kind, seq, sender, barrier)
+                    )
+                if kind in (FORWARD, TWO_WAY):
+                    missing = seq - sum(
+                        1 for s in channel.delivered_seqs if s < seq
+                    )
+                    return (
+                        "%s seq %d from P%d waiting for %d earlier message(s)"
+                        % (kind, seq, sender, missing)
+                    )
+                return None
+        return None
+
     def _drain(self, ctx: HostContext, channel: _ReceiverChannel) -> None:
         progress = True
         while progress:

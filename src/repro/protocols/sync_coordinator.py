@@ -13,7 +13,7 @@ messages, which Theorem 1 shows are unavoidable for this specification.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque
+from typing import Any, Deque, Optional
 
 from repro.events import Message
 from repro.protocols.base import Protocol
@@ -87,3 +87,22 @@ class SyncCoordinatorProtocol(Protocol):
     def _release_head(self, ctx: HostContext) -> None:
         message = self._outbox.popleft()
         ctx.release(message, tag=None)
+
+    def blocking_reason(self, message_id: str) -> Optional[str]:
+        """Name where in the grant pipeline an unreleased message sits."""
+        for position, message in enumerate(self._outbox):
+            if message.id != message_id:
+                continue
+            if position > 0:
+                return (
+                    "queued at outbox position %d behind an ungranted request"
+                    % position
+                )
+            if self._grant_queue or self._busy:
+                # Only meaningful at the coordinator, where the queue lives.
+                return "awaiting grant (coordinator busy=%s, %d request(s) queued)" % (
+                    self._busy,
+                    len(self._grant_queue),
+                )
+            return "awaiting grant from the coordinator (P%d)" % COORDINATOR
+        return None

@@ -122,6 +122,28 @@ class SyncRendezvousProtocol(Protocol):
         else:
             raise ValueError("unknown control payload %r" % (payload,))
 
+    def blocking_reason(self, message_id: str) -> Optional[str]:
+        """Name the rendezvous phase an unreleased message is stuck in."""
+        for position, message in enumerate(self._outbox):
+            if message.id != message_id:
+                continue
+            if position > 0:
+                return "queued at outbox position %d (one transfer at a time)" % (
+                    position,
+                )
+            if self._phase is AWAITING_ACK:
+                return "REQ sent to P%d, awaiting ACK/NACK" % message.receiver
+            if self._phase is BACKOFF:
+                return "backing off after NACK (%d so far), will retry" % (
+                    self.nacks_received,
+                )
+            if self._committed_to is not None:
+                return "deferred while committed to a transfer from P%d" % (
+                    self._committed_to,
+                )
+            return "head of outbox, request not yet issued"
+        return None
+
     # -- payload delivery ------------------------------------------------------
 
     def on_user_message(self, ctx: HostContext, message: Message, tag: Any) -> None:

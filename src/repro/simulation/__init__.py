@@ -13,10 +13,12 @@ from repro.simulation.network import (
     AlternatingLatency,
     FixedLatency,
     LatencyModel,
+    LatencyTransport,
     Network,
     Packet,
     ScriptedLatency,
     TargetedSlowChannel,
+    Transport,
     UniformLatency,
 )
 from repro.simulation.trace import SimulationStats, Trace, estimate_size
@@ -38,6 +40,8 @@ __all__ = [
     "Simulator",
     "Network",
     "Packet",
+    "Transport",
+    "LatencyTransport",
     "LatencyModel",
     "UniformLatency",
     "FixedLatency",

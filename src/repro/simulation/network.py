@@ -133,14 +133,70 @@ class Packet:
     payload: Any = None
     send_time: float = 0.0
     uid: int = 0
+    # Position among all packets transmitted on this (src, dst) channel --
+    # a schedule-stable identity (unlike ``uid``, it does not shift when
+    # unrelated channels commute), used by the model checker.
+    channel_seq: int = 0
 
     @property
     def is_user(self) -> bool:
         return self.kind == "user"
 
 
+class Transport:
+    """How a transmitted packet reaches its destination handler.
+
+    The network validates and accounts each packet, then hands it to its
+    transport.  :class:`LatencyTransport` (the default) draws a seeded
+    delay and schedules the arrival on the simulator -- the asynchronous
+    adversary.  The model checker substitutes a transport that *parks*
+    packets until an explorer explicitly dispatches them
+    (:class:`repro.mc.world.ControlledTransport`), which is how the same
+    hosts and protocols run under either random latency or an explicit
+    schedule.
+    """
+
+    def transmit(self, network: "Network", packet: Packet) -> Optional[float]:
+        """Route ``packet``; return its arrival time (``None`` if the
+        arrival is decided later by an external scheduler)."""
+        raise NotImplementedError
+
+
+class LatencyTransport(Transport):
+    """Seeded-latency delivery on the simulator's event queue."""
+
+    def __init__(
+        self,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+        fifo_channels: bool = False,
+    ):
+        self.latency = latency or UniformLatency()
+        self.fifo_channels = fifo_channels
+        self._rng = random.Random(seed)
+        self._last_arrival: Dict[Tuple[int, int], float] = {}
+
+    def transmit(self, network: "Network", packet: Packet) -> Optional[float]:
+        """Draw the packet's delay and schedule the handler call."""
+        sim = network.sim
+        delay = self.latency.sample(self._rng, packet.src, packet.dst)
+        arrival = sim.now + delay
+        if self.fifo_channels:
+            channel = (packet.src, packet.dst)
+            arrival = max(arrival, self._last_arrival.get(channel, 0.0) + 1e-9)
+            self._last_arrival[channel] = arrival
+        handler = network.handler_for(packet.dst)
+        sim.schedule(arrival - sim.now, lambda: handler(packet))
+        return arrival
+
+
 class Network:
-    """Routes packets between attached handlers with seeded latencies."""
+    """Routes packets between attached handlers via a transport.
+
+    By default the transport draws seeded latencies (the paper's
+    asynchronous adversary); pass ``transport`` to control delivery
+    explicitly (used by :mod:`repro.mc`).
+    """
 
     def __init__(
         self,
@@ -150,19 +206,30 @@ class Network:
         seed: int = 0,
         fifo_channels: bool = False,
         bus: "Optional[Bus]" = None,
+        transport: Optional[Transport] = None,
     ):
         self.sim = sim
         self.n_processes = n_processes
-        self.latency = latency or UniformLatency()
-        self.fifo_channels = fifo_channels
+        self.transport = transport or LatencyTransport(
+            latency=latency, seed=seed, fifo_channels=fifo_channels
+        )
         self._bus = bus
-        self._rng = random.Random(seed)
         self._handlers: Dict[int, Callable[[Packet], None]] = {}
-        self._last_arrival: Dict[Tuple[int, int], float] = {}
         self._uid = itertools.count()
+        self._channel_seq: Dict[Tuple[int, int], "itertools.count"] = {}
         self.packets_sent = 0
         self.user_packets = 0
         self.control_packets = 0
+
+    @property
+    def latency(self) -> Optional[LatencyModel]:
+        """The latency model, when the transport is latency-based."""
+        return getattr(self.transport, "latency", None)
+
+    @property
+    def fifo_channels(self) -> bool:
+        """Whether the transport keeps per-channel FIFO arrival order."""
+        return bool(getattr(self.transport, "fifo_channels", False))
 
     def attach(self, process_id: int, handler: Callable[[Packet], None]) -> None:
         """Register the packet handler of ``process_id``."""
@@ -170,25 +237,30 @@ class Network:
             raise ValueError("process %d already attached" % process_id)
         self._handlers[process_id] = handler
 
+    def handler_for(self, process_id: int) -> Callable[[Packet], None]:
+        """The packet handler attached for ``process_id``."""
+        return self._handlers[process_id]
+
     def transmit(self, packet: Packet) -> None:
-        """Send a packet; arrival is scheduled per the latency model."""
+        """Send a packet; its arrival is decided by the transport."""
         if packet.dst not in range(self.n_processes):
             raise ValueError("unknown destination %r" % (packet.dst,))
         packet.send_time = self.sim.now
         packet.uid = next(self._uid)
-        delay = self.latency.sample(self._rng, packet.src, packet.dst)
-        arrival = self.sim.now + delay
-        if self.fifo_channels:
-            channel = (packet.src, packet.dst)
-            arrival = max(arrival, self._last_arrival.get(channel, 0.0) + 1e-9)
-            self._last_arrival[channel] = arrival
+        channel = (packet.src, packet.dst)
+        counter = self._channel_seq.get(channel)
+        if counter is None:
+            counter = self._channel_seq[channel] = itertools.count()
+        packet.channel_seq = next(counter)
         self.packets_sent += 1
         if packet.is_user:
             self.user_packets += 1
         else:
             self.control_packets += 1
+        arrival = self.transport.transmit(self, packet)
         bus = self._bus
         if bus is not None and bus.active:
+            delay = None if arrival is None else arrival - self.sim.now
             if packet.is_user:
                 message = packet.message
                 bus.emit(
@@ -198,7 +270,7 @@ class Network:
                     dst=packet.dst,
                     message_id=message.id if message is not None else None,
                     tag=packet.tag,
-                    delay=arrival - self.sim.now,
+                    delay=delay,
                     arrival=arrival,
                 )
             else:
@@ -208,11 +280,9 @@ class Network:
                     src=packet.src,
                     dst=packet.dst,
                     payload=packet.payload,
-                    delay=arrival - self.sim.now,
+                    delay=delay,
                     arrival=arrival,
                 )
-        handler = self._handlers[packet.dst]
-        self.sim.schedule(arrival - self.sim.now, lambda: handler(packet))
 
     def send_user(
         self, src: int, dst: int, message: Message, tag: Any = None

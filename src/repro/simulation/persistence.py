@@ -1,8 +1,11 @@
-"""Trace and run serialization (JSON).
+"""Trace, run, workload and schedule serialization (JSON).
 
 Recorded executions round-trip through plain dicts, so traces can be
 archived, diffed across protocol versions, and re-verified without
-re-simulating.
+re-simulating.  Model-checker counterexamples
+(:class:`repro.mc.counterexample.Schedule`) serialize the same way --
+workload, protocol name and transition keys -- so a violating schedule
+found anywhere replays bit-identically anywhere else.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ from repro.events import Event, Message
 from repro.events.events import kind_from_symbol
 from repro.runs.user_run import UserRun
 from repro.simulation.trace import Trace
+from repro.simulation.workloads import SendRequest, Workload
 
 
 def message_to_dict(message: Message) -> Dict[str, Any]:
@@ -87,6 +91,100 @@ def load_trace(source: Union[str, IO[str]]) -> Trace:
     else:
         payload = json.load(source)
     return trace_from_dict(payload)
+
+
+def workload_to_dict(workload: Workload) -> Dict[str, Any]:
+    """Serialize a workload (name, process count, request script)."""
+    requests = []
+    for request in workload.requests:
+        entry: Dict[str, Any] = {
+            "time": request.time,
+            "sender": request.sender,
+            "receiver": request.receiver,
+        }
+        if request.color is not None:
+            entry["color"] = request.color
+        if request.group is not None:
+            entry["group"] = request.group
+        if request.payload is not None:
+            entry["payload"] = request.payload
+        requests.append(entry)
+    return {
+        "format": "repro-workload-v1",
+        "name": workload.name,
+        "n_processes": workload.n_processes,
+        "requests": requests,
+    }
+
+
+def workload_from_dict(payload: Dict[str, Any]) -> Workload:
+    if payload.get("format") != "repro-workload-v1":
+        raise ValueError(
+            "not a repro workload: format=%r" % payload.get("format")
+        )
+    return Workload(
+        name=payload["name"],
+        n_processes=payload["n_processes"],
+        requests=tuple(
+            SendRequest(
+                time=entry["time"],
+                sender=entry["sender"],
+                receiver=entry["receiver"],
+                color=entry.get("color"),
+                group=entry.get("group"),
+                payload=entry.get("payload"),
+            )
+            for entry in payload["requests"]
+        ),
+    )
+
+
+def schedule_to_dict(schedule) -> Dict[str, Any]:
+    """Serialize a model-checker schedule (a replayable counterexample)."""
+    return {
+        "format": "repro-mc-schedule-v1",
+        "protocol": schedule.protocol,
+        "invoke_order": schedule.invoke_order,
+        "workload": workload_to_dict(schedule.workload),
+        "keys": [list(key) for key in schedule.keys],
+    }
+
+
+def schedule_from_dict(payload: Dict[str, Any]):
+    if payload.get("format") != "repro-mc-schedule-v1":
+        raise ValueError(
+            "not a repro mc schedule: format=%r" % payload.get("format")
+        )
+    # Imported here: repro.mc builds on the simulation layer, not the
+    # other way round.
+    from repro.mc.counterexample import Schedule
+
+    return Schedule(
+        protocol=payload["protocol"],
+        workload=workload_from_dict(payload["workload"]),
+        keys=tuple(tuple(key) for key in payload["keys"]),
+        invoke_order=payload.get("invoke_order", "script"),
+    )
+
+
+def save_schedule(schedule, destination: Union[str, IO[str]]) -> None:
+    """Write a schedule as JSON (path or open text handle)."""
+    payload = schedule_to_dict(schedule)
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            json.dump(payload, handle, indent=1)
+    else:
+        json.dump(payload, destination, indent=1)
+
+
+def load_schedule(source: Union[str, IO[str]]):
+    """Read a schedule written by :func:`save_schedule`."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(source)
+    return schedule_from_dict(payload)
 
 
 def user_run_to_dict(run: UserRun) -> Dict[str, Any]:

@@ -152,6 +152,98 @@ class TestCompareCommand:
         assert "NO" not in out
 
 
+class TestCheckCommand:
+    def test_fifo_verified_exhaustively(self, capsys):
+        code = main(["check", "fifo", "--workload", "pair", "--exhaustive"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "VERIFIED" in out
+
+    def test_broken_fifo_violation_and_artifacts(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "report.json"
+        cex_path = tmp_path / "cex.json"
+        code = main(
+            [
+                "check",
+                "broken-fifo",
+                "--workload",
+                "pair",
+                "--report-out",
+                str(report_path),
+                "--counterexample-out",
+                str(cex_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATED" in out
+        assert "counterexample" in out
+
+        report = json.loads(report_path.read_text())
+        assert report["format"] == "repro-mc-report-v1"
+        assert report["violations"][0]["predicate"] == "fifo"
+        assert report["violations"][0]["minimized"] is not None
+
+        from repro.mc import default_spec_for, replay_schedule
+        from repro.simulation.persistence import load_schedule
+
+        schedule = load_schedule(str(cex_path))
+        outcome = replay_schedule(
+            schedule, spec=default_spec_for(schedule.protocol)
+        )
+        assert outcome.violation is not None
+        assert outcome.violation.predicate_name == "fifo"
+
+    def test_causal_triangle_default_workload(self, capsys):
+        code = main(["check", "causal-rst", "--exhaustive"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mc-triangle" in out
+        assert "VERIFIED" in out
+
+    def test_spec_override(self, capsys):
+        # FIFO does not implement causal ordering across channels.
+        code = main(
+            [
+                "check",
+                "fifo",
+                "--spec",
+                "causal-B2",
+                "--exhaustive",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATED" in out
+
+    def test_budgeted_run_is_not_a_proof(self, capsys):
+        code = main(
+            [
+                "check",
+                "sync-rdv",
+                "--workload",
+                "random",
+                "--processes",
+                "3",
+                "--messages",
+                "3",
+                "--max-schedules",
+                "5",
+                "--max-depth",
+                "10",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "not a proof" in out
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit, match="unknown protocol"):
+            main(["check", "carrier-pigeon"])
+
+
 class TestSelftestCommand:
     def test_all_checks_pass(self, capsys):
         assert main(["selftest"]) == 0

@@ -27,6 +27,7 @@ MODULES = [
     "repro.broadcast",
     "repro.apps",
     "repro.obs",
+    "repro.mc",
     "repro.cli",
 ]
 

@@ -40,5 +40,6 @@ def test_all_examples_present():
         "group_chat.py",
         "figure_scenarios.py",
         "paper_walkthrough.py",
+        "model_check_tour.py",
     }
     assert expected <= set(EXAMPLES)

@@ -1,0 +1,104 @@
+"""Cross-validation: the checker's reachable runs against the §3 universe.
+
+Two independent machineries must agree on tiny configurations:
+
+- under the *null* protocol (tagless, no ordering) with free invoke
+  order, the model checker's complete user-view runs are exactly the
+  enumeration universe of :mod:`repro.runs.enumeration`;
+- under CausalRST they are exactly the causally-ordered admissible
+  subset (the protocol's limit set, §3.4).
+
+Disagreement in either direction is a bug: a run the checker misses is
+lost coverage, a run the enumerator misses is an unrealizable "run".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mc import ModelChecker, resolve_protocol
+from repro.predicates.catalog import ASYNC_ORDERING, CAUSAL_ORDERING
+from repro.runs.enumeration import (
+    enumerate_complete_runs,
+    enumerate_message_assignments,
+)
+from repro.runs.limit_sets import is_causally_ordered
+from repro.simulation.workloads import SendRequest, Workload
+
+CONFIGS = ((2, 2), (3, 2))
+
+
+def workload_for(messages) -> Workload:
+    """The workload whose materialized messages are exactly ``messages``
+    (ids ``m1..mk`` in request order, matching the enumerator's naming)."""
+    n = max(max(m.sender, m.receiver) for m in messages) + 1
+    return Workload(
+        name="xval",
+        n_processes=max(n, 2),
+        requests=tuple(
+            SendRequest(time=float(i), sender=m.sender, receiver=m.receiver)
+            for i, m in enumerate(messages)
+        ),
+    )
+
+
+def reachable_runs(protocol: str, messages, spec):
+    checker = ModelChecker(
+        resolve_protocol(protocol),
+        workload_for(messages),
+        spec,
+        invoke_order="free",
+        collect_runs=True,
+        max_schedules=None,
+        minimize=False,
+    )
+    report = checker.run()
+    assert report.verified, report.summary()
+    return checker.complete_runs
+
+
+@pytest.mark.parametrize("n_processes, n_messages", CONFIGS)
+def test_null_protocol_reaches_exactly_the_universe(n_processes, n_messages):
+    for messages in enumerate_message_assignments(n_processes, n_messages):
+        reached = reachable_runs("tagless", messages, ASYNC_ORDERING)
+        universe = set(enumerate_complete_runs(messages))
+        assert reached == universe, [
+            (m.sender, m.receiver) for m in messages
+        ]
+
+
+@pytest.mark.parametrize("n_processes, n_messages", CONFIGS)
+def test_causal_rst_reaches_exactly_the_causal_subset(
+    n_processes, n_messages
+):
+    for messages in enumerate_message_assignments(n_processes, n_messages):
+        reached = reachable_runs("causal-rst", messages, CAUSAL_ORDERING)
+        admissible = {
+            run
+            for run in enumerate_complete_runs(messages)
+            if is_causally_ordered(run)
+        }
+        # The paper's containment (CO runs form the protocol's limit set)
+        # holds with equality on these tiny configurations.
+        assert reached <= admissible
+        assert reached == admissible, [
+            (m.sender, m.receiver) for m in messages
+        ]
+
+
+def test_script_order_restricts_the_universe():
+    """Script invoke order pins each process's send sequence, so it can
+    only shrink (never grow) the reachable set."""
+    messages = next(iter(enumerate_message_assignments(2, 2)))
+    free = reachable_runs("tagless", messages, ASYNC_ORDERING)
+    checker = ModelChecker(
+        resolve_protocol("tagless"),
+        workload_for(messages),
+        ASYNC_ORDERING,
+        invoke_order="script",
+        collect_runs=True,
+        max_schedules=None,
+        minimize=False,
+    )
+    checker.run()
+    assert checker.complete_runs <= free

@@ -64,6 +64,9 @@ class TestBus:
             "host.receive",
             "host.deliver",
             "verify.check",
+            "mc.schedule",
+            "mc.prune",
+            "mc.violation",
         }
 
 
