@@ -31,6 +31,7 @@ from repro.broadcast.checkers import (
     check_agreement,
     check_total_order,
     delivery_order_at,
+    total_order_cross_check,
 )
 from repro.broadcast.protocols import (
     CausalBroadcastProtocol,
@@ -48,6 +49,7 @@ __all__ = [
     "delivery_order_at",
     "check_total_order",
     "check_agreement",
+    "total_order_cross_check",
     "CausalBroadcastProtocol",
     "CausalMulticastProtocol",
     "FifoBroadcastProtocol",

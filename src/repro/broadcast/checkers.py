@@ -70,6 +70,27 @@ def check_total_order(run: UserRun) -> List[Tuple[str, str, int, int]]:
     return violations
 
 
+def total_order_cross_check(run: UserRun, spec=None) -> bool:
+    """Whether the direct total-order checker and the declarative grouped
+    predicate agree on ``run``.
+
+    This is the shared cross-check entry point: the declarative side is
+    evaluated through the verification engine's batch path
+    (:func:`repro.verification.engine.spec_admits`), the same machinery
+    every other consumer uses, so the comparison exercises the public
+    semantics rather than evaluation internals.  ``spec`` defaults to
+    :data:`repro.broadcast.orderings.ATOMIC_BROADCAST`.
+    """
+    from repro.verification.engine import spec_admits
+
+    if spec is None:
+        from repro.broadcast.orderings import ATOMIC_BROADCAST
+
+        spec = ATOMIC_BROADCAST
+    direct_safe = check_total_order(run) == []
+    return direct_safe == spec_admits(run, spec)
+
+
 def check_agreement(
     run: UserRun, n_processes: Optional[int] = None
 ) -> List[Tuple[str, int]]:

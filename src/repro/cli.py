@@ -435,9 +435,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_check.add_argument(
         "--max-schedules",
+        "--budget",
+        dest="max_schedules",
         type=int,
         default=None,
-        help="schedule budget (default 2000)",
+        help="schedule budget (default 2000); --budget is an alias",
     )
     p_check.add_argument("--max-depth", type=int, default=None)
     p_check.add_argument("--max-violations", type=int, default=1)

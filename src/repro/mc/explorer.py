@@ -22,10 +22,13 @@ state-signature caching
     when some earlier visit slept on a subset of what we would sleep on).
 
 violation pruning
-    every prefix is checked incrementally with
-    :func:`repro.verification.online.first_violation`; a violating prefix
-    is recorded as a counterexample and never extended (all extensions
-    contain the same forbidden instance).
+    every prefix is checked incrementally by a shared
+    :class:`repro.verification.engine.SpecMonitor` carried along the DFS
+    with ``push()``/``pop()`` snapshots: replays are deterministic, so a
+    child's trace extends its parent's bit-for-bit and the monitor only
+    consumes each node's new suffix instead of re-checking the full trace
+    per state; a violating prefix is recorded as a counterexample and
+    never extended (all extensions contain the same forbidden instance).
 
 With no violation found, no depth truncation and no budget exhaustion the
 run is a *proof*: every maximal schedule (up to commutation of
@@ -35,6 +38,7 @@ independent transitions) was covered.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from repro.mc.counterexample import (
@@ -54,7 +58,8 @@ from repro.predicates.ast import ForbiddenPredicate
 from repro.predicates.spec import Specification
 from repro.runs.user_run import UserRun
 from repro.simulation.workloads import Workload
-from repro.verification.online import FirstViolation, first_violation
+from repro.verification.engine import SpecMonitor
+from repro.verification.online import FirstViolation
 
 #: Default exploration budget of ``repro check``.
 DEFAULT_MAX_SCHEDULES = 2000
@@ -109,6 +114,12 @@ class MCReport:
     budget_exhausted: bool = False
     stopped_at_max_violations: bool = False
     distinct_complete_runs: int = 0
+    #: Wall-clock seconds spent inside the verification monitor.
+    verify_seconds: float = 0.0
+    #: User events (sends/deliveries) the monitor checked incrementally.
+    verify_events: int = 0
+    #: Anchored predicate searches the monitor ran.
+    verify_searches: int = 0
     violations: List[MCViolation] = field(default_factory=list)
 
     @property
@@ -147,6 +158,8 @@ class MCReport:
             % (self.transitions, self.replays),
             "pruned:            %d sleep-set, %d state-cache, %d depth-truncated"
             % (self.pruned_sleep, self.pruned_state, self.depth_truncations),
+            "verification:      %.3fs over %d events (%d predicate searches)"
+            % (self.verify_seconds, self.verify_events, self.verify_searches),
         ]
         for violation in self.violations:
             lines.append("counterexample:    %s" % violation.describe())
@@ -173,6 +186,11 @@ class MCReport:
             "pruned_sleep": self.pruned_sleep,
             "pruned_state": self.pruned_state,
             "distinct_complete_runs": self.distinct_complete_runs,
+            "verification": {
+                "seconds": self.verify_seconds,
+                "events": self.verify_events,
+                "searches": self.verify_searches,
+            },
             "exhaustive": self.exhaustive,
             "verified": self.verified,
             "violations": [
@@ -236,6 +254,7 @@ class ModelChecker:
         self._run_signatures: Set[Tuple] = set()
         self._visited: Dict[Tuple, List[FrozenSet[TransitionKey]]] = {}
         self._report: Optional[MCReport] = None
+        self._monitor: Optional[SpecMonitor] = None
 
     # -- public entry ------------------------------------------------------
 
@@ -253,6 +272,9 @@ class ModelChecker:
         self._visited.clear()
         self.complete_runs.clear()
         self._run_signatures.clear()
+        # One monitor for the whole search tree: pushed/popped along the
+        # DFS so each node only verifies its new trace suffix.
+        self._monitor = SpecMonitor(self.spec, bus=self.bus)
         try:
             self._explore([], frozenset())
         except _BudgetExhausted:
@@ -260,6 +282,8 @@ class ModelChecker:
         except _EnoughViolations:
             report.stopped_at_max_violations = True
         report.distinct_complete_runs = len(self._run_signatures)
+        report.verify_events = self._monitor.stats.events_checked
+        report.verify_searches = self._monitor.stats.searches
         if self.minimize:
             for violation in report.violations:
                 violation.minimized = minimize_schedule(
@@ -302,9 +326,30 @@ class ModelChecker:
         self, prefix: List[TransitionKey], sleep: FrozenSet[TransitionKey]
     ) -> None:
         report = self._report
-        assert report is not None
+        monitor = self._monitor
+        assert report is not None and monitor is not None
         world = self._replay(prefix)
-        violation = first_violation(world.trace, self.spec)
+        # Deterministic replay: the fresh world's trace extends what the
+        # monitor consumed at the parent node record for record.
+        assert monitor.consumed <= world.record_count
+        frame = monitor.push()
+        try:
+            started = perf_counter()
+            violation = monitor.advance(world.trace)
+            report.verify_seconds += perf_counter() - started
+            self._explore_checked(prefix, sleep, world, violation)
+        finally:
+            monitor.pop(frame)
+
+    def _explore_checked(
+        self,
+        prefix: List[TransitionKey],
+        sleep: FrozenSet[TransitionKey],
+        world: ControlledWorld,
+        violation: Optional[FirstViolation],
+    ) -> None:
+        report = self._report
+        assert report is not None
         if violation is not None:
             schedule = Schedule(
                 protocol=self.protocol_name,

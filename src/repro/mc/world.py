@@ -27,6 +27,13 @@ packet destination, the timer owner).  Transitions with different homes
 commute: they read and write disjoint protocol state and append to
 disjoint per-process event sequences, so either execution order reaches
 the same world state and the same user-view run.
+
+Replays are *deterministic*: rebuilding a world and executing the same
+key sequence reproduces the trace bit-identically (every source of
+nondeterminism is scheduled).  The explorer's shared
+:class:`~repro.verification.engine.SpecMonitor` depends on this -- a
+child schedule's trace extends its parent's record for record, so the
+monitor can consume only the suffix at each search-tree node.
 """
 
 from __future__ import annotations
@@ -270,6 +277,12 @@ class ControlledWorld:
         return not (
             any(self._invoke_queues) or self.transport.pending or self._timers
         )
+
+    @property
+    def record_count(self) -> int:
+        """How many trace records the execution has appended so far (the
+        alignment point for an incremental monitor)."""
+        return self.trace.record_count
 
     def user_run(self) -> UserRun:
         """The user's view of the execution so far."""

@@ -28,6 +28,8 @@ probe            payload fields
 ``host.deliver`` ``message_id``, ``process``, ``sender``, ``delayed``
 ``verify.check`` ``spec``, ``protocol``, ``workload``, ``safe``, ``live``,
                  ``violations``
+``verify.step``  ``event``, ``sequence``, ``messages``
+``verify.match`` ``event``, ``predicate``, ``assignment``
 ``mc.schedule``  ``index``, ``depth``, ``outcome``
 ``mc.prune``     ``reason``, ``depth``
 ``mc.violation`` ``predicate``, ``assignment``, ``depth``
@@ -38,6 +40,14 @@ The ``mc.*`` probes are emitted by the model checker's explorer
 schedule (``outcome`` is ``"complete"``, ``"violation"`` or
 ``"truncated"``), one ``mc.prune`` per skipped subtree (``reason`` is
 ``"sleep"`` or ``"state"``), one ``mc.violation`` per counterexample.
+
+The ``verify.step``/``verify.match`` probes are emitted by the
+incremental verification engine
+(:class:`repro.verification.engine.SpecMonitor`): one ``verify.step``
+per user event the monitor checks (``sequence`` is the trace record's
+sequence number, ``messages`` the registered-message count at that
+point), one ``verify.match`` when an event completes a forbidden
+instance.
 """
 
 from __future__ import annotations
@@ -57,6 +67,8 @@ PROBES = frozenset(
         "host.receive",
         "host.deliver",
         "verify.check",
+        "verify.step",
+        "verify.match",
         "mc.schedule",
         "mc.prune",
         "mc.violation",

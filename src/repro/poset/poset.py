@@ -25,9 +25,14 @@ class PartialOrder:
     """A strict partial order ``<`` over a finite set of elements.
 
     The order is stored as a DAG of generating pairs; ``less(a, b)`` answers
-    whether ``a < b`` in the transitive closure.  Mutations invalidate the
-    cached closure.  Use :meth:`validate` (or any query) to detect cycles
-    introduced by ``add_relation``.
+    whether ``a < b`` in the transitive closure.  The closure (and its
+    mirror, the ancestor map) is maintained *incrementally*: adding the
+    relation ``low < high`` only unions the descendants of ``high`` into
+    the ancestors of ``low`` and vice versa, so append-heavy construction
+    (online replay, run builders) never pays a global recomputation.  An
+    edge that would close a cycle drops back to the lazy path, so
+    :meth:`validate` (or any query) still detects cycles introduced by
+    ``add_relation``.
     """
 
     def __init__(
@@ -37,6 +42,7 @@ class PartialOrder:
     ):
         self._graph = Digraph()
         self._closure: Optional[Dict[Node, Set[Node]]] = None
+        self._ancestors: Optional[Dict[Node, Set[Node]]] = None
         for element in elements:
             self.add_element(element)
         for low, high in relations:
@@ -51,13 +57,37 @@ class PartialOrder:
         # stays valid; just register the element if it is cached.
         if self._closure is not None and element not in self._closure:
             self._closure[element] = set()
+        if self._ancestors is not None and element not in self._ancestors:
+            self._ancestors[element] = set()
 
     def add_relation(self, low: Node, high: Node) -> None:
         """Record ``low < high``.  Cycles are detected lazily."""
         if low == high:
             raise CycleError([low, high])
         self._graph.add_edge(low, high)
-        self._closure = None
+        if self._closure is None or self._ancestors is None:
+            return
+        closure, ancestors = self._closure, self._ancestors
+        closure.setdefault(low, set())
+        closure.setdefault(high, set())
+        ancestors.setdefault(low, set())
+        ancestors.setdefault(high, set())
+        if low in closure[high]:
+            # The new edge closes a cycle; fall back to the lazy path so
+            # the next query raises CycleError exactly as before.
+            self._closure = None
+            self._ancestors = None
+            return
+        if high in closure[low]:
+            return  # already implied; nothing new to propagate
+        # New pairs are exactly (anc*(low) x desc*(high)): the edge is the
+        # only way order can newly flow from low's side to high's side.
+        new_descendants = closure[high] | {high}
+        new_ancestors = ancestors[low] | {low}
+        for node in new_ancestors:
+            closure[node] |= new_descendants
+        for node in new_descendants:
+            ancestors[node] |= new_ancestors
 
     def copy(self) -> "PartialOrder":
         """An independent copy with the same generating relations."""
@@ -75,7 +105,17 @@ class PartialOrder:
             self._closure = {
                 node: self._graph.reachable_from(node) for node in self._graph
             }
+            ancestors: Dict[Node, Set[Node]] = {node: set() for node in self._graph}
+            for node, above in self._closure.items():
+                for high in above:
+                    ancestors[high].add(node)
+            self._ancestors = ancestors
         return self._closure
+
+    def _ancestor_map(self) -> Dict[Node, Set[Node]]:
+        self._closure_map()
+        assert self._ancestors is not None
+        return self._ancestors
 
     # Queries --------------------------------------------------------------
 
@@ -122,8 +162,7 @@ class PartialOrder:
 
     def down_set(self, element: Node) -> Set[Node]:
         """All strict predecessors of ``element`` (its causal past)."""
-        closure = self._closure_map()
-        return {other for other, above in closure.items() if element in above}
+        return set(self._ancestor_map().get(element, ()))
 
     def up_set(self, element: Node) -> Set[Node]:
         """All strict successors of ``element`` (its causal future)."""

@@ -2,9 +2,12 @@
 
 A run is *admitted* by the specification ``X_B`` when **no** assignment of
 messages to the predicate's variables satisfies all guards and conjuncts.
-The search enumerates assignments variable-by-variable with guard and
-conjunct pruning, so catalogue predicates evaluate quickly even on runs
-with many messages.
+:func:`satisfying_assignments` is the reference semantics: a direct
+enumeration in declared variable order with guard and conjunct pruning.
+:func:`find_assignment` and :func:`run_admitted` answer the same question
+through the compiled plans of :mod:`repro.verification.engine`, which
+order variables by selectivity and narrow candidates through attribute
+indexes -- the satisfying set is identical, only the search order differs.
 """
 
 from __future__ import annotations
@@ -78,10 +81,18 @@ def satisfying_assignments(
 def find_assignment(
     run: UserRun, predicate: ForbiddenPredicate
 ) -> Optional[Assignment]:
-    """The first satisfying assignment, or ``None`` when the run is admitted."""
-    for assignment in satisfying_assignments(run, predicate):
-        return assignment
-    return None
+    """The first satisfying assignment, or ``None`` when the run is admitted.
+
+    Evaluated through the compiled plans of
+    :mod:`repro.verification.engine` (same satisfying set as
+    :func:`satisfying_assignments`, found through indexed candidate
+    narrowing instead of full enumeration).
+    """
+    # Imported lazily: the engine depends on this module's Assignment
+    # semantics via repro.predicates.spec.
+    from repro.verification.engine import batch_find_assignment
+
+    return batch_find_assignment(run, predicate)
 
 
 def run_admitted(run: UserRun, predicate: ForbiddenPredicate) -> bool:

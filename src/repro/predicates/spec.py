@@ -95,7 +95,15 @@ class Specification:
         """``True`` iff ``run ∈ Y``."""
         if self.oracle is not None:
             return self.oracle(run)
-        return all(run_admitted(run, member) for member in self.members_for(run))
+        # One shared message index across all members (the engine's batch
+        # path); equivalent to checking run_admitted per member.
+        from repro.verification.engine import batch_run_admitted, index_for_run
+
+        index = index_for_run(run)
+        return all(
+            batch_run_admitted(run, member, index=index)
+            for member in self.members_for(run)
+        )
 
     def violations(self, run: UserRun) -> List[Tuple[ForbiddenPredicate, dict]]:
         """Every (predicate, witness assignment) that fires on ``run``."""

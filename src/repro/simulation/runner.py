@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 from repro.runs.system_run import SystemRun
 from repro.runs.user_run import UserRun
@@ -35,6 +35,10 @@ class SimulationResult:
     # The per-process protocol instances, in process order (observability
     # consumers ask them why a message is stuck).
     protocols: List[object] = field(default_factory=list)
+    # The earliest specification violation, when ``run_simulation`` was
+    # given a ``spec`` to monitor (``repro.verification.engine``); ``None``
+    # with no spec or a clean run.
+    first_violation: Optional[Any] = None
 
     def summary(self) -> str:
         """A short human-readable result block."""
@@ -64,6 +68,7 @@ def run_simulation(
     fifo_channels: bool = False,
     max_events: int = 1_000_000,
     bus: "Optional[Bus]" = None,
+    spec: Optional[Any] = None,
 ) -> SimulationResult:
     """Run ``workload`` under the protocol and record the execution.
 
@@ -73,6 +78,13 @@ def run_simulation(
     (:class:`repro.obs.Bus`) receives probe events from the simulator,
     network and hosts; subscribers only observe, so the schedule -- and
     every statistic -- is identical with or without one.
+
+    With a ``spec`` (a :class:`~repro.predicates.spec.Specification` or
+    single predicate), the recorded trace is checked by an incremental
+    :class:`~repro.verification.engine.SpecMonitor` -- each event is
+    inspected once, in execution order -- and the earliest completing
+    event lands in :attr:`SimulationResult.first_violation`
+    (``verify.step``/``verify.match`` probes go to ``bus``).
     """
     sim = Simulator(bus=bus)
     network = Network(
@@ -112,6 +124,12 @@ def run_simulation(
             % max_events
         )
 
+    violation = None
+    if spec is not None:
+        from repro.verification.engine import SpecMonitor
+
+        violation = SpecMonitor(spec, bus=bus).advance(trace)
+
     system_run = trace.to_system_run()
     undelivered = trace.undelivered_messages()
     return SimulationResult(
@@ -126,4 +144,5 @@ def run_simulation(
         delivered_all=not undelivered,
         undelivered=undelivered,
         protocols=[host.protocol for host in hosts],
+        first_violation=violation,
     )

@@ -143,9 +143,23 @@ class Trace:
         """All records in execution order."""
         return list(self._records)
 
+    def records_since(self, index: int) -> List[TraceRecord]:
+        """The records appended after the first ``index`` (for incremental
+        consumers such as :class:`repro.verification.engine.SpecMonitor`)."""
+        return self._records[index:]
+
+    @property
+    def record_count(self) -> int:
+        """How many records have been appended (no list copy)."""
+        return len(self._records)
+
     def messages(self) -> List[Message]:
         """The registered messages, sorted by id."""
         return [self._messages[mid] for mid in sorted(self._messages)]
+
+    def message(self, message_id: str) -> Optional[Message]:
+        """The registered message with this id, or ``None``."""
+        return self._messages.get(message_id)
 
     def has_event(self, event: Event) -> bool:
         """Whether ``event`` was recorded."""

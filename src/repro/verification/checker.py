@@ -73,14 +73,18 @@ def check_run(
 ) -> CheckResult:
     """Safety check only (the run is taken as complete).
 
-    Safety is decided by ``Specification.admits`` (exact, using the
+    Safety is decided by the verification engine's batch path
+    (:func:`repro.verification.engine.spec_admits` -- exact, using the
     specification's oracle when it has one); witness assignments are then
-    collected from the instantiable members, so for family specifications
-    with an arity cap an unsafe run may carry fewer listed witnesses than
-    it has forbidden instances.
+    enumerated with the reference semantics of
+    :func:`~repro.predicates.evaluation.satisfying_assignments`, so for
+    family specifications with an arity cap an unsafe run may carry fewer
+    listed witnesses than it has forbidden instances.
     """
+    from repro.verification.engine import spec_admits
+
     specification = _as_specification(spec)
-    safe = specification.admits(run)
+    safe = spec_admits(run, specification)
     violations: List[Violation] = []
     if not safe:
         for predicate in specification.members_for(run):

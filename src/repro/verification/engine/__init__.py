@@ -1,0 +1,122 @@
+"""The incremental verification engine.
+
+One evaluation core behind every consumer of forbidden predicates:
+
+- :func:`compile_predicate` turns a
+  :class:`~repro.predicates.ast.ForbiddenPredicate` into a
+  :class:`CompiledPredicate` -- selectivity-ordered variable plans with
+  per-variable candidate indexes (see
+  :mod:`repro.verification.engine.plan`);
+- :class:`SpecMonitor` checks an append-only trace incrementally,
+  anchoring the search at each new event, with ``push()``/``pop()``
+  snapshots for DFS exploration (see
+  :mod:`repro.verification.engine.monitor`);
+- the batch helpers below run the same compiled plans over a finished
+  :class:`~repro.runs.user_run.UserRun`; the historical APIs
+  (``find_assignment``, ``run_admitted``, ``Specification.admits``,
+  ``first_violation``) are thin wrappers over them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.predicates.ast import ForbiddenPredicate
+from repro.predicates.spec import Specification
+from repro.runs.user_run import UserRun
+from repro.verification.engine.causality import OnlineCausality
+from repro.verification.engine.indexes import MessageIndex
+from repro.verification.engine.monitor import (
+    FirstViolation,
+    MonitorStats,
+    SpecMonitor,
+)
+from repro.verification.engine.plan import (
+    Assignment,
+    CompiledPredicate,
+    compile_predicate,
+)
+
+__all__ = [
+    "CompiledPredicate",
+    "FirstViolation",
+    "MessageIndex",
+    "MonitorStats",
+    "OnlineCausality",
+    "SpecMonitor",
+    "batch_find_assignment",
+    "batch_run_admitted",
+    "compile_predicate",
+    "index_for_run",
+    "monitor_trace",
+    "spec_admits",
+]
+
+
+def index_for_run(run: UserRun) -> MessageIndex:
+    """A message index over a finished run (id-sorted, like
+    ``run.messages()``, so batch search order is deterministic)."""
+    index = MessageIndex()
+    for message in run.messages():
+        index.add(message)
+    return index
+
+
+def batch_find_assignment(
+    run: UserRun,
+    predicate: ForbiddenPredicate,
+    index: Optional[MessageIndex] = None,
+) -> Optional[Assignment]:
+    """The first satisfying assignment of ``predicate`` in ``run``, or
+    ``None`` -- the engine-backed equivalent of
+    :func:`repro.predicates.evaluation.find_assignment`.
+
+    Pass a prebuilt ``index`` (:func:`index_for_run`) when checking many
+    predicates against one run.
+    """
+    compiled = compile_predicate(predicate)
+    if compiled.never_satisfiable:
+        return None
+    if index is None:
+        index = index_for_run(run)
+    return compiled.find(index, run.has_event, run.before)
+
+
+def batch_run_admitted(
+    run: UserRun,
+    predicate: ForbiddenPredicate,
+    index: Optional[MessageIndex] = None,
+) -> bool:
+    """``True`` iff ``run ∈ X_B`` (no forbidden instance exists)."""
+    return batch_find_assignment(run, predicate, index=index) is None
+
+
+def spec_admits(
+    run: UserRun, spec: Union[Specification, ForbiddenPredicate]
+) -> bool:
+    """``True`` iff ``run`` belongs to the specification's run set.
+
+    Uses the specification's oracle when it has one (exact and faster
+    than any search); otherwise every applicable member is checked over
+    one shared index.
+    """
+    if isinstance(spec, ForbiddenPredicate):
+        return batch_run_admitted(run, spec)
+    if spec.oracle is not None:
+        return spec.oracle(run)
+    index = index_for_run(run)
+    return all(
+        batch_run_admitted(run, member, index=index)
+        for member in spec.members_for(run)
+    )
+
+
+def monitor_trace(
+    trace,
+    spec: Union[Specification, ForbiddenPredicate],
+    bus: Optional[object] = None,
+) -> Optional[FirstViolation]:
+    """Check a whole trace with a fresh monitor; the engine-backed
+    equivalent of :func:`repro.verification.online.first_violation`."""
+    monitor = SpecMonitor(spec, bus=bus)
+    return monitor.advance(trace)

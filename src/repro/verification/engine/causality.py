@@ -1,0 +1,122 @@
+"""Online causality: vector-timestamp ``before`` queries with rewind.
+
+The monitor's replay path observes user events in execution order; each
+new event is maximal (it is ordered after every earlier event at its
+process and, for a delivery, after its own send).  Under that append-only
+discipline the happened-before relation is exactly captured by vector
+timestamps: ``a ▷ b`` iff ``VC(b)[loc(a)] ≥ own(a)``, an O(1) query with
+no transitive-closure maintenance at all.  ``mark``/``rewind`` undo
+observations in LIFO order so the model checker's DFS can share one
+causality state across the whole search tree.
+
+An event's *location* is the process it executes at: the sender for
+``x.s``, the receiver for ``x.r`` -- the same attribution
+:meth:`repro.runs.user_run.UserRun.events_of_process` uses, so the order
+built here matches the batch replay order event for event.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.events import DELIVER, SEND, Event, Message
+
+
+class OnlineCausality:
+    """Happened-before over an event stream, one observation at a time.
+
+    Per event the structure stores ``(location, own, clock)`` where
+    ``own`` is the event's position in its location's chain and ``clock``
+    its vector timestamp.  Per location it keeps the running clock: the
+    join of every event observed there, which is always the clock of the
+    *last* event observed there because each new event dominates its
+    location's past.
+    """
+
+    __slots__ = ("_info", "_current", "_log")
+
+    def __init__(self) -> None:
+        # event -> (location, own counter, vector clock)
+        self._info: Dict[Event, Tuple[int, int, Dict[int, int]]] = {}
+        # location -> running clock (joined over all events located there)
+        self._current: Dict[int, Dict[int, int]] = {}
+        # undo log: (event, location, previous running clock of location)
+        self._log: List[Tuple[Event, int, Optional[Dict[int, int]]]] = []
+
+    def __len__(self) -> int:
+        return len(self._info)
+
+    def has(self, event: Event) -> bool:
+        """Whether ``event`` has been observed."""
+        return event in self._info
+
+    def observe(self, event: Event, message: Message) -> None:
+        """Record the execution of one user event (send or delivery).
+
+        The event is ordered after everything previously observed at its
+        location and, for a delivery, after the message's send.  A send
+        observed *after* its own delivery cannot be represented
+        append-only (the edge would run below an existing event), so it
+        is rejected -- no recorded execution produces that order.
+        """
+        if event in self._info:
+            raise ValueError("event %r observed twice" % (event,))
+        if event.kind is SEND:
+            location = message.sender
+            if Event.deliver(message.id) in self._info:
+                raise ValueError(
+                    "send %r observed after its delivery; the online "
+                    "causality path needs sends first" % (event,)
+                )
+        elif event.kind is DELIVER:
+            location = message.receiver
+        else:
+            raise ValueError(
+                "causality tracks user events (send/deliver), got %r" % (event,)
+            )
+        previous = self._current.get(location)
+        clock = dict(previous) if previous is not None else {}
+        if event.kind is DELIVER:
+            send_info = self._info.get(Event.send(message.id))
+            if send_info is not None:
+                for index, count in send_info[2].items():
+                    if clock.get(index, 0) < count:
+                        clock[index] = count
+        own = clock.get(location, 0) + 1
+        clock[location] = own
+        self._info[event] = (location, own, clock)
+        self._current[location] = clock
+        self._log.append((event, location, previous))
+
+    def before(self, a: Event, b: Event) -> bool:
+        """``True`` iff ``a ▷ b`` in the observed order (O(1))."""
+        if a == b:
+            return False
+        info_a = self._info.get(a)
+        info_b = self._info.get(b)
+        if info_a is None or info_b is None:
+            return False
+        location, own, _ = info_a
+        return info_b[2].get(location, 0) >= own
+
+    # Snapshots ------------------------------------------------------------
+
+    def mark(self) -> int:
+        """A snapshot token: the number of observations so far."""
+        return len(self._log)
+
+    def rewind(self, token: int) -> None:
+        """Forget every observation made after ``mark`` returned ``token``."""
+        while len(self._log) > token:
+            event, location, previous = self._log.pop()
+            del self._info[event]
+            if previous is None:
+                del self._current[location]
+            else:
+                self._current[location] = previous
+
+    def __repr__(self) -> str:
+        return "OnlineCausality(events=%d, locations=%d)" % (
+            len(self._info),
+            len(self._current),
+        )

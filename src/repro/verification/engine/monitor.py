@@ -1,0 +1,215 @@
+"""The incremental specification monitor.
+
+A :class:`SpecMonitor` consumes a trace's records once each, maintains
+the online causality state and the message indexes, and on every send or
+delivery searches only the forbidden instances *using* that event (the
+anchored plans of :mod:`repro.verification.engine.plan`).  A new event is
+maximal when appended, so instance truths among older events never
+change: every newly-true forbidden instance mentions the new event, and
+the anchored ``O(n^{m-1})`` search is complete.  The first completing
+event is latched and reported exactly as the batch replay of
+``first_violation`` reports it.
+
+``push()``/``pop()`` snapshot the whole match state in O(1)/O(undone):
+the model checker's DFS carries one monitor along the search tree,
+advancing over each child's trace suffix and rewinding on backtrack,
+instead of re-checking the full trace prefix at every node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.events import DELIVER, SEND, Event
+from repro.predicates.ast import ForbiddenPredicate
+from repro.predicates.spec import Specification
+from repro.verification.engine.causality import OnlineCausality
+from repro.verification.engine.indexes import MessageIndex
+from repro.verification.engine.plan import CompiledPredicate, compile_predicate
+
+
+@dataclass(frozen=True)
+class FirstViolation:
+    """The earliest trace event completing a forbidden instance."""
+
+    time: float
+    event: Event
+    predicate_name: str
+    assignment: Dict[str, str]
+
+    def __repr__(self) -> str:
+        binding = ", ".join(
+            "%s=%s" % (k, v) for k, v in sorted(self.assignment.items())
+        )
+        return "FirstViolation(t=%.3f, %r fires %s with %s)" % (
+            self.time,
+            self.event,
+            self.predicate_name,
+            binding,
+        )
+
+
+@dataclass
+class MonitorStats:
+    """Work counters of one monitor (monotone; never rewound by ``pop``)."""
+
+    events_consumed: int = 0
+    events_checked: int = 0
+    searches: int = 0
+    violations: int = 0
+
+
+#: A ``push()`` snapshot: (consumed, causality mark, index mark, violation).
+MonitorFrame = Tuple[int, int, int, Optional[FirstViolation]]
+
+
+class SpecMonitor:
+    """Stateful first-violation detection over an append-only trace."""
+
+    def __init__(
+        self,
+        spec: Union[Specification, ForbiddenPredicate],
+        bus: Optional[object] = None,
+    ):
+        self.spec = (
+            spec
+            if isinstance(spec, Specification)
+            else Specification(name=spec.name or "anonymous", predicates=(spec,))
+        )
+        self.bus = bus
+        self.stats = MonitorStats()
+        self._index = MessageIndex()
+        self._causality = OnlineCausality()
+        self._consumed = 0
+        self._violation: Optional[FirstViolation] = None
+        # Compiled member predicates per registered-message count.  The
+        # member set is a pure function of the count (mirroring
+        # ``Specification.members_for``), so entries stay valid across
+        # ``pop()`` with no invalidation.
+        self._members: Dict[int, List[CompiledPredicate]] = {}
+
+    @property
+    def violation(self) -> Optional[FirstViolation]:
+        """The latched first violation, if one has been found."""
+        return self._violation
+
+    @property
+    def consumed(self) -> int:
+        """How many trace records have been consumed."""
+        return self._consumed
+
+    # -- the incremental step ----------------------------------------------
+
+    def advance(self, trace) -> Optional[FirstViolation]:
+        """Consume the records appended since the last call; return the
+        first violation (newly found or already latched), or ``None``.
+
+        ``trace`` must extend what was previously consumed record for
+        record -- the natural situation for a live simulation, and for the
+        model checker's deterministic replays, where a child schedule's
+        trace is bit-identical to its parent's on the shared prefix.
+        """
+        if self._violation is not None:
+            return self._violation
+        bus = self.bus
+        for record in trace.records_since(self._consumed):
+            self._consumed += 1
+            self.stats.events_consumed += 1
+            event = record.event
+            if event.kind is not SEND and event.kind is not DELIVER:
+                continue
+            message = trace.message(event.message_id)
+            if message is None:
+                raise ValueError(
+                    "trace record %r references message id %r which is not "
+                    "registered in the trace" % (record, event.message_id)
+                )
+            if message.id not in self._index:
+                self._index.add(message)
+            self._causality.observe(event, message)
+            self.stats.events_checked += 1
+            if bus is not None and bus.active:
+                bus.emit(
+                    "verify.step",
+                    record.time,
+                    event=repr(event),
+                    sequence=record.sequence,
+                    messages=len(self._index),
+                )
+            violation = self._check(event, message, record.time)
+            if violation is not None:
+                self._violation = violation
+                self.stats.violations += 1
+                if bus is not None and bus.active:
+                    bus.emit(
+                        "verify.match",
+                        record.time,
+                        event=repr(event),
+                        predicate=violation.predicate_name,
+                        assignment=dict(violation.assignment),
+                    )
+                return violation
+        return None
+
+    def _check(self, event: Event, message, time: float) -> Optional[FirstViolation]:
+        has_event = self._causality.has
+        before = self._causality.before
+        for compiled in self._current_members():
+            self.stats.searches += 1
+            assignment = compiled.find_anchored(
+                message, event.kind, self._index, has_event, before
+            )
+            if assignment is not None:
+                return FirstViolation(
+                    time=time,
+                    event=event,
+                    predicate_name=compiled.name,
+                    assignment={
+                        var: bound.id for var, bound in assignment.items()
+                    },
+                )
+        return None
+
+    def _current_members(self) -> List[CompiledPredicate]:
+        """The compiled member predicates for the current message count
+        (the same set ``Specification.members_for`` instantiates)."""
+        count = len(self._index)
+        members = self._members.get(count)
+        if members is None:
+            spec = self.spec
+            raw = [p for p in spec.predicates if p.arity <= count]
+            family_arity = count
+            if spec.family_arity_cap is not None:
+                family_arity = min(family_arity, spec.family_arity_cap)
+            for family in spec.families:
+                raw.extend(family.instances(family_arity))
+            members = [compile_predicate(p) for p in raw]
+            self._members[count] = members
+        return members
+
+    # -- DFS snapshots -------------------------------------------------------
+
+    def push(self) -> MonitorFrame:
+        """Snapshot the match state (O(1)); pair with :meth:`pop`."""
+        return (
+            self._consumed,
+            self._causality.mark(),
+            self._index.mark(),
+            self._violation,
+        )
+
+    def pop(self, frame: MonitorFrame) -> None:
+        """Rewind to a snapshot taken by :meth:`push` (LIFO order)."""
+        consumed, causality_mark, index_mark, violation = frame
+        self._consumed = consumed
+        self._causality.rewind(causality_mark)
+        self._index.rewind(index_mark)
+        self._violation = violation
+
+    def __repr__(self) -> str:
+        return "SpecMonitor(spec=%s, consumed=%d, violation=%r)" % (
+            self.spec.name,
+            self._consumed,
+            self._violation,
+        )

@@ -2,111 +2,36 @@
 
 Post-hoc checking says *whether* a run violates a specification; for
 debugging a protocol you want to know *when* -- which delivery committed
-the violation.  ``first_violation`` replays a trace event by event,
-re-evaluating only the assignments that involve the newest event, and
-returns the earliest event whose execution completed a forbidden
+the violation.  ``first_violation`` feeds the trace through an
+incremental :class:`~repro.verification.engine.SpecMonitor`, which
+evaluates only the forbidden instances that mention each appended event,
+and returns the earliest event whose execution completed a forbidden
 instance.
+
+:class:`FirstViolation` itself lives in
+:mod:`repro.verification.engine.monitor`; it is re-exported here for the
+historical import path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from typing import Optional, Union
 
-from repro.events import DELIVER, SEND, Event, Message
 from repro.predicates.ast import ForbiddenPredicate
-from repro.predicates.evaluation import satisfying_assignments
 from repro.predicates.spec import Specification
-from repro.runs.user_run import UserRun
 from repro.simulation.trace import Trace
+from repro.verification.engine import FirstViolation, monitor_trace
 
-
-@dataclass(frozen=True)
-class FirstViolation:
-    """The earliest trace event completing a forbidden instance."""
-
-    time: float
-    event: Event
-    predicate_name: str
-    assignment: Dict[str, str]
-
-    def __repr__(self) -> str:
-        binding = ", ".join(
-            "%s=%s" % (k, v) for k, v in sorted(self.assignment.items())
-        )
-        return "FirstViolation(t=%.3f, %r fires %s with %s)" % (
-            self.time,
-            self.event,
-            self.predicate_name,
-            binding,
-        )
-
-
-def _new_instance(
-    run: UserRun, predicate: ForbiddenPredicate, new_event: Event
-) -> Optional[Dict[str, Message]]:
-    """A satisfying assignment whose conjuncts *use* the newest event.
-
-    The new event is maximal when added, so instance truths among older
-    events are unchanged: every newly-true instance mentions it.
-    """
-    for assignment in satisfying_assignments(run, predicate):
-        used = {
-            Event(assignment[term.variable].id, term.kind)
-            for conjunct in predicate.conjuncts
-            for term in (conjunct.left, conjunct.right)
-        }
-        if new_event in used:
-            return assignment
-    return None
+__all__ = ["FirstViolation", "first_violation"]
 
 
 def first_violation(
     trace: Trace, spec: Union[Specification, ForbiddenPredicate]
 ) -> Optional[FirstViolation]:
-    """Replay the trace; return the earliest completing event, or ``None``.
+    """Check the trace; return the earliest completing event, or ``None``.
 
     A forbidden instance becomes true at the execution of its causally
     last event, which (conjuncts being ▷-atoms over the projection) is a
     send or delivery, so only user events are inspected.
     """
-    specification = (
-        spec
-        if isinstance(spec, Specification)
-        else Specification(name=spec.name or "anonymous", predicates=(spec,))
-    )
-    run = UserRun()
-    registered = set()
-    messages = {m.id: m for m in trace.messages()}
-    for record in trace.records():
-        event = record.event
-        if event.kind not in (SEND, DELIVER):
-            continue
-        message = messages[event.message_id]
-        if message.id not in registered:
-            run.add_message(message, with_events=False)
-            registered.add(message.id)
-        # Process order: the new event follows everything already at its
-        # process.
-        prior = [
-            e
-            for e in run.events_of_process(record.process)
-            if run.has_event(e)
-        ]
-        run.add_event(event)
-        for earlier in prior:
-            if earlier != event:
-                run.order(earlier, event)
-        members = specification.members_for(run)
-        for predicate in members:
-            assignment = _new_instance(run, predicate, event)
-            if assignment is not None:
-                return FirstViolation(
-                    time=record.time,
-                    event=event,
-                    predicate_name=predicate.name or "anonymous",
-                    assignment={
-                        var: message.id for var, message in assignment.items()
-                    },
-                )
-    return None
+    return monitor_trace(trace, spec)

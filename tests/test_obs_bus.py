@@ -64,6 +64,8 @@ class TestBus:
             "host.receive",
             "host.deliver",
             "verify.check",
+            "verify.step",
+            "verify.match",
             "mc.schedule",
             "mc.prune",
             "mc.violation",
