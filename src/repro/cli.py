@@ -7,7 +7,9 @@
     python -m repro catalog
     python -m repro simulate "x.s < y.s & y.r < x.r" --messages 30 --seed 7
     python -m repro simulate fifo --diagram
+    python -m repro simulate fifo --drop-rate 0.2 --dup-rate 0.1
     python -m repro check fifo --workload pair --exhaustive
+    python -m repro check reliable-fifo --workload triple --fault-budget 2 --exhaustive
     python -m repro check broken-fifo --report-out report.json
 """
 
@@ -107,8 +109,28 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         color_every=color_every,
         color=args.color,
     )
+    faults = None
+    if args.drop_rate or args.dup_rate or args.spike_rate:
+        from repro.faults import FaultPlan
+
+        faults = FaultPlan(
+            drop_rate=args.drop_rate,
+            dup_rate=args.dup_rate,
+            spike_rate=args.spike_rate,
+            seed=args.fault_seed,
+        )
+    factory = None
+    if faults is not None and not args.no_reliable:
+        # An unreliable network breaks every catalogue protocol's channel
+        # assumption; stack the ARQ sublayer under the synthesized
+        # protocol unless the user explicitly wants to watch it fail.
+        from repro.protocols.reliable import make_reliable
+
+        factory = make_reliable(protocol_for(specification))
     bus = tracer = recorder = watchdog = None
-    instrument = args.trace_out or args.metrics_out
+    # Fault runs always get a bus: the watchdog needs the fault.drop /
+    # retx.send stream to attribute stuck messages to network loss.
+    instrument = args.trace_out or args.metrics_out or faults is not None
     if instrument:
         from repro.obs import Bus, MetricsRecorder, SpanTracer, Watchdog
 
@@ -122,8 +144,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         specification,
         workload,
         seed=args.seed,
+        protocol_factory=factory,
         latency=UniformLatency(low=1.0, high=args.max_latency),
         bus=bus,
+        faults=faults,
     )
     print(result.summary())
     outcome = verify(result, specification)
@@ -229,6 +253,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         workload,
         spec=spec,
         invoke_order=args.invoke_order,
+        fault_budget=args.fault_budget,
         max_schedules=(
             None
             if args.exhaustive
@@ -369,6 +394,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--color-every", type=int, default=None)
     p_sim.add_argument("--color", default="red")
     p_sim.add_argument(
+        "--drop-rate",
+        type=float,
+        default=0.0,
+        help="probability each packet is destroyed in flight",
+    )
+    p_sim.add_argument(
+        "--dup-rate",
+        type=float,
+        default=0.0,
+        help="probability each packet is duplicated in flight",
+    )
+    p_sim.add_argument(
+        "--spike-rate",
+        type=float,
+        default=0.0,
+        help="probability each packet is hit by a fixed delay spike",
+    )
+    p_sim.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault RNG (independent of the latency seed)",
+    )
+    p_sim.add_argument(
+        "--no-reliable",
+        action="store_true",
+        help="do not stack the ARQ sublayer under the protocol when "
+        "faults are enabled (watch the channel assumption break)",
+    )
+    p_sim.add_argument(
         "--diagram", action="store_true", help="print the run's time diagram"
     )
     p_sim.add_argument(
@@ -419,9 +474,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_check.add_argument(
         "--workload",
-        choices=("pair", "triangle", "flush-pair", "random"),
+        choices=("pair", "triple", "triangle", "flush-pair", "random"),
         default="triangle",
         help="deterministic tiny workload, or 'random' traffic",
+    )
+    p_check.add_argument(
+        "--fault-budget",
+        type=int,
+        default=0,
+        help="let the adversary drop/duplicate up to K packets per "
+        "schedule (exhaustive runs then prove K-fault masking)",
     )
     p_check.add_argument("--processes", type=int, default=3)
     p_check.add_argument("--messages", type=int, default=4)

@@ -1,0 +1,28 @@
+"""Fault injection for the simulated network (loss, duplication,
+partitions, delay spikes, crash-restart).
+
+The paper assumes reliable channels; this package removes that
+assumption so the ordering protocols can be tested against a
+misbehaving transport.  A :class:`FaultPlan` describes *what* goes
+wrong; a :class:`FaultyTransport` decorates any
+:class:`~repro.simulation.network.Transport` (the seeded
+``LatencyTransport`` or the model checker's ``ControlledTransport``)
+and applies the plan at transmit time; a :class:`FaultInjector`
+drives crash/restart events against the protocol hosts using the
+``Protocol.snapshot()/restore()`` hooks.
+
+The recovery layer lives in :mod:`repro.protocols.reliable`.
+"""
+
+from repro.faults.plan import CrashEvent, FaultPlan, Partition
+from repro.faults.transport import FaultyTransport
+from repro.faults.injector import FaultInjector, FaultSummary
+
+__all__ = [
+    "CrashEvent",
+    "FaultPlan",
+    "Partition",
+    "FaultyTransport",
+    "FaultInjector",
+    "FaultSummary",
+]

@@ -1,0 +1,166 @@
+"""Declarative description of what the network does wrong.
+
+A :class:`FaultPlan` is pure data plus lookups -- it owns no RNG and
+schedules nothing, so one plan can parameterise many runs (different
+seeds) or the model checker (where the *explorer*, not a coin, decides
+which packets drop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+Channel = Tuple[int, int]  # (src, dst)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A symmetric network split over a time window.
+
+    Packets crossing between ``groups`` while ``start <= now < heal_at``
+    are dropped (counted as partition drops).  ``heal_at=None`` never
+    heals.  Processes not listed in any group are unaffected.
+    """
+
+    groups: Tuple[FrozenSet[int], ...]
+    start: float = 0.0
+    heal_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        groups = tuple(frozenset(g) for g in self.groups)
+        object.__setattr__(self, "groups", groups)
+        if len(groups) < 2:
+            raise ValueError("a partition needs at least two groups")
+        seen: set = set()
+        for group in groups:
+            if seen & group:
+                raise ValueError("partition groups must be disjoint")
+            seen |= group
+        if self.heal_at is not None and self.heal_at <= self.start:
+            raise ValueError("heal_at must be after start")
+
+    def severs(self, src: int, dst: int, now: float) -> bool:
+        """Whether this partition drops a ``src -> dst`` packet at ``now``."""
+        if now < self.start:
+            return False
+        if self.heal_at is not None and now >= self.heal_at:
+            return False
+        src_group = dst_group = None
+        for i, group in enumerate(self.groups):
+            if src in group:
+                src_group = i
+            if dst in group:
+                dst_group = i
+        if src_group is None or dst_group is None:
+            return False
+        return src_group != dst_group
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Crash ``process`` at ``at``; restart at ``restart_at`` (or never).
+
+    On crash the host goes down: arriving packets are blackholed, armed
+    timers die, and volatile protocol state is lost.  On restart the
+    protocol is rebuilt from its last ``snapshot()`` and ``on_restart``
+    runs (re-arming retransmission timers, typically).
+    """
+
+    process: int
+    at: float
+    restart_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("crash time must be non-negative")
+        if self.restart_at is not None and self.restart_at <= self.at:
+            raise ValueError("restart_at must be after the crash time")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that can go wrong in one run.
+
+    ``drop_rate``/``dup_rate`` are global probabilities, overridable per
+    channel via ``channel_drop``/``channel_dup``; ``spike_rate`` adds
+    ``spike_delay`` extra latency with that probability.  ``script`` pins
+    the fate of specific packets -- the n-th transmission on a channel --
+    overriding the coins entirely for those packets ("drop" | "dup" |
+    "ok").  ``seed`` feeds the transport's private fault RNG so faults do
+    not perturb the latency stream.
+    """
+
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    spike_rate: float = 0.0
+    spike_delay: float = 50.0
+    seed: int = 0
+    channel_drop: Dict[Channel, float] = field(default_factory=dict)
+    channel_dup: Dict[Channel, float] = field(default_factory=dict)
+    script: Dict[Tuple[int, int, int], str] = field(default_factory=dict)
+    partitions: Tuple[Partition, ...] = ()
+    crashes: Tuple[CrashEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        for name in ("drop_rate", "dup_rate", "spike_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("%s must be in [0, 1], got %r" % (name, rate))
+        for rates in (self.channel_drop, self.channel_dup):
+            for channel, rate in rates.items():
+                if not 0.0 <= rate <= 1.0:
+                    raise ValueError(
+                        "rate for channel %r must be in [0, 1], got %r"
+                        % (channel, rate)
+                    )
+        if self.spike_delay < 0:
+            raise ValueError("spike_delay must be non-negative")
+        for action in self.script.values():
+            if action not in ("drop", "dup", "ok"):
+                raise ValueError(
+                    "scripted action must be 'drop', 'dup' or 'ok', got %r"
+                    % (action,)
+                )
+        seen_crashes: set = set()
+        for crash in self.crashes:
+            key = (crash.process, crash.at)
+            if key in seen_crashes:
+                raise ValueError(
+                    "duplicate crash for process %d at %r" % (crash.process, crash.at)
+                )
+            seen_crashes.add(key)
+
+    # Lookups ---------------------------------------------------------------
+
+    def drop_rate_for(self, src: int, dst: int) -> float:
+        """The drop probability on channel ``(src, dst)``."""
+        return self.channel_drop.get((src, dst), self.drop_rate)
+
+    def dup_rate_for(self, src: int, dst: int) -> float:
+        """The duplication probability on channel ``(src, dst)``."""
+        return self.channel_dup.get((src, dst), self.dup_rate)
+
+    def scripted_action(self, src: int, dst: int, channel_seq: int) -> Optional[str]:
+        """The scripted fate of this packet, or ``None`` (use the coins)."""
+        return self.script.get((src, dst, channel_seq))
+
+    def partitioned(self, src: int, dst: int, now: float) -> bool:
+        """Whether any partition window severs ``src -> dst`` at ``now``."""
+        return any(p.severs(src, dst, now) for p in self.partitions)
+
+    @property
+    def any_faults(self) -> bool:
+        """Whether this plan can inject anything at all."""
+        return bool(
+            self.drop_rate
+            or self.dup_rate
+            or self.spike_rate
+            or self.channel_drop
+            or self.channel_dup
+            or self.script
+            or self.partitions
+            or self.crashes
+        )

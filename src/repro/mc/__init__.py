@@ -68,6 +68,7 @@ from repro.mc.registry import (
     protocol_factories,
     resolve_protocol,
     triangle_workload,
+    triple_workload,
 )
 from repro.mc.world import (
     ControlledTransport,
@@ -106,6 +107,7 @@ __all__ = [
     "default_spec_for",
     "named_workloads",
     "pair_workload",
+    "triple_workload",
     "triangle_workload",
     "flush_pair_workload",
 ]

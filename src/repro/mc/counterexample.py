@@ -40,6 +40,9 @@ class Schedule:
     workload: Workload
     keys: Tuple[TransitionKey, ...]
     invoke_order: str = "script"
+    # The world's fault budget: drop/dup keys in the sequence only replay
+    # when the rebuilt world grants at least as many faults.
+    fault_budget: int = 0
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -69,7 +72,10 @@ def replay_schedule(
     enabled in turn) and optionally re-verify it against ``spec``."""
     factory = protocol_factory or resolve_protocol(schedule.protocol)
     world = ControlledWorld(
-        factory, schedule.workload, invoke_order=schedule.invoke_order
+        factory,
+        schedule.workload,
+        invoke_order=schedule.invoke_order,
+        fault_budget=schedule.fault_budget,
     )
     world.run_schedule(schedule.keys)
     violation = (
@@ -99,6 +105,7 @@ def _reproduces(
         workload=schedule.workload,
         keys=tuple(keys),
         invoke_order=schedule.invoke_order,
+        fault_budget=schedule.fault_budget,
     )
     try:
         outcome = replay_schedule(candidate, spec=spec, protocol_factory=factory)
@@ -146,6 +153,7 @@ def minimize_schedule(
         workload=schedule.workload,
         keys=tuple(keys),
         invoke_order=schedule.invoke_order,
+        fault_budget=schedule.fault_budget,
     )
 
 

@@ -105,6 +105,7 @@ class MCReport:
     invoke_order: str
     max_schedules: Optional[int]
     max_depth: int
+    fault_budget: int = 0
     schedules_explored: int = 0
     replays: int = 0
     transitions: int = 0
@@ -151,6 +152,7 @@ class MCReport:
             "protocol:          %s" % self.protocol,
             "specification:     %s" % self.specification,
             "workload:          %s" % self.workload,
+            "fault budget:      %d" % self.fault_budget,
             "verdict:           %s" % verdict,
             "schedules:         %d explored (%d complete runs distinct)"
             % (self.schedules_explored, self.distinct_complete_runs),
@@ -178,6 +180,7 @@ class MCReport:
             "budget": {
                 "max_schedules": self.max_schedules,
                 "max_depth": self.max_depth,
+                "fault_budget": self.fault_budget,
             },
             "schedules_explored": self.schedules_explored,
             "replays": self.replays,
@@ -221,6 +224,7 @@ class ModelChecker:
         spec: Union[Specification, ForbiddenPredicate],
         protocol_name: Optional[str] = None,
         invoke_order: str = "script",
+        fault_budget: int = 0,
         max_schedules: Optional[int] = DEFAULT_MAX_SCHEDULES,
         max_depth: int = DEFAULT_MAX_DEPTH,
         max_violations: int = 1,
@@ -241,6 +245,7 @@ class ModelChecker:
             protocol_factory(0, workload.n_processes), "name", "custom"
         )
         self.invoke_order = invoke_order
+        self.fault_budget = fault_budget
         self.max_schedules = max_schedules
         self.max_depth = max_depth
         self.max_violations = max_violations
@@ -267,6 +272,7 @@ class ModelChecker:
             invoke_order=self.invoke_order,
             max_schedules=self.max_schedules,
             max_depth=self.max_depth,
+            fault_budget=self.fault_budget,
         )
         self._report = report
         self._visited.clear()
@@ -295,7 +301,10 @@ class ModelChecker:
 
     def _replay(self, prefix: List[TransitionKey]) -> ControlledWorld:
         world = ControlledWorld(
-            self.factory, self.workload, invoke_order=self.invoke_order
+            self.factory,
+            self.workload,
+            invoke_order=self.invoke_order,
+            fault_budget=self.fault_budget,
         )
         world.run_schedule(prefix)
         report = self._report
@@ -356,6 +365,7 @@ class ModelChecker:
                 workload=self.workload,
                 keys=tuple(prefix),
                 invoke_order=self.invoke_order,
+                fault_budget=self.fault_budget,
             )
             from repro.obs.watchdog import Watchdog
 

@@ -26,6 +26,20 @@ def pair_workload() -> Workload:
     )
 
 
+def triple_workload() -> Workload:
+    """Three same-channel messages 0 -> 1: the fault-masking benchmark
+    (``repro check reliable-fifo --workload triple --fault-budget K``)."""
+    return Workload(
+        name="mc-triple",
+        n_processes=2,
+        requests=(
+            SendRequest(time=0.0, sender=0, receiver=1),
+            SendRequest(time=1.0, sender=0, receiver=1),
+            SendRequest(time=2.0, sender=0, receiver=1),
+        ),
+    )
+
+
 def triangle_workload() -> Workload:
     """The paper's causal triangle: m1: 0->2, m2: 0->1, m3: 1->2."""
     return Workload(
@@ -55,18 +69,30 @@ def named_workloads() -> Dict[str, Callable[[], Workload]]:
     """Deterministic tiny workloads selectable from the CLI by name."""
     return {
         "pair": pair_workload,
+        "triple": triple_workload,
         "triangle": triangle_workload,
         "flush-pair": flush_pair_workload,
     }
 
 
 def protocol_factories() -> Dict[str, Callable[[int, int], object]]:
-    """Every named factory the model checker can (re)instantiate."""
+    """Every named factory the model checker can (re)instantiate.
+
+    Each base name also registers a ``reliable-`` variant: the same
+    protocol under the ARQ sublayer (:mod:`repro.protocols.reliable`),
+    with a small retry cap so the checker's transition tree stays finite
+    (every timer expiry is a transition the adversary may fire at will).
+    """
     from repro.mc.mutations import mutation_factories
     from repro.obs.profile import catalog_protocols
+    from repro.protocols.reliable import make_reliable
 
     registry = dict(catalog_protocols())
     registry.update(mutation_factories())
+    for name, factory in list(registry.items()):
+        registry["reliable-" + name] = make_reliable(
+            factory, max_retries=1, retransmit_window=1, send_window=1
+        )
     return registry
 
 
@@ -108,8 +134,11 @@ def default_spec_for(name: str) -> Specification:
         "sync-coord": LOGICALLY_SYNCHRONOUS,
         "sync-rdv": LOGICALLY_SYNCHRONOUS,
     }
-    if name not in table:
+    # A reliable-wrapped protocol claims exactly what its inner one does:
+    # the ARQ sublayer restores the channel, it does not change the spec.
+    base = name[len("reliable-") :] if name.startswith("reliable-") else name
+    if base not in table:
         raise KeyError(
             "no default specification for %r; pass one explicitly" % (name,)
         )
-    return table[name]
+    return table[base]

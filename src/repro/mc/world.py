@@ -20,7 +20,13 @@ and as pruning signatures:
 ``("deliver", s, d, k)``
     delivery of the ``k``-th packet transmitted on channel ``(s, d)``;
 ``("timer", p, j)``
-    the ``j``-th timer created at process ``p`` fires.
+    the ``j``-th timer created at process ``p`` fires;
+``("drop", s, d, k[, n])``
+    the adversary destroys that pending packet (fault budget permitting);
+``("dup", s, d, k[, n])``
+    the adversary duplicates it -- the copy parks under
+    ``("deliver", s, d, k, n')`` with a fresh per-packet copy number
+    ``n'``, so duplicated (and re-duplicated) deliveries keep stable keys.
 
 Every transition executes at exactly one *home* process (the invoker, the
 packet destination, the timer owner).  Transitions with different homes
@@ -61,14 +67,44 @@ class ScheduleError(RuntimeError):
 
 
 def transition_home(key: TransitionKey) -> int:
-    """The single process at which a transition executes protocol code."""
-    if key[0] == "deliver":
+    """The single process at which a transition executes protocol code.
+
+    Fault transitions are homed at the packet's destination: a drop or a
+    duplication conflicts with delivering the same packet (both consume
+    or extend the same pending entry), and treating them as dependent on
+    everything else at that destination is conservative but sound.
+    """
+    if key[0] in ("deliver", "drop", "dup"):
         return key[2]
     return key[1]
 
 
+def _packet_lineage(key: TransitionKey) -> Tuple[Any, ...]:
+    """The ``(src, dst, channel_seq)`` triple of the packet (or packet
+    copy) a deliver/drop/dup key operates on."""
+    return key[1:4]
+
+
 def transitions_dependent(a: TransitionKey, b: TransitionKey) -> bool:
-    """Whether two transitions may fail to commute (same home process)."""
+    """Whether two transitions may fail to commute.
+
+    Non-fault transitions are dependent iff they share a home process
+    (they execute protocol code there).  Fault transitions execute *no*
+    protocol code -- a drop or dup only mutates one pending entry and the
+    shared budget -- so they are dependent on each other (two faults
+    racing for the last budget unit do not commute), on deliveries of the
+    same packet lineage (both consume or extend the same entry), and on
+    nothing else.
+    """
+    a_fault = a[0] in ("drop", "dup")
+    b_fault = b[0] in ("drop", "dup")
+    if a_fault and b_fault:
+        return True
+    if a_fault or b_fault:
+        fault, other = (a, b) if a_fault else (b, a)
+        return other[0] == "deliver" and _packet_lineage(other) == _packet_lineage(
+            fault
+        )
     return transition_home(a) == transition_home(b)
 
 
@@ -98,12 +134,38 @@ class ControlledTransport(Transport):
 
     def __init__(self) -> None:
         self.pending: Dict[TransitionKey, Packet] = {}
+        # Copies created per base delivery key, so duplicated packets get
+        # deterministic extended keys (stable across commutations: the
+        # n-th copy of a given packet is always copy n).
+        self._dup_counts: Dict[TransitionKey, int] = {}
 
     def transmit(self, network: Network, packet: Packet) -> Optional[float]:
         """Park the packet under its delivery key; arrival is external."""
         key = ("deliver", packet.src, packet.dst, packet.channel_seq)
+        if key in self.pending:
+            # Only a FaultyTransport duplicating at transmit time re-parks
+            # the same channel slot; treat it as a copy.
+            self.pending[self._copy_key(key)] = packet
+            return None
         self.pending[key] = packet
         return None
+
+    def _copy_key(self, base: TransitionKey) -> TransitionKey:
+        count = self._dup_counts.get(base, 0) + 1
+        self._dup_counts[base] = count
+        return base + (count,)
+
+    def drop(self, key: TransitionKey) -> Packet:
+        """Destroy a pending packet (a fault transition consumed it)."""
+        return self.pending.pop(key)
+
+    def duplicate(self, key: TransitionKey) -> TransitionKey:
+        """Park a second copy of a pending packet; returns the copy's key."""
+        packet = self.pending[key]
+        base = key[:4]
+        copy_key = self._copy_key(base)
+        self.pending[copy_key] = packet
+        return copy_key
 
 
 def _packet_content(packet: Packet) -> Tuple[Any, ...]:
@@ -132,14 +194,20 @@ class ControlledWorld:
         protocol_factory: ProtocolFactory,
         workload: Workload,
         invoke_order: str = "script",
+        fault_budget: int = 0,
     ):
         if invoke_order not in INVOKE_ORDERS:
             raise ValueError(
                 "invoke_order must be one of %r, got %r"
                 % (INVOKE_ORDERS, invoke_order)
             )
+        if fault_budget < 0:
+            raise ValueError("fault_budget must be non-negative")
         self.workload = workload
         self.invoke_order = invoke_order
+        self.fault_budget = fault_budget
+        self.faults_used = 0
+        self.drops_used = 0
         self.clock = StepClock()
         self.clock._capture = self._capture_timer
         self.transport = ControlledTransport()
@@ -200,7 +268,36 @@ class ControlledWorld:
             else:
                 keys.extend(("invoke", process, index) for index, _ in queue)
         keys.extend(self.transport.pending.keys())
-        keys.extend(self._timers.keys())
+        if self.faults_used < self.fault_budget:
+            for pending_key, packet in self.transport.pending.items():
+                keys.append(("drop",) + pending_key[1:])
+                # Duplication is enabled for user-message packets whose
+                # destination protocol declared it can absorb repeats;
+                # anything else would turn a network fault into a
+                # host-level ProtocolError.  (Control duplicates reduce to
+                # the same protocol-level dedup path and are idempotent by
+                # the ARQ construction, so exploring them adds branches
+                # without adding behaviours.)
+                if packet.is_user and getattr(
+                    self.hosts[packet.dst].protocol, "accepts_duplicates", False
+                ):
+                    keys.append(("dup",) + pending_key[1:])
+        for timer_key in self._timers:
+            # A protocol that declares its timers pure loss recovery
+            # (see ``Protocol.timers_pure_recovery``) keeps them out of
+            # the tree until the adversary has actually destroyed a
+            # packet: in a loss-free prefix, firing such a timer only
+            # produces redundant copies the receiver dedups, so every
+            # interleaving it opens reaches an already-covered user run.
+            # This is what makes fault-budget exploration of the ARQ
+            # sublayer tractable -- without it each armed timer branches
+            # the tree at every subsequent step.
+            protocol = self.hosts[timer_key[1]].protocol
+            if self.drops_used == 0 and getattr(
+                protocol, "timers_pure_recovery", False
+            ):
+                continue
+            keys.append(timer_key)
         return sorted(keys)
 
     def execute(self, key: TransitionKey) -> None:
@@ -240,6 +337,20 @@ class ControlledWorld:
             self._current_process = owner
             self._histories[owner] += (("timer", index),)
             action()
+        elif kind in ("drop", "dup"):
+            if self.faults_used >= self.fault_budget:
+                raise ScheduleError(
+                    "fault %r exceeds the budget of %d" % (key, self.fault_budget)
+                )
+            pending_key = ("deliver",) + key[1:]
+            if pending_key not in self.transport.pending:
+                raise ScheduleError("fault %r is not enabled" % (key,))
+            if kind == "drop":
+                self.transport.drop(pending_key)
+                self.drops_used += 1
+            else:
+                self.transport.duplicate(pending_key)
+            self.faults_used += 1
         else:
             raise ScheduleError("unknown transition key %r" % (key,))
 
@@ -270,13 +381,23 @@ class ControlledWorld:
             pending,
             frozenset(self._timers),
             tuple(tuple(i for i, _ in queue) for queue in self._invoke_queues),
+            # Fault budget consumed (and copy counters, which name future
+            # dup keys): states differing here have different continuations.
+            # Drops are counted separately because they gate recovery
+            # timers in :meth:`enabled`.
+            self.faults_used,
+            self.drops_used,
+            frozenset(self.transport._dup_counts.items()),
         )
 
     def is_drained(self) -> bool:
-        """Whether no transition is enabled (the execution is maximal)."""
-        return not (
-            any(self._invoke_queues) or self.transport.pending or self._timers
-        )
+        """Whether no transition is enabled (the execution is maximal).
+
+        Defined on :meth:`enabled` rather than the raw queues: a pure
+        loss-recovery timer that is gated out (no drop has occurred) does
+        not keep an otherwise-finished execution alive.
+        """
+        return not self.enabled()
 
     @property
     def record_count(self) -> int:

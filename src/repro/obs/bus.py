@@ -33,6 +33,15 @@ probe            payload fields
 ``mc.schedule``  ``index``, ``depth``, ``outcome``
 ``mc.prune``     ``reason``, ``depth``
 ``mc.violation`` ``predicate``, ``assignment``, ``depth``
+``fault.drop``   ``src``, ``dst``, ``kind``, ``message_id``, ``reason``
+``fault.dup``    ``src``, ``dst``, ``kind``, ``message_id``
+``fault.partition`` ``src``, ``dst``, ``kind``, ``message_id``
+``fault.spike``  ``src``, ``dst``, ``kind``, ``message_id``, ``extra_delay``
+``crash``        ``process``
+``restart``      ``process``
+``retx.send``    ``process``, ``message_id``, ``receiver``, ``kind``
+``retx.ack``     ``process``, ``peer``, ``cumulative``
+``retx.dup``     ``process``, ``message_id``, ``sender``
 ===============  ============================================================
 
 The ``mc.*`` probes are emitted by the model checker's explorer
@@ -48,6 +57,15 @@ per user event the monitor checks (``sequence`` is the trace record's
 sequence number, ``messages`` the registered-message count at that
 point), one ``verify.match`` when an event completes a forbidden
 instance.
+
+The ``fault.*``/``crash``/``restart`` probes come from the fault
+injection layer (:mod:`repro.faults`): ``fault.drop`` carries a
+``reason`` of ``"random"``, ``"scripted"`` or ``"crash"``
+(``fault.partition`` is its own probe), ``fault.spike`` reports the
+extra latency added.  The ``retx.*`` probes come from the ARQ sublayer
+(:mod:`repro.protocols.reliable`): ``retx.send`` per retransmitted
+packet, ``retx.ack`` per acknowledgment processed, ``retx.dup`` per
+duplicate arrival suppressed by receive-side dedup.
 """
 
 from __future__ import annotations
@@ -72,6 +90,15 @@ PROBES = frozenset(
         "mc.schedule",
         "mc.prune",
         "mc.violation",
+        "fault.drop",
+        "fault.dup",
+        "fault.partition",
+        "fault.spike",
+        "crash",
+        "restart",
+        "retx.send",
+        "retx.ack",
+        "retx.dup",
     }
 )
 

@@ -260,7 +260,16 @@ class MetricsRecorder:
     - ``buffer.occupancy`` (gauge; received-not-yet-delivered, global and
       per ``pN`` label),
     - ``channel.reordered`` (counter, per-channel: arrivals overtaken by a
-      later-sent packet on the same channel).
+      later-sent packet on the same channel),
+    - ``fault.drops`` (counter, labelled by drop reason: ``random`` /
+      ``scripted`` / ``crash``), ``fault.dups``, ``fault.partition_drops``
+      (per-channel labels), ``fault.spikes``, ``fault.crashes`` /
+      ``fault.restarts`` (per-process labels),
+    - ``retx.messages`` (counter, labelled ``user`` / ``control``) /
+      ``retx.acks`` / ``retx.dups`` -- the ARQ sublayer's recovery work,
+    - ``net.goodput`` (gauge: deliveries per packet the user layer paid
+      for, ``delivered / (released + retransmitted)``; 1.0 on a clean
+      network, sinking as recovery work grows).
     """
 
     def __init__(self, bus: Bus, registry: Optional[MetricsRegistry] = None):
@@ -278,6 +287,15 @@ class MetricsRecorder:
             bus.subscribe("host.receive", self._on_receive),
             bus.subscribe("host.deliver", self._on_deliver),
             bus.subscribe("net.control", self._on_control),
+            bus.subscribe("fault.drop", self._on_fault_drop),
+            bus.subscribe("fault.dup", self._on_fault_dup),
+            bus.subscribe("fault.partition", self._on_fault_partition),
+            bus.subscribe("fault.spike", self._on_fault_spike),
+            bus.subscribe("crash", self._on_crash),
+            bus.subscribe("restart", self._on_restart),
+            bus.subscribe("retx.send", self._on_retx_send),
+            bus.subscribe("retx.ack", self._on_retx_ack),
+            bus.subscribe("retx.dup", self._on_retx_dup),
         ]
 
     def close(self) -> None:
@@ -374,6 +392,7 @@ class MetricsRecorder:
         )
         occupancy.add(-1)
         occupancy.set(self._occupancy[process], label="p%d" % process)
+        self._update_goodput()
 
     def _on_control(self, event: ProbeEvent) -> None:
         src = event.data["src"]
@@ -386,6 +405,59 @@ class MetricsRecorder:
         self.registry.counter("net.control.bytes", "control payload bytes").inc(
             payload_bytes, label=label
         )
+
+    # Fault and recovery probes --------------------------------------------
+
+    def _on_fault_drop(self, event: ProbeEvent) -> None:
+        self.registry.counter(
+            "fault.drops", "packets destroyed by the fault plan"
+        ).inc(label=event.data.get("reason") or "random")
+
+    def _on_fault_dup(self, event: ProbeEvent) -> None:
+        self.registry.counter("fault.dups", "packets duplicated in flight").inc()
+
+    def _on_fault_partition(self, event: ProbeEvent) -> None:
+        self.registry.counter(
+            "fault.partition_drops", "packets severed by a partition"
+        ).inc(label="p%d->p%d" % (event.data["src"], event.data["dst"]))
+
+    def _on_fault_spike(self, event: ProbeEvent) -> None:
+        self.registry.counter("fault.spikes", "packets hit by a delay spike").inc()
+
+    def _on_crash(self, event: ProbeEvent) -> None:
+        self.registry.counter("fault.crashes", "process crash events").inc(
+            label="p%d" % event.data["process"]
+        )
+
+    def _on_restart(self, event: ProbeEvent) -> None:
+        self.registry.counter("fault.restarts", "process restart events").inc(
+            label="p%d" % event.data["process"]
+        )
+
+    def _on_retx_send(self, event: ProbeEvent) -> None:
+        self.registry.counter("retx.messages", "retransmissions sent").inc(
+            label=event.data.get("kind") or "user"
+        )
+        self._update_goodput()
+
+    def _on_retx_ack(self, event: ProbeEvent) -> None:
+        self.registry.counter("retx.acks", "cumulative acks observed").inc()
+
+    def _on_retx_dup(self, event: ProbeEvent) -> None:
+        self.registry.counter(
+            "retx.dups", "duplicate arrivals absorbed by dedup"
+        ).inc()
+
+    def _update_goodput(self) -> None:
+        registry = self.registry
+        attempts = (
+            registry.counter("messages.user").value
+            + registry.counter("retx.messages").value
+        )
+        if attempts:
+            registry.gauge(
+                "net.goodput", "deliveries per user-layer packet sent"
+            ).set(registry.counter("messages.delivered").value / attempts)
 
     # Legacy surface -------------------------------------------------------
 

@@ -5,11 +5,17 @@ eventually delivered.  When a run drains with undelivered messages, the
 watchdog names the blocking layer from the message's lifecycle state:
 
 - invoked but never released  -> send inhibited at the sender;
-- released but never received -> in flight (a network bug in this
-  simulator, which always delivers);
+- released but never received -> in flight: lost to a network fault
+  (when a ``fault.drop``/``fault.partition`` probe or a
+  :meth:`Watchdog.note_drop` call said so) or genuinely still travelling;
 - received but never delivered -> buffered at the receiver.
 
-When the run's protocol instances are available their
+Under fault injection (:mod:`repro.faults`) the in-flight diagnosis
+distinguishes *network loss* from *protocol blocking*: a dropped packet
+with retransmissions under way reads "lost in network (awaiting
+retransmit)", a dropped packet nobody retransmits is flagged as such,
+and only an undropped message falls through to the protocol's own
+account.  When the run's protocol instances are available their
 :meth:`~repro.protocols.base.Protocol.blocking_reason` hook refines the
 generic reason with protocol state ("waiting for seq 3 from P0", ...).
 The watchdog can follow a live bus or replay a finished
@@ -57,6 +63,8 @@ class Watchdog:
         self._released: Dict[str, float] = {}
         self._received: Dict[str, float] = {}
         self._delivered: Dict[str, float] = {}
+        self._dropped: Dict[str, float] = {}
+        self._retransmits: Dict[str, int] = {}
         self._unsubscribers = []
         if bus is not None:
             self._unsubscribers = [
@@ -64,6 +72,9 @@ class Watchdog:
                 bus.subscribe("host.release", self._on_release),
                 bus.subscribe("host.receive", self._on_receive),
                 bus.subscribe("host.deliver", self._on_deliver),
+                bus.subscribe("fault.drop", self._on_drop),
+                bus.subscribe("fault.partition", self._on_drop),
+                bus.subscribe("retx.send", self._on_retransmit),
             ]
 
     @classmethod
@@ -112,6 +123,27 @@ class Watchdog:
     def _on_deliver(self, event: ProbeEvent) -> None:
         self._delivered[event.data["message_id"]] = event.time
 
+    def _on_drop(self, event: ProbeEvent) -> None:
+        message_id = event.data.get("message_id")
+        if message_id is not None:
+            self.note_drop(message_id, time=event.time)
+
+    def _on_retransmit(self, event: ProbeEvent) -> None:
+        message_id = event.data.get("message_id")
+        if message_id is not None:
+            self.note_retransmit(message_id)
+
+    # Fault attribution (probe-fed, or fed directly from a
+    # FaultyTransport's ``dropped_user`` list when no bus was attached).
+
+    def note_drop(self, message_id: str, time: float = 0.0) -> None:
+        """Record that a copy of ``message_id`` was lost in the network."""
+        self._dropped[message_id] = time
+
+    def note_retransmit(self, message_id: str) -> None:
+        """Record one retransmission attempt for ``message_id``."""
+        self._retransmits[message_id] = self._retransmits.get(message_id, 0) + 1
+
     def close(self) -> None:
         """Detach from the bus (accumulated state remains queryable)."""
         for unsubscribe in self._unsubscribers:
@@ -141,14 +173,34 @@ class Watchdog:
             elif message_id not in self._received:
                 phase, process = "in-flight", sender
                 since = self._released[message_id]
-                reason = "released but never arrived at P%d" % receiver
+                lost = message_id in self._dropped
+                attempts = self._retransmits.get(message_id, 0)
+                if lost and attempts:
+                    reason = (
+                        "lost in network (awaiting retransmit, "
+                        "%d attempt(s) so far)" % attempts
+                    )
+                elif lost:
+                    reason = (
+                        "lost in network at t=%.3f, never retransmitted"
+                        % self._dropped[message_id]
+                    )
+                else:
+                    reason = "released but never arrived at P%d" % receiver
             else:
                 phase, process = "buffered", receiver
                 since = self._received[message_id]
                 reason = "protocol never delivered after receive"
             detail = self._protocol_reason(protocols, process, message_id)
             if detail:
-                reason = detail
+                # Network loss outranks the protocol's own account -- the
+                # sender's ARQ state is appended, not substituted, so the
+                # report still separates "the network ate it" from "the
+                # protocol is blocking".
+                if phase == "in-flight" and message_id in self._dropped:
+                    reason = "%s -- sender: %s" % (reason, detail)
+                else:
+                    reason = detail
             reports.append(
                 StuckMessage(
                     message_id=message_id,

@@ -12,6 +12,8 @@ KWeakerCausalProtocol tagged   k-weaker causal ordering (§6)
 SyncCoordinatorProtocol general logically synchronous (sequencer)
 SyncRendezvousProtocol general  logically synchronous (rendezvous+retry)
 GeneratedTaggedProtocol tagged any order-≤1 forbidden predicate
+ReliableProtocol   general     ARQ sublayer restoring reliable FIFO
+                               channels under any protocol above
 =================  ==========  =====================================
 """
 
@@ -25,6 +27,7 @@ from repro.protocols.k_weaker import KWeakerCausalProtocol
 from repro.protocols.sync_coordinator import SyncCoordinatorProtocol
 from repro.protocols.sync_rendezvous import SyncRendezvousProtocol
 from repro.protocols.generated import GeneratedTaggedProtocol
+from repro.protocols.reliable import ReliableProtocol, make_reliable
 
 __all__ = [
     "Protocol",
@@ -38,4 +41,6 @@ __all__ = [
     "SyncCoordinatorProtocol",
     "SyncRendezvousProtocol",
     "GeneratedTaggedProtocol",
+    "ReliableProtocol",
+    "make_reliable",
 ]

@@ -10,7 +10,8 @@ messages.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+import copy
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.events import Message
 from repro.simulation.host import HostContext
@@ -21,6 +22,25 @@ class Protocol:
 
     name = "protocol"
     protocol_class = "tagless"  # "tagless" | "tagged" | "general"
+    #: Whether the host may hand repeated arrivals of the same user message
+    #: to :meth:`on_duplicate` instead of raising ``ProtocolError``.  Only a
+    #: protocol that deduplicates (e.g. the ARQ sublayer of
+    #: :mod:`repro.protocols.reliable`) should opt in.
+    accepts_duplicates = False
+    #: Attribute names excluded from :meth:`snapshot` -- state a crash
+    #: destroys (timers, caches).  ``restore`` drops them; recreate what is
+    #: needed in :meth:`on_restart`.
+    volatile_attrs: Tuple[str, ...] = ()
+    #: Declares that every timer this protocol schedules is pure loss
+    #: recovery: in an execution where no packet is destroyed, firing (or
+    #: never firing) its timers cannot change the user-visible run.  The
+    #: model checker relies on this to keep retransmission timers out of
+    #: the transition tree until the adversary actually drops a packet --
+    #: without it, every armed timer is an independent branching point.
+    #: Only declare it when it genuinely holds (for the ARQ sublayer it
+    #: does: receive-side sequence-number dedup makes redundant
+    #: retransmissions invisible above the sublayer).
+    timers_pure_recovery = False
 
     def on_start(self, ctx: HostContext) -> None:
         """Called once before any traffic (e.g. to seed a coordinator)."""
@@ -38,6 +58,54 @@ class Protocol:
         raise NotImplementedError(
             "%s received an unexpected control message" % type(self).__name__
         )
+
+    def on_duplicate(self, ctx: HostContext, message: Message, tag: Any) -> None:
+        """A second copy of an already-received user message arrived.
+
+        Only called when :attr:`accepts_duplicates` is true (the host
+        raises otherwise): an unreliable network may duplicate packets or
+        deliver a retransmission after the original.  The duplicate was
+        *not* recorded as a receive event -- the paper's ``x.r*`` happened
+        once -- so the protocol must not deliver it again; typical
+        reaction is to refresh an acknowledgment.
+        """
+        raise NotImplementedError(
+            "%s opted into duplicates but does not handle them"
+            % type(self).__name__
+        )
+
+    # -- crash-restart hooks (see repro.faults) -----------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The protocol's durable state, captured at a crash point.
+
+        The default deep-copies every attribute except
+        :attr:`volatile_attrs` -- checkpoint-at-crash semantics; whatever a
+        subclass declares volatile (armed timers, caches) is lost, which
+        is the "volatile loss" the fault injector models.
+        """
+        return copy.deepcopy(
+            {
+                name: value
+                for name, value in self.__dict__.items()
+                if name not in self.volatile_attrs
+            }
+        )
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Rebuild the instance from a :meth:`snapshot` after a restart.
+
+        Volatile attributes are *removed* (they did not survive the
+        crash); :meth:`on_restart` runs afterwards and may recreate them.
+        """
+        for name in self.volatile_attrs:
+            self.__dict__.pop(name, None)
+        self.__dict__.update(copy.deepcopy(state))
+
+    def on_restart(self, ctx: HostContext) -> None:
+        """Called after :meth:`restore` when the process rejoins the run
+        (e.g. to re-arm retransmission timers).  The default does nothing.
+        """
 
     def blocking_reason(self, message_id: str) -> Optional[str]:
         """Why this instance is withholding ``message_id``, or ``None``.

@@ -53,9 +53,31 @@ class HostContext:
         """Emit a protocol control message (general protocols only)."""
         self._host.send_control(dst, payload)
 
+    def retransmit(self, message: Message, tag: Any = None) -> None:
+        """Re-transmit an already-sent user message (no new send event).
+
+        The ARQ sublayer's recovery path: the paper's ``x.s`` happened at
+        the original release, so a retransmission is pure network traffic
+        -- accounted as such, never re-recorded in the trace.
+        """
+        self._host.retransmit_user(message, tag)
+
+    def retransmit_control(self, dst: int, payload: Any) -> None:
+        """Re-transmit a control message, accounted as retransmission."""
+        self._host.retransmit_control(dst, payload)
+
     def schedule(self, delay: float, action) -> None:
-        """Run ``action`` after ``delay`` virtual time units."""
-        self._host.sim.schedule(delay, action)
+        """Run ``action`` after ``delay`` virtual time units.
+
+        Timers are *volatile*: one scheduled before a crash of this
+        process never fires (see :mod:`repro.faults`).
+        """
+        self._host.schedule_timer(delay, action)
+
+    def emit(self, probe: str, **data: Any) -> None:
+        """Emit a protocol-level probe on the host's bus (no-op without
+        subscribers); the host adds the virtual time and process id."""
+        self._host.emit_probe(probe, **data)
 
 
 class ProtocolHost:
@@ -87,6 +109,11 @@ class ProtocolHost:
         self._delivered: Set[str] = set()
         # Reactive applications (repro.apps) observe deliveries.
         self.delivery_listener: Optional[Any] = None
+        # Crash state (driven by repro.faults.FaultInjector): while down,
+        # the faulty transport blackholes arrivals and timers are inert.
+        # The epoch invalidates every timer armed before a crash.
+        self.down = False
+        self.crash_epoch = 0
         network.attach(process_id, self._on_packet)
 
     def start(self) -> None:
@@ -191,6 +218,47 @@ class ProtocolHost:
         self.stats.control_bytes += estimate_size(payload)
         self.network.send_control(self.process_id, dst, payload)
 
+    def retransmit_user(self, message: Message, tag: Any) -> None:
+        """Re-send an already-released user message (ARQ recovery)."""
+        if message.id not in self._sent:
+            raise ProtocolError(
+                "protocol retransmitted %r before it was released" % message.id
+            )
+        self.stats.retransmissions += 1
+        self.emit_probe(
+            "retx.send",
+            message_id=message.id,
+            receiver=message.receiver,
+            kind="user",
+        )
+        self.network.send_user(self.process_id, message.receiver, message, tag)
+
+    def retransmit_control(self, dst: int, payload: Any) -> None:
+        """Re-send a control message, accounted as retransmission too."""
+        self.stats.retransmissions += 1
+        self.emit_probe(
+            "retx.send", message_id=None, receiver=dst, kind="control"
+        )
+        self.send_control(dst, payload)
+
+    def schedule_timer(self, delay: float, action) -> None:
+        """Schedule a protocol timer with volatile-loss crash semantics:
+        the action is dropped if this process crashed after arming it."""
+        epoch = self.crash_epoch
+
+        def guarded() -> None:
+            if self.down or self.crash_epoch != epoch:
+                return  # the timer did not survive the crash
+            action()
+
+        self.sim.schedule(delay, guarded)
+
+    def emit_probe(self, probe: str, **data: Any) -> None:
+        """Emit a protocol-level probe with time and process filled in."""
+        bus = self._bus
+        if bus is not None and bus.active:
+            bus.emit(probe, self.sim.now, process=self.process_id, **data)
+
     # Network-facing --------------------------------------------------------
 
     def _on_packet(self, packet: Packet) -> None:
@@ -198,6 +266,17 @@ class ProtocolHost:
             message = packet.message
             assert message is not None
             if message.id in self._received:
+                # A second copy (network duplication or a retransmission
+                # racing the original).  The receive event already happened;
+                # protocols that deduplicate get the copy via on_duplicate,
+                # anything else sees it as the bug it would be.
+                if getattr(self.protocol, "accepts_duplicates", False):
+                    self.stats.duplicate_receives += 1
+                    self.emit_probe(
+                        "retx.dup", message_id=message.id, sender=message.sender
+                    )
+                    self.protocol.on_duplicate(self.ctx, message, packet.tag)
+                    return
                 raise ProtocolError("message %r received twice" % message.id)
             self.trace.register_message(message)
             self._received.add(message.id)

@@ -26,6 +26,15 @@ class LatencyModel:
         """Draw this packet's transit time."""
         raise NotImplementedError
 
+    def reset(self) -> None:
+        """Return any internal cursor to its initial state.
+
+        Stateless models (the default) have nothing to do; stateful ones
+        (:class:`ScriptedLatency`) rewind so an instance can be reused
+        across simulations.  :func:`~repro.simulation.runner.run_simulation`
+        calls this before every run.
+        """
+
 
 @dataclass(frozen=True)
 class FixedLatency(LatencyModel):
@@ -111,6 +120,8 @@ class ScriptedLatency(LatencyModel):
         self.default = default
         if any(d < 0 for d in self._delays):
             raise ValueError("delays must be non-negative")
+        if default < 0:
+            raise ValueError("default delay must be non-negative")
 
     def sample(self, rng: random.Random, src: int, dst: int) -> float:
         """The next scripted delay, or ``default`` when exhausted."""
@@ -119,6 +130,10 @@ class ScriptedLatency(LatencyModel):
             self._cursor += 1
             return delay
         return self.default
+
+    def reset(self) -> None:
+        """Rewind to the first scripted delay (for instance reuse)."""
+        self._cursor = 0
 
 
 @dataclass
@@ -231,6 +246,11 @@ class Network:
         """Whether the transport keeps per-channel FIFO arrival order."""
         return bool(getattr(self.transport, "fifo_channels", False))
 
+    @property
+    def bus(self) -> "Optional[Bus]":
+        """The instrumentation bus, for transports that emit fault probes."""
+        return self._bus
+
     def attach(self, process_id: int, handler: Callable[[Packet], None]) -> None:
         """Register the packet handler of ``process_id``."""
         if process_id in self._handlers:
@@ -239,7 +259,13 @@ class Network:
 
     def handler_for(self, process_id: int) -> Callable[[Packet], None]:
         """The packet handler attached for ``process_id``."""
-        return self._handlers[process_id]
+        handler = self._handlers.get(process_id)
+        if handler is None:
+            raise ValueError(
+                "no handler attached for process %r (attached: %s)"
+                % (process_id, sorted(self._handlers) or "none")
+            )
+        return handler
 
     def transmit(self, packet: Packet) -> None:
         """Send a packet; its arrival is decided by the transport."""

@@ -145,6 +145,7 @@ def schedule_to_dict(schedule) -> Dict[str, Any]:
         "format": "repro-mc-schedule-v1",
         "protocol": schedule.protocol,
         "invoke_order": schedule.invoke_order,
+        "fault_budget": schedule.fault_budget,
         "workload": workload_to_dict(schedule.workload),
         "keys": [list(key) for key in schedule.keys],
     }
@@ -164,6 +165,8 @@ def schedule_from_dict(payload: Dict[str, Any]):
         workload=workload_from_dict(payload["workload"]),
         keys=tuple(tuple(key) for key in payload["keys"]),
         invoke_order=payload.get("invoke_order", "script"),
+        # Absent in files written before fault injection existed.
+        fault_budget=payload.get("fault_budget", 0),
     )
 
 

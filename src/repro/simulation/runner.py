@@ -39,6 +39,16 @@ class SimulationResult:
     # given a ``spec`` to monitor (``repro.verification.engine``); ``None``
     # with no spec or a clean run.
     first_violation: Optional[Any] = None
+    # The fault plan the run executed under (``repro.faults``), ``None``
+    # for a reliable network; ``fault_summary`` aggregates what the
+    # injector and faulty transport actually did.
+    fault_plan: Optional[Any] = None
+    fault_summary: Optional[Any] = None
+    # Ids of user messages that lost at least one copy to a fault (drop,
+    # partition, or crash blackhole), in first-loss order.  Feed these to
+    # :meth:`repro.obs.watchdog.Watchdog.note_drop` to attribute stuck
+    # messages to network loss without a live bus.
+    dropped_messages: List[str] = field(default_factory=list)
 
     def summary(self) -> str:
         """A short human-readable result block."""
@@ -57,6 +67,21 @@ class SimulationResult:
             "mean invoke->r:    %.3f" % self.stats.mean_end_to_end_latency,
             "all delivered:     %s" % self.delivered_all,
         ]
+        if self.fault_plan is not None:
+            faults = self.fault_summary
+            lines += [
+                "packets dropped:   %d" % self.stats.packets_dropped,
+                "packets duped:     %d" % self.stats.packets_duplicated,
+                "partition drops:   %d" % self.stats.partition_drops,
+                "crash drops:       %d" % self.stats.crash_drops,
+                "crash/restart:     %d/%d"
+                % (self.stats.crashes, self.stats.restarts),
+                "retransmissions:   %d" % self.stats.retransmissions,
+                "duplicate recvs:   %d" % self.stats.duplicate_receives,
+                "goodput:           %.3f" % self.stats.goodput,
+            ]
+            if faults is not None and faults.spikes:
+                lines.append("delay spikes:      %d" % faults.spikes)
         return "\n".join(lines)
 
 
@@ -69,6 +94,7 @@ def run_simulation(
     max_events: int = 1_000_000,
     bus: "Optional[Bus]" = None,
     spec: Optional[Any] = None,
+    faults: Optional[Any] = None,
 ) -> SimulationResult:
     """Run ``workload`` under the protocol and record the execution.
 
@@ -85,15 +111,32 @@ def run_simulation(
     inspected once, in execution order -- and the earliest completing
     event lands in :attr:`SimulationResult.first_violation`
     (``verify.step``/``verify.match`` probes go to ``bus``).
+
+    With ``faults`` (a :class:`repro.faults.FaultPlan`), the latency
+    transport is wrapped in a :class:`repro.faults.FaultyTransport` and a
+    :class:`repro.faults.FaultInjector` drives the plan's crash/restart
+    events; user invokes hitting a crashed process are deferred to its
+    restart.  The fault RNG is private to the plan's ``seed``, so the
+    same ``seed`` argument still produces the same latency stream.
     """
     sim = Simulator(bus=bus)
+    latency_model = latency or UniformLatency(low=1.0, high=10.0)
+    latency_model.reset()
+    from repro.simulation.network import LatencyTransport
+
+    transport: Any = LatencyTransport(
+        latency=latency_model, seed=seed, fifo_channels=fifo_channels
+    )
+    injector = None
+    if faults is not None:
+        from repro.faults import FaultInjector, FaultyTransport
+
+        transport = FaultyTransport(faults, transport)
     network = Network(
         sim,
         workload.n_processes,
-        latency=latency or UniformLatency(low=1.0, high=10.0),
-        seed=seed,
-        fifo_channels=fifo_channels,
         bus=bus,
+        transport=transport,
     )
     trace = Trace(workload.n_processes)
     stats = SimulationStats()
@@ -109,13 +152,29 @@ def run_simulation(
         )
         for process_id in range(workload.n_processes)
     ]
+    if faults is not None:
+        injector = FaultInjector(
+            sim, transport, {host.process_id: host for host in hosts}, bus=bus
+        )
+        injector.install(faults)
     for host in hosts:
         host.start()
 
     messages = workload.messages()
     for request, message in zip(workload.requests, messages):
         host = hosts[message.sender]
-        sim.schedule(request.time, lambda h=host, m=message: h.invoke(m))
+
+        def invoke(h=host, m=message):
+            if h.down:
+                # The process is crashed: the application retries the
+                # request once it comes back up (or never, if it stays
+                # down -- the message then counts as undelivered).
+                assert injector is not None
+                injector.defer_invoke(h.process_id, lambda: h.invoke(m))
+                return
+            h.invoke(m)
+
+        sim.schedule(request.time, invoke)
 
     executed = sim.run(max_events=max_events)
     if executed >= max_events:
@@ -129,6 +188,20 @@ def run_simulation(
         from repro.verification.engine import SpecMonitor
 
         violation = SpecMonitor(spec, bus=bus).advance(trace)
+
+    fault_summary = None
+    dropped_messages: List[str] = []
+    if injector is not None:
+        fault_summary = injector.summary()
+        stats.packets_dropped = transport.packets_dropped
+        stats.packets_duplicated = transport.packets_duplicated
+        stats.partition_drops = transport.partition_drops
+        stats.crash_drops = transport.crash_drops
+        seen = set()
+        for message_id in transport.dropped_user:
+            if message_id not in seen:
+                seen.add(message_id)
+                dropped_messages.append(message_id)
 
     system_run = trace.to_system_run()
     undelivered = trace.undelivered_messages()
@@ -145,4 +218,7 @@ def run_simulation(
         undelivered=undelivered,
         protocols=[host.protocol for host in hosts],
         first_violation=violation,
+        fault_plan=faults,
+        fault_summary=fault_summary,
+        dropped_messages=dropped_messages,
     )

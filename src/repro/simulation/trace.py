@@ -76,6 +76,15 @@ class SimulationStats:
     delayed_deliveries: int = 0  # deliveries not executed at receive time
     delivery_latencies: List[float] = field(default_factory=list)  # send -> deliver
     end_to_end_latencies: List[float] = field(default_factory=list)  # invoke -> deliver
+    # Fault/recovery accounting (repro.faults + repro.protocols.reliable).
+    retransmissions: int = 0  # packets re-sent by an ARQ sublayer
+    duplicate_receives: int = 0  # repeat arrivals routed to on_duplicate
+    packets_dropped: int = 0  # random/scripted drops
+    packets_duplicated: int = 0  # random/scripted duplications
+    partition_drops: int = 0  # drops caused by a partition window
+    crash_drops: int = 0  # packets blackholed at a crashed process
+    crashes: int = 0
+    restarts: int = 0
 
     @property
     def mean_tag_bytes(self) -> float:
@@ -106,6 +115,16 @@ class SimulationStats:
     def control_per_user_message(self) -> float:
         """Control messages per user message sent."""
         return self.control_messages / self.user_messages if self.user_messages else 0.0
+
+    @property
+    def goodput(self) -> float:
+        """Deliveries per transmission attempt (releases + retransmissions).
+
+        1.0 on a reliable network; every retransmission a fault forces
+        lowers it, which is the "cost of recovery" the benchmarks track.
+        """
+        attempts = self.user_messages + self.retransmissions
+        return self.deliveries / attempts if attempts else 0.0
 
 
 class Trace:

@@ -20,6 +20,8 @@ MODULES = [
     "repro.core.selftest",
     "repro.clocks",
     "repro.protocols",
+    "repro.protocols.reliable",
+    "repro.faults",
     "repro.simulation",
     "repro.simulation.persistence",
     "repro.verification",

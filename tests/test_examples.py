@@ -41,5 +41,6 @@ def test_all_examples_present():
         "figure_scenarios.py",
         "paper_walkthrough.py",
         "model_check_tour.py",
+        "faulty_channels_tour.py",
     }
     assert expected <= set(EXAMPLES)

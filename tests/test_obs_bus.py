@@ -69,6 +69,15 @@ class TestBus:
             "mc.schedule",
             "mc.prune",
             "mc.violation",
+            "fault.drop",
+            "fault.dup",
+            "fault.partition",
+            "fault.spike",
+            "crash",
+            "restart",
+            "retx.send",
+            "retx.ack",
+            "retx.dup",
         }
 
 
