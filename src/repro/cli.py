@@ -298,36 +298,12 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    from repro.predicates.catalog import (
-        ASYNC_ORDERING,
-        CAUSAL_ORDERING,
-        FIFO_ORDERING,
-        LOGICALLY_SYNCHRONOUS,
-        TWO_WAY_FLUSH,
-        k_weaker_causal_spec,
-    )
-    from repro.protocols import (
-        CausalRstProtocol,
-        CausalSesProtocol,
-        FifoProtocol,
-        FlushChannelProtocol,
-        KWeakerCausalProtocol,
-        SyncCoordinatorProtocol,
-        SyncRendezvousProtocol,
-        TaglessProtocol,
-    )
-    from repro.protocols.base import make_factory
+    from repro.protocols.registry import catalogue
     from repro.verification.compare import ProtocolRow, compare_protocols
 
     entries = [
-        ("tagless", make_factory(TaglessProtocol), ASYNC_ORDERING),
-        ("fifo", make_factory(FifoProtocol), FIFO_ORDERING),
-        ("flush", make_factory(FlushChannelProtocol), TWO_WAY_FLUSH),
-        ("k-weaker(2)", make_factory(KWeakerCausalProtocol, 2), k_weaker_causal_spec(2)),
-        ("causal-rst", make_factory(CausalRstProtocol), CAUSAL_ORDERING),
-        ("causal-ses", make_factory(CausalSesProtocol), CAUSAL_ORDERING),
-        ("sync-coord", make_factory(SyncCoordinatorProtocol), LOGICALLY_SYNCHRONOUS),
-        ("sync-rdv", make_factory(SyncRendezvousProtocol), LOGICALLY_SYNCHRONOUS),
+        (entry.name, entry.factory, entry.spec)
+        for entry in catalogue().values()
     ]
     workloads = [
         random_traffic(args.processes, args.messages, seed=s, color_every=6)
@@ -345,6 +321,140 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     for row in rows:
         show(row.as_tuple())
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.mc.registry import resolve_protocol
+    from repro.net import NetHost
+
+    factory = resolve_protocol(args.protocol)
+    drop_rate = args.drop_rate or (0.05 if args.soak else 0.0)
+    faults = None
+    if drop_rate or args.dup_rate or args.spike_rate:
+        from repro.faults import FaultPlan
+
+        faults = FaultPlan(
+            drop_rate=drop_rate,
+            dup_rate=args.dup_rate,
+            spike_rate=args.spike_rate,
+            spike_delay=args.spike_delay,
+            seed=args.fault_seed,
+        )
+        if not args.no_reliable and not args.protocol.startswith("reliable-"):
+            # Same convention as `repro simulate`: a lossy transport
+            # breaks the channel assumption, so stack the ARQ sublayer
+            # unless the user explicitly wants to watch it fail.
+            from repro.protocols.reliable import make_reliable
+
+            factory = make_reliable(factory)
+    ports = [args.port_base + index for index in range(args.processes)]
+    host = NetHost(
+        factory,
+        args.process_id,
+        ports,
+        host=args.host,
+        run_id=args.run_id,
+        faults=faults,
+        time_scale=args.time_scale,
+    )
+    print(
+        "serving %s as process %d of %d on %s:%d (run %s)%s"
+        % (
+            args.protocol,
+            args.process_id,
+            args.processes,
+            args.host,
+            ports[args.process_id],
+            args.run_id,
+            " with faults" if faults is not None else "",
+        ),
+        flush=True,
+    )
+    asyncio.run(host.serve_forever())
+    stats = host.stats_body()
+    print(
+        "process %d done: %d invoked, %d delivered, %d retransmissions, "
+        "%d errors"
+        % (
+            args.process_id,
+            stats["invoked"],
+            stats["deliveries"],
+            stats["retransmissions"],
+            len(host.errors),
+        ),
+        flush=True,
+    )
+    for error in host.errors:
+        print("  error: %s" % error, flush=True)
+    return 1 if host.errors else 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import asyncio
+    import time as _time
+
+    from repro.net.cluster import LiveObserver, LoadGenerator
+
+    ports = [args.port_base + index for index in range(args.processes)]
+    spec = None
+    if not args.no_monitor:
+        if args.spec is not None:
+            spec = _resolve_spec(args.spec, distinct=False)
+        elif args.protocol is not None:
+            from repro.mc.registry import default_spec_for
+
+            spec = default_spec_for(args.protocol)
+
+    async def drive():
+        observer = (
+            LiveObserver(args.processes, spec=spec) if spec is not None else None
+        )
+        load = LoadGenerator(
+            ports,
+            host=args.host,
+            run_id=args.run_id,
+            seed=args.seed,
+            color_rate=args.color_rate,
+        )
+        try:
+            if observer is not None:
+                await observer.connect(ports, host=args.host, run_id=args.run_id)
+            await load.connect()
+            started = _time.monotonic()
+            load_seconds = await load.run(args.rate, args.duration)
+            await load.drain_hosts()
+            quiesced, stats = await load.quiesce(timeout=args.quiesce_timeout)
+            if observer is not None:
+                deadline = _time.monotonic() + 2.0
+                while (
+                    observer.events_merged < observer.events_seen
+                    or observer.pending_merge
+                ) and _time.monotonic() < deadline:
+                    await asyncio.sleep(0.02)
+                observer.final_check()
+            total_seconds = _time.monotonic() - started
+            if not args.keep_serving:
+                await load.shutdown_hosts()
+            return load.report(
+                args.protocol or "protocol",
+                stats,
+                load_seconds,
+                total_seconds,
+                quiesced,
+                observer=observer,
+            )
+        finally:
+            await load.close()
+            if observer is not None:
+                await observer.close()
+
+    report = asyncio.run(drive())
+    print(report.render(), flush=True)
+    if args.soak:
+        return 0 if report.clean else 1
+    return 0 if report.violation is None else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -544,6 +654,114 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--seeds", type=int, default=3)
     p_cmp.add_argument("--seed", type=int, default=0)
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="host one protocol process over real TCP (see `repro load`)",
+    )
+    p_serve.add_argument(
+        "protocol",
+        help="registry protocol name (fifo, causal-rst, reliable-fifo, ...)",
+    )
+    p_serve.add_argument(
+        "--process-id", type=int, required=True, help="this process's index"
+    )
+    p_serve.add_argument(
+        "--processes", type=int, default=3, help="total cluster size"
+    )
+    p_serve.add_argument(
+        "--port-base",
+        type=int,
+        default=9400,
+        help="process i listens on port-base + i",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--run-id",
+        default="default",
+        help="rendezvous token; connections for another run are rejected",
+    )
+    p_serve.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.01,
+        help="real seconds per virtual time unit (protocol timer scale)",
+    )
+    p_serve.add_argument(
+        "--drop-rate", type=float, default=0.0,
+        help="probability each outbound packet is destroyed (WAN emulation)",
+    )
+    p_serve.add_argument("--dup-rate", type=float, default=0.0)
+    p_serve.add_argument("--spike-rate", type=float, default=0.0)
+    p_serve.add_argument(
+        "--spike-delay", type=float, default=50.0,
+        help="extra virtual-time latency a spiked packet suffers",
+    )
+    p_serve.add_argument("--fault-seed", type=int, default=0)
+    p_serve.add_argument(
+        "--soak",
+        action="store_true",
+        help="shorthand for a 5%% drop fault plan over the real transport",
+    )
+    p_serve.add_argument(
+        "--no-reliable",
+        action="store_true",
+        help="do not stack the ARQ sublayer when faults are enabled",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "load",
+        help="drive open-loop traffic at running `repro serve` processes, "
+        "with live spec monitoring",
+    )
+    p_load.add_argument(
+        "--protocol",
+        default=None,
+        help="protocol the hosts serve (names the run and selects the "
+        "monitored specification)",
+    )
+    p_load.add_argument(
+        "--spec",
+        default=None,
+        help="monitor this specification instead (catalogue name or DSL)",
+    )
+    p_load.add_argument("--processes", type=int, default=3)
+    p_load.add_argument("--port-base", type=int, default=9400)
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--run-id", default="default")
+    p_load.add_argument(
+        "--rate", type=float, default=1000.0, help="offered user msgs/sec"
+    )
+    p_load.add_argument(
+        "--duration", type=float, default=5.0, help="load phase seconds"
+    )
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument(
+        "--color-rate", type=float, default=0.0,
+        help="fraction of messages colored red (exercises flush specs)",
+    )
+    p_load.add_argument(
+        "--quiesce-timeout", type=float, default=30.0,
+        help="seconds to wait for every invoked message to deliver",
+    )
+    p_load.add_argument(
+        "--no-monitor",
+        action="store_true",
+        help="skip the live observer (peak-throughput measurements)",
+    )
+    p_load.add_argument(
+        "--keep-serving",
+        action="store_true",
+        help="leave the serve processes running (default sends BYE)",
+    )
+    p_load.add_argument(
+        "--soak",
+        action="store_true",
+        help="strict exit status: fail unless zero violations, zero "
+        "errors, and full quiescence",
+    )
+    p_load.set_defaults(func=_cmd_load)
     return parser
 
 

@@ -84,10 +84,10 @@ def protocol_factories() -> Dict[str, Callable[[int, int], object]]:
     (every timer expiry is a transition the adversary may fire at will).
     """
     from repro.mc.mutations import mutation_factories
-    from repro.obs.profile import catalog_protocols
+    from repro.protocols.registry import catalogue
     from repro.protocols.reliable import make_reliable
 
-    registry = dict(catalog_protocols())
+    registry = {name: entry.factory for name, entry in catalogue().items()}
     registry.update(mutation_factories())
     for name, factory in list(registry.items()):
         registry["reliable-" + name] = make_reliable(
@@ -113,27 +113,16 @@ def default_spec_for(name: str) -> Specification:
     Mutation variants are checked against the specification of the
     protocol they break -- that is the point of seeding them.
     """
-    from repro.predicates.catalog import (
-        ASYNC_ORDERING,
-        CAUSAL_ORDERING,
-        FIFO_ORDERING,
-        LOGICALLY_SYNCHRONOUS,
-        TWO_WAY_FLUSH,
-        k_weaker_causal_spec,
-    )
+    from repro.predicates.catalog import CAUSAL_ORDERING, FIFO_ORDERING
+    from repro.protocols.registry import catalogue
 
-    table = {
-        "tagless": ASYNC_ORDERING,
-        "fifo": FIFO_ORDERING,
-        "broken-fifo": FIFO_ORDERING,
-        "flush": TWO_WAY_FLUSH,
-        "k-weaker(2)": k_weaker_causal_spec(2),
-        "causal-rst": CAUSAL_ORDERING,
-        "causal-ses": CAUSAL_ORDERING,
-        "broken-causal-rst": CAUSAL_ORDERING,
-        "sync-coord": LOGICALLY_SYNCHRONOUS,
-        "sync-rdv": LOGICALLY_SYNCHRONOUS,
-    }
+    table = {name: entry.spec for name, entry in catalogue().items()}
+    table.update(
+        {
+            "broken-fifo": FIFO_ORDERING,
+            "broken-causal-rst": CAUSAL_ORDERING,
+        }
+    )
     # A reliable-wrapped protocol claims exactly what its inner one does:
     # the ARQ sublayer restores the channel, it does not change the spec.
     base = name[len("reliable-") :] if name.startswith("reliable-") else name

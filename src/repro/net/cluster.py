@@ -1,0 +1,635 @@
+"""Deploy, observe, and drive a cluster of :class:`NetHost` processes.
+
+Three roles make a networked run:
+
+hosts
+    one :class:`~repro.net.host.NetHost` per paper process (spawned
+    in-process by :func:`run_cluster` for tests, or as separate OS
+    processes via ``repro serve``);
+
+observer
+    :class:`LiveObserver` taps every host's trace stream (EVENT frames),
+    merges the per-host streams into one causally-consistent
+    :class:`~repro.simulation.trace.Trace`, and feeds it to the
+    incremental :class:`~repro.verification.engine.SpecMonitor` --
+    ordering violations are flagged *while the system runs*;
+
+load generator
+    :class:`LoadGenerator` drives open-loop traffic (INVOKE frames at a
+    target rate), drains, waits for the cluster to quiesce, and reduces
+    the hosts' STATS replies to a :class:`NetRunReport` with throughput
+    and p50/p99 delivery latency.
+
+The stream merge is the subtle part: host ``p``'s stream carries exactly
+the events located at ``p`` (sends at the sender, deliveries at the
+receiver), already in ``p``'s execution order, but a delivery may arrive
+on its stream before the matching send arrives on another.  The merge
+keeps one FIFO queue per host and only appends a queue's *head*, holding
+receive/deliver events until their send has been appended.  Head-blocking
+preserves per-location order (what vector-clock causality needs) and can
+never deadlock: a blocking chain would have to run backwards through
+real time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.events import Event, EventKind, Message
+from repro.net import codec
+from repro.net.host import NetHost, event_from_wire
+from repro.net.transport import DEFAULT_TIME_SCALE
+from repro.simulation.trace import Trace, _percentile
+
+
+def free_ports(n: int, host: str = "127.0.0.1") -> List[int]:
+    """``n`` currently-free TCP ports (bind-probe; small race window is
+    acceptable for tests and local runs)."""
+    sockets = []
+    try:
+        for _ in range(n):
+            sock = socket.socket()
+            sock.bind((host, 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+async def _connect_with_retry(
+    host: str, port: int, timeout: float
+) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return await asyncio.open_connection(host, port)
+        except OSError:
+            if time.monotonic() > deadline:
+                raise
+            await asyncio.sleep(0.05)
+
+
+# -- the live observer --------------------------------------------------------
+
+#: Largest *family* member the live monitor searches per event.  The
+#: anchored search is O(n^{arity-1}) per event, so long family members
+#: (a crown of length 6 costs O(n^5)) are intractable against a live
+#: stream of thousands of events.  The observer monitors the short
+#: members live and closes the completeness gap with the spec's
+#: polynomial membership oracle at end of run (:meth:`final_check`).
+LIVE_FAMILY_ARITY = 2
+
+
+class LiveObserver:
+    """Merge per-host event streams and monitor the ordering spec live.
+
+    Violations latch in :attr:`violation` the moment the offending
+    delivery crosses the merge -- not after the run, which is the point
+    of serving the catalogue over a real network at all.  Specifications
+    whose families would make the per-event search super-quadratic (the
+    logically synchronous crowns) are monitored live only up to
+    :data:`LIVE_FAMILY_ARITY`; their exact membership oracle runs over
+    the merged trace in :meth:`final_check` once traffic drains.
+    """
+
+    def __init__(
+        self,
+        n_processes: int,
+        spec: Optional[Any] = None,
+        bus: Optional[Any] = None,
+    ) -> None:
+        self.n_processes = n_processes
+        self.trace = Trace(n_processes)
+        self.spec = spec
+        self.monitor = None
+        self.oracle_outcome: Optional[bool] = None
+        self._needs_oracle = False
+        if spec is not None:
+            import dataclasses
+
+            from repro.verification.engine import SpecMonitor
+
+            live_spec = spec
+            cap = getattr(spec, "family_arity_cap", None)
+            if (
+                getattr(spec, "families", ())
+                and getattr(spec, "oracle", None) is not None
+                and (cap is None or cap > LIVE_FAMILY_ARITY)
+            ):
+                live_spec = dataclasses.replace(
+                    spec, family_arity_cap=LIVE_FAMILY_ARITY
+                )
+                self._needs_oracle = True
+            self.monitor = SpecMonitor(live_spec, bus=bus)
+        self.bus = bus
+        self.events_seen = 0
+        self.events_merged = 0
+        self.probe_counts: Dict[str, int] = {}
+        self.errors: List[str] = []
+        #: Per-host FIFOs of not-yet-appended (time, process, event, message).
+        self._queues: List[deque] = [deque() for _ in range(n_processes)]
+        self._sends_appended: set = set()
+        self._writers: List[asyncio.StreamWriter] = []
+        self._readers: List[asyncio.Task] = []
+
+    @property
+    def violation(self):
+        """The latched first violation, if the monitor found one (or the
+        end-of-run oracle rejected the merged trace)."""
+        if self.monitor is not None and self.monitor.violation is not None:
+            return self.monitor.violation
+        if self.oracle_outcome is False:
+            return "membership oracle rejected the merged run (spec %s)" % (
+                getattr(self.spec, "name", self.spec),
+            )
+        return None
+
+    def final_check(self):
+        """Run the exact membership oracle over the merged trace.
+
+        A no-op unless the spec needed the live search truncated (see
+        :data:`LIVE_FAMILY_ARITY`); call it after traffic has drained and
+        the merge caught up.  Returns the (possibly new) violation.
+        """
+        if (
+            self._needs_oracle
+            and self.violation is None
+            and self.oracle_outcome is None
+            and self.trace.record_count
+        ):
+            run = self.trace.to_system_run().users_view()
+            self.oracle_outcome = bool(self.spec.admits(run))
+        return self.violation
+
+    @property
+    def pending_merge(self) -> int:
+        """Events received but still held by the merge gate."""
+        return sum(len(queue) for queue in self._queues)
+
+    async def connect(
+        self,
+        ports: Sequence[int],
+        host: str = "127.0.0.1",
+        run_id: str = "default",
+        timeout: float = 20.0,
+    ) -> None:
+        """Attach to every host and start the stream readers."""
+        for index, port in enumerate(ports):
+            reader, writer = await _connect_with_retry(host, port, timeout)
+            writer.write(
+                codec.encode_frame(
+                    codec.HELLO,
+                    {"process": -1, "role": "observer", "run": run_id},
+                )
+            )
+            await writer.drain()
+            self._writers.append(writer)
+            self._readers.append(
+                asyncio.get_running_loop().create_task(
+                    self._read_stream(index, reader)
+                )
+            )
+
+    async def close(self) -> None:
+        for writer in self._writers:
+            if not writer.is_closing():
+                writer.close()
+        for task in self._readers:
+            task.cancel()
+        await asyncio.gather(*self._readers, return_exceptions=True)
+
+    async def _read_stream(self, index: int, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                frame = await codec.read_frame(reader)
+                if frame is None:
+                    return
+                if frame.kind == codec.EVENT:
+                    self.events_seen += 1
+                    self._queues[index].append(event_from_wire(frame.body))
+                    self._merge()
+                elif frame.kind == codec.PROBE:
+                    self._on_probe(frame.body)
+                # READY and anything else: ignored (forward compat).
+        except (codec.CodecError, ConnectionError) as exc:
+            self.errors.append("observer stream %d: %s" % (index, exc))
+        except asyncio.CancelledError:
+            pass
+
+    def _on_probe(self, body: Dict[str, Any]) -> None:
+        probe = body.get("probe", "?")
+        self.probe_counts[probe] = self.probe_counts.get(probe, 0) + 1
+        if self.bus is not None and self.bus.active and isinstance(probe, str):
+            data = codec.decode_value(body.get("data")) or {}
+            try:
+                self.bus.emit(probe, float(body.get("t", 0.0)), **data)
+            except (ValueError, TypeError) as exc:
+                self.errors.append("probe bridge: %s" % exc)
+
+    def _merge(self) -> None:
+        """Append every currently-appendable queue head (to fixpoint)."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for queue in self._queues:
+                while queue and self._appendable(queue[0]):
+                    self._append(queue.popleft())
+                    progressed = True
+        if self.monitor is not None:
+            self.monitor.advance(self.trace)
+
+    def _appendable(self, item: Tuple[float, int, Event, Message]) -> bool:
+        _, _, event, _ = item
+        if event.kind in (EventKind.RECEIVE, EventKind.DELIVER):
+            return event.message_id in self._sends_appended
+        return True
+
+    def _append(self, item: Tuple[float, int, Event, Message]) -> None:
+        event_time, process, event, message = item
+        if self.trace.has_event(event):
+            return  # replay after a reconnect; already merged
+        self.trace.register_message(message)
+        self.trace.record(event_time, process, event)
+        if event.kind is EventKind.SEND:
+            self._sends_appended.add(event.message_id)
+        self.events_merged += 1
+
+
+# -- the load generator -------------------------------------------------------
+
+
+@dataclass
+class NetRunReport:
+    """What one networked run measured (the ``repro load`` output)."""
+
+    protocol: str
+    n_processes: int
+    requested: int  # messages the generator produced
+    invoked: int  # accepted by hosts (late ones after DRAIN are dropped)
+    delivered: int
+    load_seconds: float  # the open-loop phase
+    total_seconds: float  # including quiesce
+    offered_per_sec: float
+    delivered_per_sec: float
+    p50_ms: float
+    p99_ms: float
+    quiesced: bool
+    #: invoke -> deliver percentiles; unlike p50/p99 (send -> deliver)
+    #: these include time a protocol *inhibits* the send (e.g. the sync
+    #: coordinator's grant wait), so they expose control-traffic cost.
+    e2e_p50_ms: float = 0.0
+    e2e_p99_ms: float = 0.0
+    violation: Optional[str] = None
+    errors: List[str] = field(default_factory=list)
+    host_stats: List[Dict[str, Any]] = field(default_factory=list)
+    fault_counters: Dict[str, int] = field(default_factory=dict)
+    retransmissions: int = 0
+    duplicate_receives: int = 0
+    observer_events: int = 0
+
+    def render(self) -> str:
+        lines = [
+            "net run: %s over %d processes" % (self.protocol, self.n_processes),
+            "  messages    %d requested, %d invoked, %d delivered"
+            % (self.requested, self.invoked, self.delivered),
+            "  load phase  %.2fs (offered %.0f msg/s)"
+            % (self.load_seconds, self.offered_per_sec),
+            "  throughput  %.0f delivered msg/s over %.2fs total"
+            % (self.delivered_per_sec, self.total_seconds),
+            "  latency     p50 %.2f ms, p99 %.2f ms (send -> deliver)"
+            % (self.p50_ms, self.p99_ms),
+            "  end to end  p50 %.2f ms, p99 %.2f ms (invoke -> deliver)"
+            % (self.e2e_p50_ms, self.e2e_p99_ms),
+            "  quiesced    %s" % ("yes" if self.quiesced else "NO (timeout)"),
+        ]
+        if self.fault_counters:
+            lines.append(
+                "  faults      "
+                + ", ".join(
+                    "%s=%d" % (k, v) for k, v in sorted(self.fault_counters.items())
+                )
+            )
+        if self.retransmissions or self.duplicate_receives:
+            lines.append(
+                "  recovery    %d retransmissions, %d duplicates absorbed"
+                % (self.retransmissions, self.duplicate_receives)
+            )
+        if self.observer_events:
+            lines.append("  observer    %d events merged" % self.observer_events)
+        lines.append(
+            "  violations  %s" % (self.violation if self.violation else "none")
+        )
+        for error in self.errors:
+            lines.append("  error       %s" % error)
+        return "\n".join(lines)
+
+    @property
+    def clean(self) -> bool:
+        """Zero violations, zero errors, fully quiesced -- soak criteria."""
+        return self.quiesced and self.violation is None and not self.errors
+
+
+class LoadGenerator:
+    """Open-loop traffic over one connection per host.
+
+    Message ``m<i>`` gets a seeded ``(sender, receiver != sender)`` pair;
+    INVOKE frames are batched per pacing tick so the generator sustains
+    tens of thousands of messages per second without per-message drains.
+    """
+
+    def __init__(
+        self,
+        ports: Sequence[int],
+        host: str = "127.0.0.1",
+        run_id: str = "default",
+        seed: int = 0,
+        color_rate: float = 0.0,
+    ) -> None:
+        import random
+
+        self.ports = list(ports)
+        self.host = host
+        self.run_id = run_id
+        self.rng = random.Random(seed)
+        self.color_rate = color_rate
+        self.requested = 0
+        self.errors: List[str] = []
+        self._streams: List[
+            Tuple[asyncio.StreamReader, asyncio.StreamWriter]
+        ] = []
+
+    @property
+    def n_processes(self) -> int:
+        return len(self.ports)
+
+    async def connect(self, timeout: float = 20.0) -> None:
+        """Dial every host as a load client and wait for its READY."""
+        for port in self.ports:
+            reader, writer = await _connect_with_retry(self.host, port, timeout)
+            writer.write(
+                codec.encode_frame(
+                    codec.HELLO,
+                    {"process": -1, "role": "load", "run": self.run_id},
+                )
+            )
+            await writer.drain()
+            self._streams.append((reader, writer))
+        for reader, _ in self._streams:
+            frame = await asyncio.wait_for(codec.read_frame(reader), timeout)
+            if frame is None or frame.kind != codec.READY:
+                raise RuntimeError(
+                    "host did not become ready (got %r)" % (frame,)
+                )
+
+    def _next_message(self) -> Message:
+        self.requested += 1
+        n = self.n_processes
+        sender = self.rng.randrange(n)
+        receiver = self.rng.randrange(n - 1) if n > 1 else 0
+        if n > 1 and receiver >= sender:
+            receiver += 1
+        color = (
+            "red"
+            if self.color_rate and self.rng.random() < self.color_rate
+            else None
+        )
+        return Message(
+            id="m%d" % self.requested, sender=sender, receiver=receiver, color=color
+        )
+
+    async def run(self, rate: float, duration: float) -> float:
+        """Offer ``rate`` msgs/sec for ``duration`` seconds; returns the
+        actual wall seconds of the load phase."""
+        if rate <= 0 or duration <= 0:
+            raise ValueError("rate and duration must be positive")
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        sent = 0
+        batches: List[bytearray] = [bytearray() for _ in self.ports]
+        while True:
+            elapsed = loop.time() - start
+            if elapsed >= duration:
+                break
+            due = min(int(elapsed * rate) + 1, int(duration * rate))
+            for batch in batches:
+                del batch[:]
+            while sent < due:
+                message = self._next_message()
+                batches[message.sender] += codec.encode_frame(
+                    codec.INVOKE, codec.message_to_wire(message)
+                )
+                sent += 1
+            for batch, (_, writer) in zip(batches, self._streams):
+                if batch:
+                    writer.write(bytes(batch))
+            await asyncio.sleep(0.005)
+        for _, writer in self._streams:
+            await writer.drain()
+        return loop.time() - start
+
+    async def _round_trip(self, kind: int, body: Dict[str, Any]) -> List[codec.Frame]:
+        """Send one frame to every host; await the (in-order) replies."""
+        for _, writer in self._streams:
+            writer.write(codec.encode_frame(kind, body))
+        replies = []
+        for reader, writer in self._streams:
+            await writer.drain()
+            frame = await codec.read_frame(reader)
+            if frame is None:
+                raise ConnectionError("host closed during a %s round trip"
+                                      % codec.KIND_NAMES.get(kind, kind))
+            replies.append(frame)
+        return replies
+
+    async def drain_hosts(self) -> None:
+        """Announce that no further invokes are coming."""
+        await self._round_trip(codec.DRAIN, {})
+
+    async def collect_stats(self) -> List[Dict[str, Any]]:
+        """One STATS body per host."""
+        return [frame.body for frame in await self._round_trip(codec.STATS, {})]
+
+    async def quiesce(
+        self, timeout: float = 30.0, poll: float = 0.1
+    ) -> Tuple[bool, List[Dict[str, Any]]]:
+        """Poll until every invoked message is delivered and no host has
+        local pending work; returns (quiesced, final stats)."""
+        deadline = time.monotonic() + timeout
+        stats = await self.collect_stats()
+        while time.monotonic() < deadline:
+            invoked = sum(s.get("invoked", 0) for s in stats)
+            delivered = sum(s.get("deliveries", 0) for s in stats)
+            pending = sum(s.get("pending", 0) for s in stats)
+            if delivered >= invoked and pending == 0:
+                return True, stats
+            await asyncio.sleep(poll)
+            stats = await self.collect_stats()
+        return False, stats
+
+    async def shutdown_hosts(self) -> None:
+        """Send BYE (each host acks, then exits its serve loop)."""
+        try:
+            await self._round_trip(codec.BYE, {})
+        except (ConnectionError, codec.CodecError):
+            pass  # a host may close before the ack is read
+
+    async def close(self) -> None:
+        for _, writer in self._streams:
+            if not writer.is_closing():
+                writer.close()
+
+    # -- reduction -----------------------------------------------------------
+
+    def report(
+        self,
+        protocol: str,
+        stats: List[Dict[str, Any]],
+        load_seconds: float,
+        total_seconds: float,
+        quiesced: bool,
+        observer: Optional[LiveObserver] = None,
+    ) -> NetRunReport:
+        """Reduce per-host STATS bodies (+ observer state) to a report."""
+        invoked = sum(s.get("invoked", 0) for s in stats)
+        delivered = sum(s.get("deliveries", 0) for s in stats)
+        latencies: List[float] = []
+        e2e: List[float] = []
+        errors = list(self.errors)
+        fault_counters: Dict[str, int] = {}
+        retx = dups = 0
+        for s in stats:
+            latencies.extend(codec.decode_value(s.get("latencies")) or [])
+            e2e.extend(codec.decode_value(s.get("e2e_latencies")) or [])
+            errors.extend(s.get("errors", []))
+            retx += s.get("retransmissions", 0)
+            dups += s.get("duplicate_receives", 0)
+            for key in (
+                "packets_dropped",
+                "packets_duplicated",
+                "partition_drops",
+                "spikes",
+            ):
+                if key in s:
+                    fault_counters[key] = fault_counters.get(key, 0) + s[key]
+        violation = None
+        observer_events = 0
+        if observer is not None:
+            errors.extend(observer.errors)
+            observer_events = observer.events_merged
+            found = observer.violation
+            if found is not None:
+                violation = found if isinstance(found, str) else repr(found)
+        return NetRunReport(
+            protocol=protocol,
+            n_processes=self.n_processes,
+            requested=self.requested,
+            invoked=invoked,
+            delivered=delivered,
+            load_seconds=load_seconds,
+            total_seconds=total_seconds,
+            offered_per_sec=self.requested / load_seconds if load_seconds else 0.0,
+            delivered_per_sec=delivered / total_seconds if total_seconds else 0.0,
+            p50_ms=_percentile(latencies, 50) * 1000.0,
+            p99_ms=_percentile(latencies, 99) * 1000.0,
+            quiesced=quiesced,
+            e2e_p50_ms=_percentile(e2e, 50) * 1000.0,
+            e2e_p99_ms=_percentile(e2e, 99) * 1000.0,
+            violation=violation,
+            errors=errors,
+            host_stats=stats,
+            fault_counters=fault_counters,
+            retransmissions=retx,
+            duplicate_receives=dups,
+            observer_events=observer_events,
+        )
+
+
+# -- whole-cluster drivers ----------------------------------------------------
+
+
+async def run_cluster(
+    protocol_factory: Callable[[int, int], object],
+    n_processes: int,
+    *,
+    protocol_name: str = "protocol",
+    rate: float = 500.0,
+    duration: float = 1.0,
+    seed: int = 0,
+    spec: Optional[Any] = None,
+    faults: Optional[Any] = None,
+    time_scale: float = DEFAULT_TIME_SCALE,
+    color_rate: float = 0.0,
+    quiesce_timeout: float = 30.0,
+    run_id: Optional[str] = None,
+) -> NetRunReport:
+    """One complete networked run with every role in this process.
+
+    The hosts still talk to each other over real loopback TCP sockets --
+    only the OS-process boundary is collapsed, which is what tests and
+    benchmarks want (no interpreter startup noise, full determinism of
+    the seeded workload).  ``repro serve`` / ``repro load`` provide the
+    process-per-host deployment of the same pieces.
+    """
+    run_id = run_id or "inline-%d" % seed
+    ports = free_ports(n_processes)
+    hosts = [
+        NetHost(
+            protocol_factory,
+            process_id,
+            ports,
+            run_id=run_id,
+            faults=faults,
+            time_scale=time_scale,
+        )
+        for process_id in range(n_processes)
+    ]
+    observer = LiveObserver(n_processes, spec=spec) if spec is not None else None
+    load = LoadGenerator(ports, run_id=run_id, seed=seed, color_rate=color_rate)
+    started = time.monotonic()
+    try:
+        for host in hosts:
+            await host.start()
+        await asyncio.gather(*(host.ready() for host in hosts))
+        if observer is not None:
+            await observer.connect(ports, run_id=run_id)
+        await load.connect()
+        load_seconds = await load.run(rate, duration)
+        await load.drain_hosts()
+        quiesced, stats = await load.quiesce(timeout=quiesce_timeout)
+        if observer is not None:
+            # Let the tail of the event stream reach the merge.
+            deadline = time.monotonic() + 2.0
+            while (
+                observer.events_merged < observer.events_seen
+                or observer.pending_merge
+            ) and time.monotonic() < deadline:
+                await asyncio.sleep(0.02)
+            observer.final_check()
+        total_seconds = time.monotonic() - started
+        for host in hosts:
+            load.errors.extend(host.errors)
+        return load.report(
+            protocol_name,
+            stats,
+            load_seconds,
+            total_seconds,
+            quiesced,
+            observer=observer,
+        )
+    finally:
+        await load.close()
+        if observer is not None:
+            await observer.close()
+        for host in hosts:
+            await host.shutdown()
+
+
+def run_cluster_sync(*args: Any, **kwargs: Any) -> NetRunReport:
+    """:func:`run_cluster` from synchronous code (tests, benchmarks)."""
+    return asyncio.run(run_cluster(*args, **kwargs))

@@ -1,0 +1,635 @@
+"""One protocol host on a real TCP endpoint.
+
+:class:`NetHost` is the process-level runtime: it owns an asyncio
+server, dials its peers (the rendezvous handshake), and runs one
+**unmodified** :class:`~repro.protocols.base.Protocol` instance behind
+the same :class:`~repro.simulation.host.ProtocolHost` event preconditions
+the simulator enforces.  The only substitutions are at the edges:
+
+- the simulator is a :class:`~repro.net.transport.WallClock` (timers via
+  ``loop.call_later``),
+- the transport is an :class:`~repro.net.transport.AsyncTransport`
+  (frames on sockets), optionally under a
+  :class:`~repro.faults.transport.FaultyTransport` for WAN emulation,
+- delivery latency is measured from wall timestamps carried in the
+  frames rather than from the (remote) send record.
+
+Everything above those edges -- protocols, tags, the trace contract,
+probe points -- is byte-for-byte the simulation stack.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.events import Event, EventKind, Message
+from repro.net import codec
+from repro.net.transport import (
+    DEFAULT_TIME_SCALE,
+    AsyncTransport,
+    WallClock,
+    packet_from_frame,
+)
+from repro.obs.bus import Bus
+from repro.simulation.host import ProtocolHost
+from repro.simulation.network import Network, Packet
+from repro.simulation.trace import SimulationStats, Trace, TraceRecord
+
+#: Bus probes bridged to observers (kept narrow: the fault/recovery
+#: stream an operator actually watches; the firehose stays local).
+BRIDGED_PROBES = (
+    "fault.drop",
+    "fault.dup",
+    "fault.partition",
+    "fault.spike",
+    "retx.send",
+    "retx.dup",
+    "host.inhibit",
+)
+
+_KIND_TO_WIRE = {
+    EventKind.INVOKE: "invoke",
+    EventKind.SEND: "send",
+    EventKind.RECEIVE: "receive",
+    EventKind.DELIVER: "deliver",
+}
+_WIRE_TO_KIND = {name: kind for kind, name in _KIND_TO_WIRE.items()}
+
+
+def event_to_wire(record: TraceRecord, message: Message) -> Dict[str, Any]:
+    """One trace record as an EVENT frame body (message attrs inline, so
+    the observer can reconstruct the trace with no side lookups)."""
+    return {
+        "t": record.time,
+        "p": record.process,
+        "k": _KIND_TO_WIRE[record.event.kind],
+        "m": codec.message_to_wire(message),
+    }
+
+
+def event_from_wire(body: Dict[str, Any]) -> "tuple[float, int, Event, Message]":
+    """Strict inverse of :func:`event_to_wire`."""
+    try:
+        kind = _WIRE_TO_KIND[body["k"]]
+        message = codec.message_from_wire(body["m"])
+        return float(body["t"]), int(body["p"]), Event(message.id, kind), message
+    except (KeyError, TypeError, ValueError) as exc:
+        raise codec.MalformedFrame("bad event body %r: %s" % (body, exc)) from exc
+
+
+class TapTrace(Trace):
+    """A trace that mirrors every record to attached taps (observers)."""
+
+    def __init__(self, n_processes: int) -> None:
+        super().__init__(n_processes)
+        self._taps: List[Callable[[TraceRecord, Message], None]] = []
+
+    def attach_tap(self, tap: Callable[[TraceRecord, Message], None]) -> None:
+        """Stream future records to ``tap``; past records are the caller's
+        job (see :meth:`NetHost._attach_observer`, which replays)."""
+        self._taps.append(tap)
+
+    def record(self, time: float, process: int, event: Event) -> None:
+        super().record(time, process, event)
+        if self._taps:
+            record = self._records[-1]
+            message = self.message(event.message_id)
+            assert message is not None  # record() validated registration
+            for tap in self._taps:
+                tap(record, message)
+
+
+class NetProtocolHost(ProtocolHost):
+    """A :class:`ProtocolHost` whose latency accounting is wall-clock.
+
+    The receiver never holds the sender's trace, so ``deliver`` cannot
+    look up the send/invoke records; instead the wall timestamps carried
+    in the user frame (stashed by :meth:`NetHost._dispatch_packet`) feed
+    the same :class:`~repro.simulation.trace.SimulationStats` fields.
+    Latencies are therefore **real seconds**, not virtual units.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        #: message id -> wall time of the original release / user invoke,
+        #: populated from inbound frames at receive time.
+        self.sent_wall: Dict[str, float] = {}
+        self.invoked_wall: Dict[str, float] = {}
+        #: local stamps for outbound frames (retransmissions reuse them).
+        self.release_wall: Dict[str, float] = {}
+        self.invoke_wall: Dict[str, float] = {}
+
+    def invoke(self, message: Message) -> None:
+        self.invoke_wall.setdefault(message.id, time.time())
+        super().invoke(message)
+
+    def release(self, message: Message, tag: Any) -> None:
+        self.release_wall.setdefault(message.id, time.time())
+        super().release(message, tag)
+
+    def stamp(self, packet: Packet) -> "tuple[float, float]":
+        """(sent, invoked) wall times for an outbound packet's frame."""
+        now = time.time()
+        if packet.is_user and packet.message is not None:
+            mid = packet.message.id
+            sent = self.release_wall.get(mid, now)
+            return sent, self.invoke_wall.get(mid, sent)
+        return now, now
+
+    def deliver(self, message: Message) -> None:
+        """Execute ``x.r`` with wall-clock latency accounting."""
+        from repro.simulation.host import ProtocolError
+
+        if message.id not in self._received:
+            raise ProtocolError(
+                "protocol delivered %r before it was received" % message.id
+            )
+        if message.id in self._delivered:
+            raise ProtocolError("message %r delivered twice" % message.id)
+        self._delivered.add(message.id)
+        self.trace.record(self.sim.now, self.process_id, Event.deliver(message.id))
+        self.stats.deliveries += 1
+        delayed = self.sim.now > self._receive_time[message.id]
+        if delayed:
+            self.stats.delayed_deliveries += 1
+        now = time.time()
+        sent = self.sent_wall.pop(message.id, None)
+        if sent is None:
+            # Self-addressed messages loop back without a frame; their
+            # stamps are the local ones.
+            sent = self.release_wall.get(message.id, now)
+        self.stats.delivery_latencies.append(now - sent)
+        invoked = self.invoked_wall.pop(message.id, None)
+        if invoked is None:
+            invoked = self.invoke_wall.get(message.id, sent)
+        self.stats.end_to_end_latencies.append(now - invoked)
+        bus = self._bus
+        if bus is not None and bus.active:
+            bus.emit(
+                "host.deliver",
+                self.sim.now,
+                message_id=message.id,
+                process=self.process_id,
+                sender=message.sender,
+                delayed=delayed,
+            )
+        if self.delivery_listener is not None:
+            self.delivery_listener(message)
+
+    @property
+    def pending_local(self) -> int:
+        """Messages this process still owes work on: invoked-but-unsent
+        plus received-but-undelivered (the graceful-drain condition)."""
+        return len(self._invoked - self._sent) + len(
+            self._received - self._delivered
+        )
+
+
+class NetHost:
+    """Serve one catalogue protocol instance over TCP.
+
+    Lifecycle: :meth:`start` (listen + dial + handshake) ->
+    ``await`` :meth:`ready` -> traffic (local :meth:`invoke` calls or
+    INVOKE frames from a load generator) -> :meth:`shutdown` (drain,
+    cancel timers, close).  :meth:`serve_forever` adds SIGINT/SIGTERM
+    handlers that trigger a graceful drain.
+    """
+
+    def __init__(
+        self,
+        protocol_factory: Callable[[int, int], object],
+        process_id: int,
+        ports: List[int],
+        *,
+        host: str = "127.0.0.1",
+        run_id: str = "default",
+        faults: Optional[Any] = None,
+        time_scale: float = DEFAULT_TIME_SCALE,
+        bus: Optional[Bus] = None,
+        dial_timeout: float = 20.0,
+    ) -> None:
+        n_processes = len(ports)
+        if not 0 <= process_id < n_processes:
+            raise ValueError(
+                "process_id %d out of range for %d ports" % (process_id, n_processes)
+            )
+        self.process_id = process_id
+        self.n_processes = n_processes
+        self.ports = list(ports)
+        self.bind_host = host
+        self.run_id = run_id
+        self.time_scale = time_scale
+        self.dial_timeout = dial_timeout
+        self.bus = bus if bus is not None else Bus()
+        self.clock = WallClock(time_scale=time_scale)
+        self.transport = AsyncTransport(process_id)
+        outbound: Any = self.transport
+        if faults is not None:
+            from repro.faults import FaultyTransport
+
+            outbound = FaultyTransport(faults, self.transport)
+        self.outbound = outbound
+        self.network = Network(
+            self.clock,  # type: ignore[arg-type]  # WallClock duck-types Simulator
+            n_processes,
+            bus=self.bus,
+            transport=outbound,
+        )
+        self.trace = TapTrace(n_processes)
+        self.stats = SimulationStats()
+        self.host = NetProtocolHost(
+            self.clock,  # type: ignore[arg-type]
+            self.network,
+            self.trace,
+            self.stats,
+            process_id,
+            protocol_factory(process_id, n_processes),
+            bus=self.bus,
+        )
+        self.transport._stamp = self.host.stamp
+        self.draining = False
+        self.errors: List[str] = []
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._peer_writers: List[asyncio.StreamWriter] = []
+        self._client_writers: Set[asyncio.StreamWriter] = set()
+        self._observer_writers: List[asyncio.StreamWriter] = []
+        self._inbound_peers: Set[int] = set()
+        self._ready = asyncio.Event()
+        self._done = asyncio.Event()
+        self._tasks: Set[asyncio.Task] = set()
+        self._unsubscribe_bridge: Optional[Callable[[], None]] = None
+        self._invoked_count = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self.ports[self.process_id]
+
+    async def start(self) -> None:
+        """Listen, dial every peer, and complete the rendezvous."""
+        loop = asyncio.get_running_loop()
+        self.clock.start(loop)
+        self.transport.bind_loop(loop)
+        self._server = await asyncio.start_server(
+            self._on_connection, self.bind_host, self.port
+        )
+        self._spawn(self._dial_peers())
+        if self.n_processes == 1:
+            self._check_ready()
+
+    async def ready(self) -> None:
+        """Wait until every peer link (both directions) is up."""
+        await asyncio.wait_for(self._ready.wait(), self.dial_timeout)
+
+    def invoke(self, message: Message) -> None:
+        """Application entry: the user requests a send at this process."""
+        if self.draining:
+            raise RuntimeError(
+                "host %d is draining; no further invokes" % self.process_id
+            )
+        self._invoked_count += 1
+        self.host.invoke(message)
+
+    def local_pending(self) -> int:
+        """Local drain condition (see :attr:`NetProtocolHost.pending_local`)."""
+        return self.host.pending_local
+
+    async def drain(self, timeout: float = 10.0) -> bool:
+        """Stop accepting invokes; wait until local obligations settle."""
+        self.draining = True
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.local_pending() == 0:
+                return True
+            await asyncio.sleep(0.02)
+        return False
+
+    async def shutdown(self) -> None:
+        """Cancel outstanding protocol timers and close every stream."""
+        if self._done.is_set():
+            return
+        self.draining = True
+        self.clock.cancel_all()
+        if self._unsubscribe_bridge is not None:
+            self._unsubscribe_bridge()
+            self._unsubscribe_bridge = None
+        if self._server is not None:
+            self._server.close()
+        for task in list(self._tasks):
+            task.cancel()
+        writers = (
+            self._peer_writers
+            + list(self._client_writers)
+            + self._observer_writers
+        )
+        for writer in writers:
+            if not writer.is_closing():
+                writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._done.set()
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`shutdown` -- typically via a BYE frame or a
+        SIGINT/SIGTERM-triggered graceful drain."""
+        import signal
+
+        loop = asyncio.get_running_loop()
+
+        def _graceful() -> None:
+            self._spawn(self._drain_and_shutdown())
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, _graceful)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await self.start()
+        await self._done.wait()
+
+    async def _drain_and_shutdown(self) -> None:
+        await self.drain()
+        await self.shutdown()
+
+    # -- rendezvous ----------------------------------------------------------
+
+    def _spawn(self, coro) -> asyncio.Task:
+        task = asyncio.get_running_loop().create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    async def _dial_peers(self) -> None:
+        try:
+            await asyncio.gather(
+                *(
+                    self._dial(dst)
+                    for dst in range(self.n_processes)
+                    if dst != self.process_id
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            self.errors.append("rendezvous failed: %s" % exc)
+            self._done.set()
+            return
+        self._check_ready()
+
+    async def _dial(self, dst: int) -> None:
+        deadline = time.monotonic() + self.dial_timeout
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.bind_host, self.ports[dst]
+                )
+                break
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise
+                await asyncio.sleep(0.05)
+        writer.write(
+            codec.encode_frame(
+                codec.HELLO,
+                {"process": self.process_id, "role": "peer", "run": self.run_id},
+            )
+        )
+        await writer.drain()
+        self.transport.connect(dst, writer)
+        self._peer_writers.append(writer)
+        # Nothing travels host-ward on a dialed link; watch it for EOF only.
+        self._spawn(self._watch_eof(reader))
+
+    async def _watch_eof(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while await reader.read(4096):
+                pass
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+
+    def _check_ready(self) -> None:
+        peers = self.n_processes - 1
+        if (
+            len(self._inbound_peers) >= peers
+            and len(self.transport.connected) >= peers
+            and not self._ready.is_set()
+        ):
+            self._ready.set()
+            self.host.start()  # the protocol's on_start, exactly once
+
+    # -- inbound connections ---------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            hello = await codec.read_frame(reader)
+        except codec.CodecError as exc:
+            self.errors.append("handshake: %s" % exc)
+            writer.close()
+            return
+        if hello is None or hello.kind != codec.HELLO:
+            writer.close()
+            return
+        if hello.body.get("run") != self.run_id:
+            self.errors.append(
+                "rejected connection for run %r (serving %r)"
+                % (hello.body.get("run"), self.run_id)
+            )
+            writer.close()
+            return
+        role = hello.body.get("role")
+        if role == "peer":
+            self._inbound_peers.add(int(hello.body.get("process", -1)))
+            self._check_ready()
+            await self._peer_loop(reader, writer)
+        elif role == "observer":
+            await self._observer_loop(reader, writer)
+        elif role == "load":
+            await self._client_loop(reader, writer)
+        else:
+            self.errors.append("unknown connection role %r" % (role,))
+            writer.close()
+
+    async def _peer_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                frame = await codec.read_frame(reader)
+                if frame is None:
+                    return
+                if frame.kind in (codec.USER, codec.CONTROL):
+                    self._dispatch_packet(packet_from_frame(frame))
+                # Anything else on a peer link is ignored (forward compat).
+        except (codec.CodecError, ConnectionError) as exc:
+            if not self._done.is_set():
+                self.errors.append("peer stream: %s" % exc)
+        except asyncio.CancelledError:
+            pass
+
+    def _dispatch_packet(self, packet: Packet) -> None:
+        if packet.is_user and packet.message is not None:
+            body_sent = packet.send_time  # wall time from the frame
+            self.host.sent_wall.setdefault(packet.message.id, body_sent)
+        try:
+            self.host._on_packet(packet)
+        except Exception as exc:  # ProtocolError and protocol bugs
+            self.errors.append("dispatch: %s" % exc)
+
+    # -- observers -------------------------------------------------------------
+
+    async def _observer_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await self._ready.wait()
+        self._attach_observer(writer)
+        writer.write(codec.encode_frame(codec.READY, {"process": self.process_id}))
+        try:
+            await writer.drain()
+            while True:  # observers never send after HELLO; wait for EOF
+                if await codec.read_frame(reader) is None:
+                    return
+        except (codec.CodecError, ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if writer in self._observer_writers:
+                self._observer_writers.remove(writer)
+
+    def _attach_observer(self, writer: asyncio.StreamWriter) -> None:
+        # Replay history so late observers see the full stream, then tap.
+        for record in self.trace.records():
+            message = self.trace.message(record.event.message_id)
+            assert message is not None
+            writer.write(
+                codec.encode_frame(codec.EVENT, event_to_wire(record, message))
+            )
+        self._observer_writers.append(writer)
+        if len(self._observer_writers) == 1:
+            self.trace.attach_tap(self._tap_record)
+            self._unsubscribe_bridge = self._subscribe_probe_bridge()
+
+    def _tap_record(self, record: TraceRecord, message: Message) -> None:
+        frame = codec.encode_frame(codec.EVENT, event_to_wire(record, message))
+        for writer in self._observer_writers:
+            if not writer.is_closing():
+                writer.write(frame)
+
+    def _subscribe_probe_bridge(self) -> Callable[[], None]:
+        """Bridge the fault/recovery probe stream to observers."""
+        unsubscribers = []
+
+        def forward(event) -> None:
+            frame = codec.encode_frame(
+                codec.PROBE,
+                {
+                    "probe": event.probe,
+                    "t": event.time,
+                    "process": self.process_id,
+                    "data": codec.encode_value(
+                        {k: v for k, v in event.data.items()}
+                    ),
+                },
+            )
+            for writer in self._observer_writers:
+                if not writer.is_closing():
+                    writer.write(frame)
+
+        for probe in BRIDGED_PROBES:
+            unsubscribers.append(self.bus.subscribe(probe, forward))
+
+        def unsubscribe_all() -> None:
+            for unsubscribe in unsubscribers:
+                unsubscribe()
+
+        return unsubscribe_all
+
+    # -- load clients ----------------------------------------------------------
+
+    async def _client_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await self._ready.wait()
+        self._client_writers.add(writer)
+        writer.write(codec.encode_frame(codec.READY, {"process": self.process_id}))
+        try:
+            await writer.drain()
+            while True:
+                frame = await codec.read_frame(reader)
+                if frame is None:
+                    return
+                if frame.kind == codec.INVOKE:
+                    self._handle_invoke(frame)
+                elif frame.kind == codec.STATS:
+                    writer.write(
+                        codec.encode_frame(codec.STATS, self.stats_body())
+                    )
+                elif frame.kind == codec.DRAIN:
+                    self.draining = True
+                    writer.write(codec.encode_frame(codec.DRAIN, {}))
+                elif frame.kind == codec.BYE:
+                    writer.write(codec.encode_frame(codec.BYE, {}))
+                    try:
+                        await writer.drain()
+                    except ConnectionError:
+                        pass
+                    self._spawn(self.shutdown())
+                    return
+        except (codec.CodecError, ConnectionError) as exc:
+            if not self._done.is_set():
+                self.errors.append("load stream: %s" % exc)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._client_writers.discard(writer)
+
+    def _handle_invoke(self, frame: "codec.Frame") -> None:
+        message = codec.message_from_wire(frame.body)
+        if message.sender != self.process_id:
+            self.errors.append(
+                "invoke for sender %d routed to host %d"
+                % (message.sender, self.process_id)
+            )
+            return
+        if self.draining:
+            return  # late invokes after DRAIN are dropped by contract
+        try:
+            self.invoke(message)
+        except Exception as exc:  # noqa: BLE001
+            self.errors.append("invoke %s: %s" % (message.id, exc))
+
+    # -- stats -----------------------------------------------------------------
+
+    def stats_body(self, max_samples: int = 200_000) -> Dict[str, Any]:
+        """The host's counters and latency samples as a STATS body."""
+        stats = self.stats
+        latencies = stats.delivery_latencies[-max_samples:]
+        body: Dict[str, Any] = {
+            "process": self.process_id,
+            "invoked": self._invoked_count,
+            "user_messages": stats.user_messages,
+            "control_messages": stats.control_messages,
+            "control_bytes": stats.control_bytes,
+            "deliveries": stats.deliveries,
+            "delayed_deliveries": stats.delayed_deliveries,
+            "retransmissions": stats.retransmissions,
+            "duplicate_receives": stats.duplicate_receives,
+            "pending": self.local_pending(),
+            "frames_sent": self.transport.frames_sent,
+            "bytes_sent": self.transport.bytes_sent,
+            "errors": list(self.errors),
+            "latencies": codec.encode_value(latencies),
+            "e2e_latencies": codec.encode_value(
+                stats.end_to_end_latencies[-max_samples:]
+            ),
+        }
+        outbound = self.outbound
+        if outbound is not self.transport:  # fault layer attached
+            body.update(
+                packets_dropped=outbound.packets_dropped,
+                packets_duplicated=outbound.packets_duplicated,
+                partition_drops=outbound.partition_drops,
+                spikes=outbound.spikes,
+            )
+        return body

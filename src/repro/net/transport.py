@@ -1,0 +1,221 @@
+"""Real-time scheduling and socket transmission for the net runtime.
+
+Two adapters let the *simulation* stack run over real hardware without
+modification:
+
+:class:`WallClock`
+    duck-types :class:`~repro.simulation.sim.Simulator` for the two
+    members the hosts and transports consume (``now`` and
+    ``schedule``), mapping virtual time units onto wall-clock seconds
+    via ``time_scale`` and timers onto ``loop.call_later``.
+
+:class:`AsyncTransport`
+    implements the :class:`~repro.simulation.network.Transport`
+    abstraction by writing wire frames to per-destination TCP
+    connections.  Because it is a plain ``Transport``, the fault layer's
+    :class:`~repro.faults.transport.FaultyTransport` stacks on top of it
+    unchanged -- drop/dup/spike/partition plans then emulate a WAN on
+    real sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable, Dict, Optional, Set
+
+from repro.net import codec
+from repro.simulation.network import Network, Packet, Transport
+
+#: Default real seconds per virtual time unit.  The catalogue's timer
+#: constants (e.g. the ARQ sublayer's 30-unit RTO) were tuned for the
+#: simulator's latency scale; 0.01 maps that RTO to 300ms of wall time.
+DEFAULT_TIME_SCALE = 0.01
+
+
+class WallClock:
+    """A :class:`~repro.simulation.sim.Simulator` face over real time.
+
+    ``now`` reports *virtual* units (elapsed wall seconds divided by
+    ``time_scale``) so protocol timer arithmetic keeps its simulated
+    magnitudes; ``schedule`` arms a real ``loop.call_later`` timer.
+    Outstanding timers are tracked so shutdown can cancel them --
+    :meth:`cancel_all` is the real-time analogue of a simulator simply
+    dropping its event queue.
+    """
+
+    def __init__(self, time_scale: float = DEFAULT_TIME_SCALE) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive, got %r" % time_scale)
+        self.time_scale = time_scale
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._t0 = 0.0
+        self._handles: Set[asyncio.TimerHandle] = set()
+        self._closed = False
+
+    def start(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        """Bind to the running loop and zero the virtual clock."""
+        self._loop = loop or asyncio.get_running_loop()
+        self._t0 = self._loop.time()
+        self._closed = False
+
+    @property
+    def now(self) -> float:
+        """Virtual time units elapsed since :meth:`start`."""
+        if self._loop is None:
+            return 0.0
+        return (self._loop.time() - self._t0) / self.time_scale
+
+    @property
+    def pending_timers(self) -> int:
+        """Armed, not-yet-fired timers (cancellation test hook)."""
+        return len(self._handles)
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` after ``delay`` *virtual* units of real time."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past (delay=%r)" % delay)
+        if self._loop is None:
+            raise RuntimeError("WallClock.schedule before start()")
+        if self._closed:
+            return  # shutting down: new timers are dropped, not armed
+        handle_box = []
+
+        def fire() -> None:
+            self._handles.discard(handle_box[0])
+            action()
+
+        handle = self._loop.call_later(delay * self.time_scale, fire)
+        handle_box.append(handle)
+        self._handles.add(handle)
+
+    def cancel_all(self) -> int:
+        """Cancel every outstanding timer; returns how many were armed."""
+        cancelled = len(self._handles)
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+        self._closed = True
+        return cancelled
+
+
+class AsyncTransport(Transport):
+    """Socket-backed :class:`~repro.simulation.network.Transport`.
+
+    Outbound packets become :data:`~repro.net.codec.USER` /
+    :data:`~repro.net.codec.CONTROL` frames on the per-destination
+    stream; a packet for the local process short-circuits through
+    ``loop.call_soon`` (no self-connection), preserving the simulator's
+    guarantee that an arrival never runs re-entrantly inside the send
+    that caused it.
+
+    ``stamp`` supplies the ``(sent, invoked)`` wall timestamps embedded
+    in user frames; the host keeps them keyed by message id so a
+    retransmission carries its *original* release time and latency
+    accounting at the receiver stays honest.
+    """
+
+    def __init__(
+        self,
+        process_id: int,
+        stamp: Optional[Callable[[Packet], "tuple[float, float]"]] = None,
+    ) -> None:
+        self.process_id = process_id
+        self._stamp = stamp
+        self._writers: Dict[int, asyncio.StreamWriter] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        #: Packets for peers with no (or a closed) connection -- counted,
+        #: not raised: during shutdown in-flight traffic may race closes.
+        self.unroutable = 0
+
+    def bind_loop(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+
+    def connect(self, dst: int, writer: asyncio.StreamWriter) -> None:
+        """Register the outbound stream for destination ``dst``."""
+        self._writers[dst] = writer
+
+    def disconnect(self, dst: int) -> None:
+        self._writers.pop(dst, None)
+
+    @property
+    def connected(self) -> Set[int]:
+        return set(self._writers)
+
+    # -- Transport -----------------------------------------------------------
+
+    def transmit(self, network: Network, packet: Packet) -> Optional[float]:
+        """Frame the packet and write it to the destination's stream."""
+        if packet.dst == self.process_id:
+            # Local loopback: dispatch on the next loop tick.
+            if self._loop is None:
+                raise RuntimeError("AsyncTransport used before bind_loop()")
+            handler = network.handler_for(packet.dst)
+            self._loop.call_soon(handler, packet)
+            return None
+        writer = self._writers.get(packet.dst)
+        if writer is None or writer.is_closing():
+            self.unroutable += 1
+            return None
+        data = codec.encode_frame(*self._frame_for(packet))
+        writer.write(data)
+        self.frames_sent += 1
+        self.bytes_sent += len(data)
+        return None
+
+    # -- framing -------------------------------------------------------------
+
+    def _frame_for(self, packet: Packet) -> "tuple[int, dict]":
+        sent, invoked = (
+            self._stamp(packet) if self._stamp is not None else (time.time(),) * 2
+        )
+        if packet.is_user:
+            message = packet.message
+            assert message is not None
+            body = codec.message_to_wire(message)
+            body.update(
+                src=packet.src,
+                dst=packet.dst,
+                tag=codec.encode_value(packet.tag),
+                sent=sent,
+                invoked=invoked,
+            )
+            return codec.USER, body
+        return codec.CONTROL, {
+            "src": packet.src,
+            "dst": packet.dst,
+            "payload": codec.encode_value(packet.payload),
+            "sent": sent,
+        }
+
+
+def packet_from_frame(frame: "codec.Frame") -> Packet:
+    """Rebuild a :class:`~repro.simulation.network.Packet` from a frame."""
+    body = frame.body
+    try:
+        if frame.kind == codec.USER:
+            return Packet(
+                src=body["src"],
+                dst=body["dst"],
+                kind="user",
+                message=codec.message_from_wire(body),
+                tag=codec.decode_value(body.get("tag")),
+                send_time=body.get("sent", 0.0),
+            )
+        if frame.kind == codec.CONTROL:
+            return Packet(
+                src=body["src"],
+                dst=body["dst"],
+                kind="control",
+                payload=codec.decode_value(body.get("payload")),
+                send_time=body.get("sent", 0.0),
+            )
+    except KeyError as exc:
+        raise codec.MalformedFrame(
+            "%s frame missing field %s" % (frame.kind_name, exc)
+        ) from exc
+    raise codec.MalformedFrame(
+        "frame kind %s does not describe a packet" % frame.kind_name
+    )

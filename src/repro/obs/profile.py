@@ -22,29 +22,11 @@ from repro.simulation.workloads import Workload
 
 
 def catalog_protocols() -> "dict[str, Callable[[int, int], object]]":
-    """The named protocol factories available for profiling."""
-    from repro.protocols import (
-        CausalRstProtocol,
-        CausalSesProtocol,
-        FifoProtocol,
-        FlushChannelProtocol,
-        KWeakerCausalProtocol,
-        SyncCoordinatorProtocol,
-        SyncRendezvousProtocol,
-        TaglessProtocol,
-    )
-    from repro.protocols.base import make_factory
+    """The named protocol factories available for profiling (a view of
+    the single :func:`repro.protocols.catalogue` registry)."""
+    from repro.protocols.registry import catalogue
 
-    return {
-        "tagless": make_factory(TaglessProtocol),
-        "fifo": make_factory(FifoProtocol),
-        "flush": make_factory(FlushChannelProtocol),
-        "k-weaker(2)": make_factory(KWeakerCausalProtocol, 2),
-        "causal-rst": make_factory(CausalRstProtocol),
-        "causal-ses": make_factory(CausalSesProtocol),
-        "sync-coord": make_factory(SyncCoordinatorProtocol),
-        "sync-rdv": make_factory(SyncRendezvousProtocol),
-    }
+    return {name: entry.factory for name, entry in catalogue().items()}
 
 
 #: The default comparison set of ``repro profile``.

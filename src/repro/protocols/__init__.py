@@ -28,10 +28,14 @@ from repro.protocols.sync_coordinator import SyncCoordinatorProtocol
 from repro.protocols.sync_rendezvous import SyncRendezvousProtocol
 from repro.protocols.generated import GeneratedTaggedProtocol
 from repro.protocols.reliable import ReliableProtocol, make_reliable
+from repro.protocols.registry import CatalogueEntry, catalogue, catalogue_entry
 
 __all__ = [
     "Protocol",
     "make_factory",
+    "CatalogueEntry",
+    "catalogue",
+    "catalogue_entry",
     "TaglessProtocol",
     "FifoProtocol",
     "CausalRstProtocol",

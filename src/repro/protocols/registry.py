@@ -1,0 +1,114 @@
+"""The protocol catalogue: one authoritative name -> entry registry.
+
+Every consumer that used to keep its own protocol table -- the profiler
+(:mod:`repro.obs.profile`), the model-checker registry
+(:mod:`repro.mc.registry`), the ``repro compare`` CLI, the conformance
+tests, and the net runtime (:mod:`repro.net`) -- resolves through
+:func:`catalogue`, so adding a protocol means adding exactly one entry
+here.
+
+Each entry ties together the three things the paper associates with a
+protocol: a factory for instances, the protocol *class* it belongs to
+(tagless / tagged / general, §5), and the ordering specification it
+implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.protocols.base import Protocol, make_factory
+
+#: The paper's protocol classes (§5): what machinery the implementation
+#: is allowed to use.
+TAGLESS = "tagless"
+TAGGED = "tagged"
+GENERAL = "general"
+
+
+@dataclass(frozen=True)
+class CatalogueEntry:
+    """One catalogued protocol: how to build it and what it claims."""
+
+    name: str
+    factory: Callable[[int, int], Protocol]
+    protocol_class: str
+    spec: "object"  # repro.predicates.spec.Specification
+    uses_control_messages: bool  # general protocols pay in control traffic
+
+    def reliable_factory(self, **arq_params) -> Callable[[int, int], Protocol]:
+        """This protocol under the ARQ sublayer (for lossy transports)."""
+        from repro.protocols.reliable import make_reliable
+
+        return make_reliable(self.factory, **arq_params)
+
+
+def catalogue() -> Dict[str, CatalogueEntry]:
+    """The full name -> entry registry (a fresh dict per call)."""
+    from repro.predicates.catalog import (
+        ASYNC_ORDERING,
+        CAUSAL_ORDERING,
+        FIFO_ORDERING,
+        LOGICALLY_SYNCHRONOUS,
+        TWO_WAY_FLUSH,
+        k_weaker_causal_spec,
+    )
+    from repro.protocols.causal_rst import CausalRstProtocol
+    from repro.protocols.causal_ses import CausalSesProtocol
+    from repro.protocols.fifo import FifoProtocol
+    from repro.protocols.flush import FlushChannelProtocol
+    from repro.protocols.k_weaker import KWeakerCausalProtocol
+    from repro.protocols.sync_coordinator import SyncCoordinatorProtocol
+    from repro.protocols.sync_rendezvous import SyncRendezvousProtocol
+    from repro.protocols.tagless import TaglessProtocol
+
+    rows: Tuple[Tuple[str, Callable, str, object, bool], ...] = (
+        ("tagless", make_factory(TaglessProtocol), TAGLESS, ASYNC_ORDERING, False),
+        ("fifo", make_factory(FifoProtocol), TAGGED, FIFO_ORDERING, False),
+        ("flush", make_factory(FlushChannelProtocol), TAGGED, TWO_WAY_FLUSH, False),
+        (
+            "k-weaker(2)",
+            make_factory(KWeakerCausalProtocol, 2),
+            TAGGED,
+            k_weaker_causal_spec(2),
+            False,
+        ),
+        ("causal-rst", make_factory(CausalRstProtocol), TAGGED, CAUSAL_ORDERING, False),
+        ("causal-ses", make_factory(CausalSesProtocol), TAGGED, CAUSAL_ORDERING, False),
+        (
+            "sync-coord",
+            make_factory(SyncCoordinatorProtocol),
+            GENERAL,
+            LOGICALLY_SYNCHRONOUS,
+            True,
+        ),
+        (
+            "sync-rdv",
+            make_factory(SyncRendezvousProtocol),
+            GENERAL,
+            LOGICALLY_SYNCHRONOUS,
+            True,
+        ),
+    )
+    return {
+        name: CatalogueEntry(
+            name=name,
+            factory=factory,
+            protocol_class=protocol_class,
+            spec=spec,
+            uses_control_messages=uses_control,
+        )
+        for name, factory, protocol_class, spec, uses_control in rows
+    }
+
+
+def catalogue_entry(name: str) -> CatalogueEntry:
+    """One entry by name, with a helpful error on a miss."""
+    entries = catalogue()
+    if name not in entries:
+        raise KeyError(
+            "unknown catalogue protocol %r; available: %s"
+            % (name, ", ".join(sorted(entries)))
+        )
+    return entries[name]

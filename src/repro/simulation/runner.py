@@ -49,6 +49,16 @@ class SimulationResult:
     # :meth:`repro.obs.watchdog.Watchdog.note_drop` to attribute stuck
     # messages to network loss without a live bus.
     dropped_messages: List[str] = field(default_factory=list)
+    # Real seconds the simulation took, so simulated throughput is
+    # directly comparable with the net runtime's (``repro load``).
+    wall_seconds: float = 0.0
+
+    @property
+    def user_messages_per_second(self) -> float:
+        """Simulated user messages processed per *wall-clock* second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.stats.user_messages / self.wall_seconds
 
     def summary(self) -> str:
         """A short human-readable result block."""
@@ -66,6 +76,8 @@ class SimulationResult:
             "max latency:       %.3f" % self.stats.max_delivery_latency,
             "mean invoke->r:    %.3f" % self.stats.mean_end_to_end_latency,
             "all delivered:     %s" % self.delivered_all,
+            "wall seconds:      %.3f" % self.wall_seconds,
+            "user msgs/sec:     %.0f" % self.user_messages_per_second,
         ]
         if self.fault_plan is not None:
             faults = self.fault_summary
@@ -119,6 +131,9 @@ def run_simulation(
     restart.  The fault RNG is private to the plan's ``seed``, so the
     same ``seed`` argument still produces the same latency stream.
     """
+    import time as _time
+
+    wall_start = _time.perf_counter()
     sim = Simulator(bus=bus)
     latency_model = latency or UniformLatency(low=1.0, high=10.0)
     latency_model.reset()
@@ -221,4 +236,5 @@ def run_simulation(
         fault_plan=faults,
         fault_summary=fault_summary,
         dropped_messages=dropped_messages,
+        wall_seconds=_time.perf_counter() - wall_start,
     )

@@ -3,58 +3,47 @@
 import pytest
 
 from repro.predicates.catalog import (
-    ASYNC_ORDERING,
     CAUSAL_ORDERING,
     FIFO_ORDERING,
     LOGICALLY_SYNCHRONOUS,
 )
-from repro.protocols import (
-    CausalRstProtocol,
-    CausalSesProtocol,
-    FifoProtocol,
-    SyncCoordinatorProtocol,
-    SyncRendezvousProtocol,
-    TaglessProtocol,
-)
+from repro.protocols import FifoProtocol, TaglessProtocol, catalogue
 from repro.protocols.base import make_factory
 from repro.verification import assert_implements, check_conformance
 
 
 class TestConformancePasses:
-    def test_tagless_implements_async(self):
-        report = assert_implements(
-            make_factory(TaglessProtocol), ASYNC_ORDERING, seeds=range(2)
-        )
-        assert not report.uses_control_messages
+    """Every catalogued protocol implements its own specification.
+
+    The (factory, spec, class) triples come from the single
+    ``repro.protocols.catalogue()`` registry rather than a test-local
+    table, so a protocol added there is swept here automatically.
+    """
+
+    @pytest.mark.parametrize("name", sorted(catalogue()))
+    def test_catalogue_protocol_implements_its_spec(self, name):
+        entry = catalogue()[name]
+        report = assert_implements(entry.factory, entry.spec, seeds=range(2))
+        assert report.uses_control_messages == entry.uses_control_messages
+
+    def test_tagless_pays_no_tag_bytes(self):
+        entry = catalogue()["tagless"]
+        report = assert_implements(entry.factory, entry.spec, seeds=range(2))
         assert report.mean_tag_bytes <= 1.0
 
-    def test_fifo_implements_fifo(self):
-        report = assert_implements(
-            make_factory(FifoProtocol), FIFO_ORDERING, seeds=range(2)
-        )
-        assert not report.uses_control_messages
-
-    @pytest.mark.parametrize(
-        "factory",
-        [make_factory(CausalRstProtocol), make_factory(CausalSesProtocol)],
-        ids=["rst", "ses"],
-    )
-    def test_causal_protocols_implement_causal(self, factory):
-        report = assert_implements(factory, CAUSAL_ORDERING, seeds=range(2))
-        assert not report.uses_control_messages
+    @pytest.mark.parametrize("name", ["causal-rst", "causal-ses"])
+    def test_causal_protocols_pay_in_tags(self, name):
+        entry = catalogue()[name]
+        assert entry.spec is CAUSAL_ORDERING
+        report = assert_implements(entry.factory, entry.spec, seeds=range(2))
         assert report.mean_tag_bytes > 8
 
-    @pytest.mark.parametrize(
-        "factory",
-        [
-            make_factory(SyncCoordinatorProtocol),
-            make_factory(SyncRendezvousProtocol),
-        ],
-        ids=["coordinator", "rendezvous"],
-    )
-    def test_sync_protocols_implement_sync(self, factory):
-        report = assert_implements(factory, LOGICALLY_SYNCHRONOUS, seeds=range(2))
-        assert report.uses_control_messages
+    def test_catalogue_classes_are_the_papers(self):
+        classes = {e.name: e.protocol_class for e in catalogue().values()}
+        assert classes["tagless"] == "tagless"
+        assert classes["sync-coord"] == classes["sync-rdv"] == "general"
+        tagged = {"fifo", "flush", "k-weaker(2)", "causal-rst", "causal-ses"}
+        assert all(classes[name] == "tagged" for name in tagged)
 
 
 class TestConformanceFails:

@@ -1,0 +1,222 @@
+"""Wire-codec tests: round trips for every frame kind, strict errors."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.events import Message
+from repro.net import codec
+
+
+def _sample_bodies():
+    """One representative body per frame kind."""
+    message = codec.message_to_wire(
+        Message(id="m1", sender=0, receiver=1, color="red", payload=(1, "a"))
+    )
+    return {
+        codec.HELLO: {"process": 2, "role": "peer", "run": "r1"},
+        codec.READY: {"process": 2},
+        codec.USER: dict(
+            message, src=0, dst=1, tag=codec.encode_value((3, 4)), sent=1.5,
+            invoked=1.0,
+        ),
+        codec.CONTROL: {
+            "src": 1,
+            "dst": 0,
+            "payload": codec.encode_value({"acks": [1, 2]}),
+            "sent": 2.0,
+        },
+        codec.INVOKE: message,
+        codec.EVENT: {"t": 3.0, "p": 1, "k": "deliver", "m": message},
+        codec.PROBE: {
+            "probe": "fault.drop",
+            "t": 4.0,
+            "process": 0,
+            "data": codec.encode_value({"reason": "random"}),
+        },
+        codec.STATS: {"deliveries": 7, "latencies": codec.encode_value([0.1])},
+        codec.DRAIN: {},
+        codec.BYE: {},
+    }
+
+
+class TestFrameRoundTrips:
+    @pytest.mark.parametrize("kind", sorted(codec.FRAME_KINDS))
+    def test_every_frame_kind_round_trips(self, kind):
+        body = _sample_bodies()[kind]
+        data = codec.encode_frame(kind, body)
+        frame, consumed = codec.decode_frame(data)
+        assert consumed == len(data)
+        assert frame.kind == kind
+        assert frame.body == body
+        assert frame.kind_name == codec.KIND_NAMES[kind]
+
+    def test_frames_concatenate_on_a_stream(self):
+        data = b"".join(
+            codec.encode_frame(kind, body)
+            for kind, body in sorted(_sample_bodies().items())
+        )
+        decoder = codec.FrameDecoder()
+        # Feed one byte at a time: the decoder must handle any chunking.
+        frames = []
+        for index in range(len(data)):
+            frames.extend(decoder.feed(data[index : index + 1]))
+        assert [f.kind for f in frames] == sorted(codec.FRAME_KINDS)
+        decoder.eof()  # clean boundary: no error
+
+    def test_encode_unknown_kind_rejected(self):
+        with pytest.raises(codec.UnknownFrameKind):
+            codec.encode_frame(99, {})
+
+
+class TestValueEncoding:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            7,
+            2.5,
+            "text",
+            (1, 2, (3, "x")),
+            [1, [2]],
+            {"a": 1, 2: "b", (3, 4): "c"},
+            {1, 2, 3},
+            frozenset({(1, 2)}),
+            {"matrix": ((0, 1), (2, 3))},
+        ],
+    )
+    def test_round_trip(self, value):
+        assert codec.decode_value(codec.encode_value(value)) == value
+
+    def test_tuple_and_list_stay_distinct(self):
+        assert codec.decode_value(codec.encode_value((1,))) == (1,)
+        assert codec.decode_value(codec.encode_value([1])) == [1]
+
+    def test_unencodable_type_raises(self):
+        with pytest.raises(codec.CodecError, match="not wire-encodable"):
+            codec.encode_value(object())
+
+    def test_undecodable_wrapper_raises(self):
+        with pytest.raises(codec.MalformedFrame, match="container tag"):
+            codec.decode_value({"Z": []})
+        with pytest.raises(codec.MalformedFrame, match="exactly one tag"):
+            codec.decode_value({"T": [], "L": []})
+
+    def test_message_round_trip(self):
+        message = Message(
+            id="m9", sender=2, receiver=0, group="g1", payload={"k": (1, 2)}
+        )
+        assert codec.message_from_wire(codec.message_to_wire(message)) == message
+
+    def test_malformed_message_raises(self):
+        with pytest.raises(codec.MalformedFrame, match="bad message fields"):
+            codec.message_from_wire({"id": "m1"})  # sender/receiver missing
+
+
+class TestStrictDecodeErrors:
+    def _frame(self):
+        return codec.encode_frame(codec.HELLO, {"process": 0, "role": "peer"})
+
+    def test_truncated_prefix(self):
+        with pytest.raises(codec.FrameTruncated, match="length prefix"):
+            codec.decode_frame(b"\x00\x00")
+
+    def test_truncated_body(self):
+        data = self._frame()
+        with pytest.raises(codec.FrameTruncated, match="only"):
+            codec.decode_frame(data[:-3])
+
+    def test_oversized_length_prefix(self):
+        data = struct.pack("!I", codec.MAX_FRAME_BYTES + 1) + b"xx"
+        with pytest.raises(codec.FrameOversized, match="exceeding"):
+            codec.decode_frame(data)
+
+    def test_oversized_encode(self):
+        with pytest.raises(codec.FrameOversized):
+            codec.encode_frame(codec.STATS, {"blob": "x" * codec.MAX_FRAME_BYTES})
+
+    def test_unknown_version(self):
+        data = bytearray(self._frame())
+        data[4] = codec.WIRE_VERSION + 1  # the version byte
+        with pytest.raises(codec.UnknownVersion, match="this build speaks"):
+            codec.decode_frame(bytes(data))
+
+    def test_unknown_kind(self):
+        data = bytearray(self._frame())
+        data[5] = 200  # the kind byte
+        with pytest.raises(codec.UnknownFrameKind, match="unknown frame kind"):
+            codec.decode_frame(bytes(data))
+
+    def test_body_not_json(self):
+        payload = b"\xff\xfe not json"
+        head = struct.pack("!BB", codec.WIRE_VERSION, codec.STATS)
+        data = struct.pack("!I", len(head + payload)) + head + payload
+        with pytest.raises(codec.MalformedFrame, match="not valid JSON"):
+            codec.decode_frame(data)
+
+    def test_body_not_an_object(self):
+        payload = b"[1, 2]"
+        head = struct.pack("!BB", codec.WIRE_VERSION, codec.STATS)
+        data = struct.pack("!I", len(head + payload)) + head + payload
+        with pytest.raises(codec.MalformedFrame, match="JSON object"):
+            codec.decode_frame(data)
+
+    def test_undersized_length_prefix(self):
+        data = struct.pack("!I", 1) + b"x"
+        with pytest.raises(codec.MalformedFrame, match="smaller than"):
+            codec.decode_frame(data)
+
+    def test_decoder_eof_mid_frame(self):
+        decoder = codec.FrameDecoder()
+        assert decoder.feed(self._frame()[:-1]) == []
+        assert decoder.buffered > 0
+        with pytest.raises(codec.FrameTruncated, match="incomplete frame"):
+            decoder.eof()
+
+
+class TestStreamReadFrame:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_reads_frames_then_clean_eof(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(self._two_frames())
+            reader.feed_eof()
+            first = await codec.read_frame(reader)
+            second = await codec.read_frame(reader)
+            third = await codec.read_frame(reader)
+            return first, second, third
+
+        first, second, third = self._run(scenario())
+        assert first.kind == codec.DRAIN
+        assert second.kind == codec.BYE
+        assert third is None
+
+    def _two_frames(self):
+        return codec.encode_frame(codec.DRAIN, {}) + codec.encode_frame(
+            codec.BYE, {}
+        )
+
+    def test_eof_inside_prefix_raises(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(self._two_frames()[:2])
+            reader.feed_eof()
+            await codec.read_frame(reader)
+
+        with pytest.raises(codec.FrameTruncated, match="length prefix"):
+            self._run(scenario())
+
+    def test_eof_inside_body_raises(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(self._two_frames()[:-1])
+            reader.feed_eof()
+            await codec.read_frame(reader)
+            await codec.read_frame(reader)
+
+        with pytest.raises(codec.FrameTruncated, match="frame body"):
+            self._run(scenario())

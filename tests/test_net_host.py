@@ -1,0 +1,245 @@
+"""Net-host runtime tests: wall clock, framing adapters, shutdown."""
+
+import asyncio
+
+import pytest
+
+from repro.events import Event, Message
+from repro.faults import FaultPlan
+from repro.net import (
+    AsyncTransport,
+    NetHost,
+    TapTrace,
+    WallClock,
+    free_ports,
+)
+from repro.net import codec
+from repro.net.host import event_from_wire, event_to_wire
+from repro.net.transport import packet_from_frame
+from repro.protocols import catalogue
+from repro.simulation.network import Packet
+
+
+class TestWallClock:
+    def test_schedule_before_start_raises(self):
+        clock = WallClock()
+        with pytest.raises(RuntimeError, match="before start"):
+            clock.schedule(1.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        async def scenario():
+            clock = WallClock()
+            clock.start()
+            with pytest.raises(ValueError, match="into the past"):
+                clock.schedule(-1.0, lambda: None)
+
+        asyncio.run(scenario())
+
+    def test_bad_time_scale_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            WallClock(time_scale=0.0)
+
+    def test_now_advances_in_virtual_units(self):
+        async def scenario():
+            clock = WallClock(time_scale=0.001)  # 1 unit == 1ms
+            clock.start()
+            await asyncio.sleep(0.03)
+            return clock.now
+
+        elapsed = asyncio.run(scenario())
+        assert elapsed >= 20.0  # at least ~20 virtual units passed
+
+    def test_timers_fire_and_untrack(self):
+        async def scenario():
+            clock = WallClock(time_scale=0.001)
+            clock.start()
+            fired = []
+            clock.schedule(5.0, lambda: fired.append("a"))
+            assert clock.pending_timers == 1
+            await asyncio.sleep(0.05)
+            return fired, clock.pending_timers
+
+        fired, pending = asyncio.run(scenario())
+        assert fired == ["a"]
+        assert pending == 0
+
+    def test_cancel_all_empties_and_closes(self):
+        async def scenario():
+            clock = WallClock(time_scale=0.001)
+            clock.start()
+            fired = []
+            for delay in (50.0, 60.0, 70.0):
+                clock.schedule(delay, lambda: fired.append(delay))
+            cancelled = clock.cancel_all()
+            # A closed clock drops new timers instead of arming them.
+            clock.schedule(1.0, lambda: fired.append("late"))
+            await asyncio.sleep(0.01)
+            return cancelled, clock.pending_timers, fired
+
+        cancelled, pending, fired = asyncio.run(scenario())
+        assert cancelled == 3
+        assert pending == 0
+        assert fired == []
+
+
+class TestPacketFraming:
+    def _transport(self):
+        transport = AsyncTransport(0)
+        transport._stamp = lambda packet: (1.5, 1.0)
+        return transport
+
+    def test_user_packet_round_trips(self):
+        message = Message(id="m1", sender=0, receiver=1, payload=("x", 2))
+        packet = Packet(src=0, dst=1, kind="user", message=message, tag=(3, 4))
+        kind, body = self._transport()._frame_for(packet)
+        frame, _ = codec.decode_frame(codec.encode_frame(kind, body))
+        rebuilt = packet_from_frame(frame)
+        assert rebuilt.is_user
+        assert rebuilt.message == message
+        assert rebuilt.tag == (3, 4)
+        assert rebuilt.send_time == 1.5  # the wall stamp rides the frame
+
+    def test_control_packet_round_trips(self):
+        packet = Packet(
+            src=1, dst=0, kind="control", payload={"acks": [1, 2], "seq": (5,)}
+        )
+        kind, body = self._transport()._frame_for(packet)
+        frame, _ = codec.decode_frame(codec.encode_frame(kind, body))
+        rebuilt = packet_from_frame(frame)
+        assert not rebuilt.is_user
+        assert rebuilt.payload == {"acks": [1, 2], "seq": (5,)}
+
+    def test_non_packet_frame_rejected(self):
+        frame, _ = codec.decode_frame(codec.encode_frame(codec.DRAIN, {}))
+        with pytest.raises(codec.MalformedFrame, match="does not describe"):
+            packet_from_frame(frame)
+
+    def test_missing_field_rejected(self):
+        frame, _ = codec.decode_frame(
+            codec.encode_frame(codec.CONTROL, {"src": 0})
+        )
+        with pytest.raises(codec.MalformedFrame, match="missing field"):
+            packet_from_frame(frame)
+
+
+class TestEventWire:
+    def test_event_round_trips_through_a_tap(self):
+        trace = TapTrace(2)
+        message = Message(id="m1", sender=0, receiver=1)
+        seen = []
+        trace.attach_tap(lambda record, msg: seen.append((record, msg)))
+        trace.register_message(message)
+        trace.record(2.5, 1, Event.deliver("m1"))
+        assert len(seen) == 1
+        record, tapped = seen[0]
+        time, process, event, rebuilt = event_from_wire(
+            event_to_wire(record, tapped)
+        )
+        assert (time, process) == (2.5, 1)
+        assert event == Event.deliver("m1")
+        assert rebuilt == message
+
+    def test_malformed_event_body_rejected(self):
+        with pytest.raises(codec.MalformedFrame, match="bad event body"):
+            event_from_wire({"t": 1.0, "k": "warp", "p": 0, "m": {}})
+
+
+def _fifo_factory():
+    return catalogue()["fifo"].factory
+
+
+class TestNetHostLifecycle:
+    def test_shutdown_cancels_outstanding_protocol_timers(self):
+        """Under 100% drop the ARQ sublayer keeps a retransmit timer
+        armed forever; shutdown must cancel it, not leak it."""
+
+        async def scenario():
+            ports = free_ports(2)
+            factory = catalogue()["fifo"].reliable_factory()
+            hosts = [
+                NetHost(
+                    factory,
+                    process_id,
+                    ports,
+                    run_id="timers",
+                    faults=FaultPlan(drop_rate=1.0, seed=1),
+                    time_scale=0.001,
+                )
+                for process_id in range(2)
+            ]
+            for host in hosts:
+                await host.start()
+            for host in hosts:
+                await host.ready()
+            hosts[0].invoke(Message(id="m1", sender=0, receiver=1))
+            await asyncio.sleep(0.05)
+            armed = hosts[0].clock.pending_timers
+            for host in hosts:
+                await host.shutdown()
+            remaining = [host.clock.pending_timers for host in hosts]
+            return armed, remaining
+
+        armed, remaining = asyncio.run(scenario())
+        assert armed > 0  # the retransmit timer really was outstanding
+        assert remaining == [0, 0]
+
+    def test_draining_host_refuses_invokes(self):
+        async def scenario():
+            ports = free_ports(1)
+            host = NetHost(_fifo_factory(), 0, ports, run_id="drain")
+            await host.start()
+            await host.ready()
+            host.invoke(Message(id="m1", sender=0, receiver=0))
+            for _ in range(200):  # loopback dispatch is a call_soon away
+                if host.stats.deliveries:
+                    break
+                await asyncio.sleep(0.005)
+            assert await host.drain(timeout=5.0)
+            with pytest.raises(RuntimeError, match="draining"):
+                host.invoke(Message(id="m2", sender=0, receiver=0))
+            delivered = host.stats.deliveries
+            await host.shutdown()
+            return delivered
+
+        assert asyncio.run(scenario()) == 1  # self-send loops back locally
+
+    def test_wrong_run_id_rejected(self):
+        async def scenario():
+            ports = free_ports(1)
+            host = NetHost(_fifo_factory(), 0, ports, run_id="right")
+            await host.start()
+            await host.ready()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", ports[0]
+            )
+            writer.write(
+                codec.encode_frame(
+                    codec.HELLO,
+                    {"process": 0, "role": "load", "run": "wrong"},
+                )
+            )
+            await writer.drain()
+            assert await codec.read_frame(reader) is None  # closed on us
+            writer.close()
+            await host.shutdown()
+            return host.errors
+
+        errors = asyncio.run(scenario())
+        assert any("rejected connection" in error for error in errors)
+
+    def test_retransmission_reuses_original_stamp(self):
+        async def scenario():
+            ports = free_ports(1)
+            host = NetHost(_fifo_factory(), 0, ports, run_id="stamp")
+            await host.start()
+            message = Message(id="m1", sender=0, receiver=1)
+            host.host.release_wall["m1"] = 123.0
+            host.host.invoke_wall["m1"] = 120.0
+            packet = Packet(src=0, dst=1, kind="user", message=message)
+            first = host.host.stamp(packet)
+            second = host.host.stamp(packet)  # the "retransmission"
+            await host.shutdown()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first == second == (123.0, 120.0)
