@@ -1,0 +1,107 @@
+"""Flight-recorder overhead on the loopback-TCP runtime.
+
+The observability plane (flight recorder ring + vector-clock piggyback +
+metrics registry + watchdog) defaults to *on* in every
+:class:`~repro.net.host.NetHost`.  This experiment runs the same fifo
+workload with the plane on and off (``observability=False``) and records
+the throughput and latency cost.  The acceptance bar from the issue: at
+the default ring size the recorder must cost < 10% of loopback
+throughput.
+
+Set ``NET_THROUGHPUT_SMOKE=1`` to shrink the workload for CI.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import format_table, write_result
+
+from repro.net import run_cluster_sync
+from repro.protocols import catalogue
+
+SMOKE = bool(os.environ.get("NET_THROUGHPUT_SMOKE"))
+
+N_PROCESSES = 3
+RATE = 200.0 if SMOKE else 1500.0
+DURATION = 0.5 if SMOKE else 2.0
+TIME_SCALE = 0.001
+SEEDS = (0,) if SMOKE else (0, 1)
+
+#: The issue's acceptance bar: < 10% throughput regression.
+MAX_REGRESSION = 0.10
+
+
+def _run(observability, seed):
+    entry = catalogue()["fifo"]
+    report = run_cluster_sync(
+        entry.factory,
+        N_PROCESSES,
+        protocol_name="fifo",
+        rate=RATE,
+        duration=DURATION,
+        seed=seed,
+        time_scale=TIME_SCALE,
+        quiesce_timeout=60.0,
+        run_id="obs-%s-%d" % ("on" if observability else "off", seed),
+        observability=observability,
+    )
+    assert report.quiesced, report.render()
+    assert not report.errors, report.render()
+    assert report.delivered >= report.invoked == report.requested
+    return report
+
+
+def _mean(values):
+    return sum(values) / len(values)
+
+
+def test_flight_recorder_overhead_table():
+    measured = {}
+    rows = []
+    for observability in (False, True):
+        throughput, p99 = [], []
+        for seed in SEEDS:
+            report = _run(observability, seed)
+            throughput.append(report.delivered_per_sec)
+            p99.append(report.p99_ms)
+        measured[observability] = (_mean(throughput), _mean(p99))
+        rows.append(
+            [
+                "on" if observability else "off",
+                "%.0f" % _mean(throughput),
+                "%.2f" % _mean(p99),
+            ]
+        )
+    off_rate, _ = measured[False]
+    on_rate, _ = measured[True]
+    regression = max(0.0, (off_rate - on_rate) / off_rate)
+    rows.append(["cost", "%.1f%%" % (regression * 100.0), ""])
+
+    table = format_table(["observability", "msgs/s", "p99 (ms)"], rows)
+    preamble = (
+        "Flight-recorder overhead on loopback TCP (fifo, %d processes).\n"
+        "Open loop at %.0f msgs/s for %.1fs x%d seeds, time scale %s\n"
+        "s/unit.  'on' is the default NetHost configuration (flight ring\n"
+        "at the default capacity, vector-clock piggyback, metrics,\n"
+        "watchdog); 'off' passes observability=False.  Acceptance: the\n"
+        "plane costs < %.0f%% of delivered throughput.\n"
+        "Generated %s.\n\n"
+        % (
+            N_PROCESSES,
+            RATE,
+            DURATION,
+            len(SEEDS),
+            TIME_SCALE,
+            MAX_REGRESSION * 100.0,
+            time.strftime("%Y-%m-%d"),
+        )
+    )
+    write_result("flight_overhead", preamble + table)
+
+    assert regression < MAX_REGRESSION, (
+        "observability costs %.1f%% of throughput (limit %.0f%%): "
+        "on=%.0f msgs/s off=%.0f msgs/s"
+        % (regression * 100.0, MAX_REGRESSION * 100.0, on_rate, off_rate)
+    )

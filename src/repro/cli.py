@@ -386,6 +386,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         flush=True,
     )
+    if args.trace_out:
+        import json
+
+        from repro.net.collector import stitch_flight_dumps
+
+        # The drain dump: this host's flight ring as a (single-track)
+        # Perfetto trace.  Cross-host stitching is `repro trace`'s job.
+        trace = stitch_flight_dumps([host.trace_body()], args.processes)
+        with open(args.trace_out, "w") as handle:
+            json.dump(trace, handle)
+        print("trace: %s (open in https://ui.perfetto.dev)" % args.trace_out,
+              flush=True)
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(host.metrics_body()["text"])
+        print("metrics: %s" % args.metrics_out, flush=True)
     for error in host.errors:
         print("  error: %s" % error, flush=True)
     return 1 if host.errors else 0
@@ -393,8 +409,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_load(args: argparse.Namespace) -> int:
     import asyncio
+    import json
     import time as _time
 
+    from repro.net import codec
     from repro.net.cluster import LiveObserver, LoadGenerator
 
     ports = [args.port_base + index for index in range(args.processes)]
@@ -435,9 +453,7 @@ def _cmd_load(args: argparse.Namespace) -> int:
                     await asyncio.sleep(0.02)
                 observer.final_check()
             total_seconds = _time.monotonic() - started
-            if not args.keep_serving:
-                await load.shutdown_hosts()
-            return load.report(
+            report = load.report(
                 args.protocol or "protocol",
                 stats,
                 load_seconds,
@@ -445,6 +461,36 @@ def _cmd_load(args: argparse.Namespace) -> int:
                 quiesced,
                 observer=observer,
             )
+            # Pull observability artifacts while the hosts still serve
+            # (a BYE tears the flight recorders down with the process).
+            if observer is not None and observer.violation is not None:
+                from repro.obs.forensics import build_forensics
+
+                try:
+                    dumps = await load.collect_traces()
+                except (ConnectionError, codec.CodecError):
+                    dumps = []
+                report.forensics = build_forensics(observer, dumps)
+            if args.trace_out or args.metrics_out:
+                from repro.net.collector import stitch_flight_dumps
+
+                try:
+                    if args.trace_out:
+                        dumps = await load.collect_traces()
+                        trace = stitch_flight_dumps(dumps, args.processes)
+                        with open(args.trace_out, "w") as handle:
+                            json.dump(trace, handle)
+                    if args.metrics_out:
+                        bodies = await load.collect_metrics()
+                        with open(args.metrics_out, "w") as handle:
+                            handle.write(
+                                "".join(b.get("text", "") for b in bodies)
+                            )
+                except (ConnectionError, codec.CodecError) as exc:
+                    report.errors.append("artifact pull: %s" % exc)
+            if not args.keep_serving:
+                await load.shutdown_hosts()
+            return report
         finally:
             await load.close()
             if observer is not None:
@@ -452,9 +498,114 @@ def _cmd_load(args: argparse.Namespace) -> int:
 
     report = asyncio.run(drive())
     print(report.render(), flush=True)
+    if args.trace_out:
+        print("trace: %s (open in https://ui.perfetto.dev)" % args.trace_out,
+              flush=True)
+    if args.metrics_out:
+        print("metrics: %s" % args.metrics_out, flush=True)
+    if report.forensics is not None:
+        from repro.obs.forensics import render_forensics
+
+        print(render_forensics(report.forensics), flush=True)
+        forensics_out = args.forensics_out or "forensics-%s.json" % args.run_id
+        with open(forensics_out, "w") as handle:
+            json.dump(report.forensics, handle, indent=1)
+        print("forensics: %s" % forensics_out, flush=True)
     if args.soak:
         return 0 if report.clean else 1
     return 0 if report.violation is None else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.net.collector import ClusterCollector, stitch_flight_dumps
+
+    ports = [args.port_base + index for index in range(args.processes)]
+
+    async def pull():
+        collector = ClusterCollector(ports, host=args.host, run_id=args.run_id)
+        try:
+            await collector.connect(timeout=args.timeout)
+            return await collector.pull(rounds=args.rounds)
+        finally:
+            await collector.close()
+
+    pulls = asyncio.run(pull())
+    dumps = [pull.trace_body for pull in pulls if pull.trace_body]
+    offsets = {pull.process: pull.offset for pull in pulls}
+    records = sum(
+        len((dump.get("flight") or {}).get("records", [])) for dump in dumps
+    )
+    for pull in pulls:
+        best_rtt = min((s.rtt for s in pull.samples), default=0.0)
+        flight = (pull.trace_body or {}).get("flight") or {}
+        print(
+            "P%d: %d record(s) (%d dropped), clock offset %+.3f ms "
+            "(min rtt %.3f ms)"
+            % (
+                pull.process,
+                len(flight.get("records", [])),
+                flight.get("dropped", 0),
+                pull.offset * 1000.0,
+                best_rtt * 1000.0,
+            )
+        )
+    trace = stitch_flight_dumps(dumps, args.processes, offsets=offsets)
+    out = args.out or "trace-%s.json" % args.run_id
+    with open(out, "w") as handle:
+        json.dump(trace, handle)
+    print(
+        "stitched %d record(s) from %d host(s): %s "
+        "(open in https://ui.perfetto.dev)" % (records, len(pulls), out)
+    )
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(
+                "".join(
+                    (pull.metrics_body or {}).get("text", "") for pull in pulls
+                )
+            )
+        print("metrics: %s" % args.metrics_out)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import asyncio
+    import time as _time
+
+    from repro.net.collector import ClusterCollector, render_top
+
+    ports = [args.port_base + index for index in range(args.processes)]
+
+    async def watch() -> int:
+        collector = ClusterCollector(ports, host=args.host, run_id=args.run_id)
+        await collector.connect(timeout=args.timeout)
+        previous = None
+        previous_at = None
+        iteration = 0
+        try:
+            while True:
+                pulls = await collector.pull(rounds=1)
+                now = _time.monotonic()
+                dt = now - previous_at if previous_at is not None else None
+                print(
+                    render_top(pulls, previous=previous, dt=dt), flush=True
+                )
+                iteration += 1
+                if args.iterations and iteration >= args.iterations:
+                    return 0
+                previous, previous_at = pulls, now
+                await asyncio.sleep(args.interval)
+                print(flush=True)
+        finally:
+            await collector.close()
+
+    try:
+        return asyncio.run(watch())
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -708,6 +859,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not stack the ARQ sublayer when faults are enabled",
     )
+    p_serve.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="at drain, write this host's flight ring as a Chrome trace",
+    )
+    p_serve.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="at drain, write this host's metrics as OpenMetrics text",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_load = sub.add_parser(
@@ -761,7 +924,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="strict exit status: fail unless zero violations, zero "
         "errors, and full quiescence",
     )
+    p_load.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write the stitched flight-recorder Chrome trace",
+    )
+    p_load.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write every host's OpenMetrics exposition text",
+    )
+    p_load.add_argument(
+        "--forensics-out",
+        metavar="FILE",
+        default=None,
+        help="violation forensics JSON path (default forensics-<run>.json)",
+    )
     p_load.set_defaults(func=_cmd_load)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="pull every host's flight recorder and stitch one Perfetto "
+        "trace with estimated clock offsets",
+    )
+    p_trace.add_argument("--processes", type=int, default=3)
+    p_trace.add_argument("--port-base", type=int, default=9400)
+    p_trace.add_argument("--host", default="127.0.0.1")
+    p_trace.add_argument("--run-id", default="default")
+    p_trace.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="stamped TRACE round trips per host (tightens clock offsets)",
+    )
+    p_trace.add_argument("--timeout", type=float, default=20.0)
+    p_trace.add_argument(
+        "--once",
+        action="store_true",
+        help="collect exactly once and exit (the default; kept explicit "
+        "for scripting)",
+    )
+    p_trace.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="stitched Chrome trace path (default trace-<run>.json)",
+    )
+    p_trace.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="also pull METRICS and write the OpenMetrics text",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live per-host view: throughput, latency percentiles, "
+        "retransmissions, stuck messages, clock offsets",
+    )
+    p_top.add_argument("--processes", type=int, default=3)
+    p_top.add_argument("--port-base", type=int, default=9400)
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--run-id", default="default")
+    p_top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between polls"
+    )
+    p_top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop after N polls (0: run until interrupted)",
+    )
+    p_top.add_argument("--timeout", type=float, default=20.0)
+    p_top.set_defaults(func=_cmd_top)
     return parser
 
 

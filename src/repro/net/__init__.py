@@ -32,19 +32,30 @@ from repro.net.cluster import (
     run_cluster,
     run_cluster_sync,
 )
+from repro.net.collector import (
+    ClusterCollector,
+    HostPull,
+    OffsetSample,
+    estimate_offset,
+    render_top,
+    stitch_flight_dumps,
+)
 from repro.net.host import NetHost, NetProtocolHost, TapTrace
 from repro.net.transport import DEFAULT_TIME_SCALE, AsyncTransport, WallClock
 
 __all__ = [
     "AsyncTransport",
+    "ClusterCollector",
     "CodecError",
     "DEFAULT_TIME_SCALE",
     "Frame",
     "FrameDecoder",
     "FrameOversized",
     "FrameTruncated",
+    "HostPull",
     "LiveObserver",
     "LoadGenerator",
+    "OffsetSample",
     "MalformedFrame",
     "NetHost",
     "NetProtocolHost",
@@ -55,7 +66,10 @@ __all__ = [
     "WallClock",
     "decode_frame",
     "encode_frame",
+    "estimate_offset",
     "free_ports",
+    "render_top",
     "run_cluster",
     "run_cluster_sync",
+    "stitch_flight_dumps",
 ]

@@ -44,7 +44,8 @@ from repro.events import Event, EventKind, Message
 from repro.net import codec
 from repro.net.host import NetHost, event_from_wire
 from repro.net.transport import DEFAULT_TIME_SCALE
-from repro.simulation.trace import Trace, _percentile
+from repro.obs.metrics import Histogram
+from repro.simulation.trace import Trace
 
 
 def free_ports(n: int, host: str = "127.0.0.1") -> List[int]:
@@ -172,6 +173,11 @@ class LiveObserver:
         """Events received but still held by the merge gate."""
         return sum(len(queue) for queue in self._queues)
 
+    @property
+    def lag(self) -> int:
+        """Events seen on the wire but not yet merged (monitor lag)."""
+        return self.events_seen - self.events_merged
+
     async def connect(
         self,
         ports: Sequence[int],
@@ -292,6 +298,9 @@ class NetRunReport:
     retransmissions: int = 0
     duplicate_receives: int = 0
     observer_events: int = 0
+    #: Structured violation forensics (see :mod:`repro.obs.forensics`),
+    #: populated by :func:`run_cluster` / ``repro load`` on violation.
+    forensics: Optional[Dict[str, Any]] = None
 
     def render(self) -> str:
         lines = [
@@ -455,6 +464,14 @@ class LoadGenerator:
         """One STATS body per host."""
         return [frame.body for frame in await self._round_trip(codec.STATS, {})]
 
+    async def collect_traces(self) -> List[Dict[str, Any]]:
+        """One TRACE body (flight-recorder dump + clock fix) per host."""
+        return [frame.body for frame in await self._round_trip(codec.TRACE, {})]
+
+    async def collect_metrics(self) -> List[Dict[str, Any]]:
+        """One METRICS body (OpenMetrics text + snapshot) per host."""
+        return [frame.body for frame in await self._round_trip(codec.METRICS, {})]
+
     async def quiesce(
         self, timeout: float = 30.0, poll: float = 0.1
     ) -> Tuple[bool, List[Dict[str, Any]]]:
@@ -498,14 +515,16 @@ class LoadGenerator:
         """Reduce per-host STATS bodies (+ observer state) to a report."""
         invoked = sum(s.get("invoked", 0) for s in stats)
         delivered = sum(s.get("deliveries", 0) for s in stats)
-        latencies: List[float] = []
-        e2e: List[float] = []
+        latency = Histogram("latency.delivery")
+        e2e = Histogram("latency.end_to_end")
         errors = list(self.errors)
         fault_counters: Dict[str, int] = {}
         retx = dups = 0
         for s in stats:
-            latencies.extend(codec.decode_value(s.get("latencies")) or [])
-            e2e.extend(codec.decode_value(s.get("e2e_latencies")) or [])
+            if isinstance(s.get("latencies"), dict):
+                latency.merge(Histogram.from_wire(s["latencies"]))
+            if isinstance(s.get("e2e_latencies"), dict):
+                e2e.merge(Histogram.from_wire(s["e2e_latencies"]))
             errors.extend(s.get("errors", []))
             retx += s.get("retransmissions", 0)
             dups += s.get("duplicate_receives", 0)
@@ -535,11 +554,11 @@ class LoadGenerator:
             total_seconds=total_seconds,
             offered_per_sec=self.requested / load_seconds if load_seconds else 0.0,
             delivered_per_sec=delivered / total_seconds if total_seconds else 0.0,
-            p50_ms=_percentile(latencies, 50) * 1000.0,
-            p99_ms=_percentile(latencies, 99) * 1000.0,
+            p50_ms=latency.percentile(50) * 1000.0,
+            p99_ms=latency.percentile(99) * 1000.0,
             quiesced=quiesced,
-            e2e_p50_ms=_percentile(e2e, 50) * 1000.0,
-            e2e_p99_ms=_percentile(e2e, 99) * 1000.0,
+            e2e_p50_ms=e2e.percentile(50) * 1000.0,
+            e2e_p99_ms=e2e.percentile(99) * 1000.0,
             violation=violation,
             errors=errors,
             host_stats=stats,
@@ -567,6 +586,7 @@ async def run_cluster(
     color_rate: float = 0.0,
     quiesce_timeout: float = 30.0,
     run_id: Optional[str] = None,
+    observability: bool = True,
 ) -> NetRunReport:
     """One complete networked run with every role in this process.
 
@@ -586,6 +606,7 @@ async def run_cluster(
             run_id=run_id,
             faults=faults,
             time_scale=time_scale,
+            observability=observability,
         )
         for process_id in range(n_processes)
     ]
@@ -614,7 +635,7 @@ async def run_cluster(
         total_seconds = time.monotonic() - started
         for host in hosts:
             load.errors.extend(host.errors)
-        return load.report(
+        report = load.report(
             protocol_name,
             stats,
             load_seconds,
@@ -622,6 +643,15 @@ async def run_cluster(
             quiesced,
             observer=observer,
         )
+        if observer is not None and observer.violation is not None:
+            from repro.obs.forensics import build_forensics
+
+            try:
+                dumps = await load.collect_traces()
+            except (ConnectionError, codec.CodecError):
+                dumps = []  # forensics degrade to the merged trace alone
+            report.forensics = build_forensics(observer, dumps)
+        return report
     finally:
         await load.close()
         if observer is not None:

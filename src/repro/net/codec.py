@@ -52,9 +52,24 @@ PROBE = 7  # host -> observer: one bridged obs probe
 STATS = 8  # stats request (empty body) and reply (counters + latencies)
 DRAIN = 9  # load generator -> host: no further invokes are coming
 BYE = 10  # orderly shutdown request/ack
+TRACE = 11  # flight-recorder pull: request (empty) and dump reply
+METRICS = 12  # metrics pull: request (empty) and OpenMetrics reply
 
 FRAME_KINDS = frozenset(
-    {HELLO, READY, USER, CONTROL, INVOKE, EVENT, PROBE, STATS, DRAIN, BYE}
+    {
+        HELLO,
+        READY,
+        USER,
+        CONTROL,
+        INVOKE,
+        EVENT,
+        PROBE,
+        STATS,
+        DRAIN,
+        BYE,
+        TRACE,
+        METRICS,
+    }
 )
 
 KIND_NAMES = {
@@ -68,6 +83,8 @@ KIND_NAMES = {
     STATS: "stats",
     DRAIN: "drain",
     BYE: "bye",
+    TRACE: "trace",
+    METRICS: "metrics",
 }
 
 

@@ -1,0 +1,302 @@
+"""Pull-based cluster collection: flight dumps, metrics, stitched traces.
+
+The observability plane is pull-only: a collector dials every host as a
+``load``-role client and round-trips :data:`~repro.net.codec.TRACE` and
+:data:`~repro.net.codec.METRICS` frames.  Three consumers build on that:
+
+``repro trace``
+    pulls every host's flight recorder, estimates each host's clock
+    offset, and stitches the per-host rings into one Perfetto-loadable
+    Chrome trace with cross-process flow arrows (send at the sender ->
+    receive at the receiver).
+
+``repro top``
+    polls STATS + METRICS and renders a live per-host table
+    (throughput, latency percentiles, retransmissions, stuck messages).
+
+forensics
+    ``repro load`` pulls TRACE dumps when the live monitor latches a
+    violation (see :mod:`repro.obs.forensics`).
+
+Clock offsets use the rendezvous midpoint estimator: for a request sent
+at collector time ``t0`` and answered (with host wall time ``w``) at
+``t1``, ``offset = w - (t0 + t1) / 2``; over several rounds the sample
+with the smallest round-trip time wins (the standard NTP heuristic --
+the less the queueing, the tighter the bound).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.net import codec
+from repro.net.cluster import _connect_with_retry
+from repro.obs.bus import Bus
+from repro.obs.export import spans_to_chrome_trace
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import Histogram
+from repro.obs.spans import SpanTracer
+
+__all__ = [
+    "ClusterCollector",
+    "HostPull",
+    "OffsetSample",
+    "estimate_offset",
+    "render_top",
+    "stitch_flight_dumps",
+]
+
+#: Flight-record kind -> the host probe it was taped from (the stitcher
+#: re-emits these onto a fresh bus so SpanTracer rebuilds the spans).
+_KIND_TO_PROBE = {
+    "invoke": "host.invoke",
+    "send": "host.release",
+    "receive": "host.receive",
+    "deliver": "host.deliver",
+}
+
+
+@dataclass(frozen=True)
+class OffsetSample:
+    """One rendezvous round against one host."""
+
+    t0: float  # collector wall just before the request
+    t1: float  # collector wall just after the reply
+    host_wall: float  # the host's wall time inside the reply
+
+    @property
+    def rtt(self) -> float:
+        return self.t1 - self.t0
+
+    @property
+    def offset(self) -> float:
+        """host clock minus collector clock, midpoint estimate."""
+        return self.host_wall - (self.t0 + self.t1) / 2.0
+
+
+def estimate_offset(samples: Sequence[OffsetSample]) -> float:
+    """The minimum-RTT sample's offset (0.0 with no samples)."""
+    if not samples:
+        return 0.0
+    best = min(samples, key=lambda sample: sample.rtt)
+    return best.offset
+
+
+@dataclass
+class HostPull:
+    """Everything one host yielded to the collector."""
+
+    process: int
+    trace_body: Optional[Dict[str, Any]] = None
+    metrics_body: Optional[Dict[str, Any]] = None
+    stats_body: Optional[Dict[str, Any]] = None
+    samples: List[OffsetSample] = field(default_factory=list)
+
+    @property
+    def offset(self) -> float:
+        """Estimated host-clock minus collector-clock offset (seconds)."""
+        return estimate_offset(self.samples)
+
+
+class ClusterCollector:
+    """Dial every host and pull TRACE / METRICS / STATS on demand."""
+
+    def __init__(
+        self,
+        ports: Sequence[int],
+        host: str = "127.0.0.1",
+        run_id: str = "default",
+    ) -> None:
+        self.ports = list(ports)
+        self.host = host
+        self.run_id = run_id
+        self._streams: List[
+            Tuple[asyncio.StreamReader, asyncio.StreamWriter]
+        ] = []
+
+    @property
+    def n_processes(self) -> int:
+        return len(self.ports)
+
+    async def connect(self, timeout: float = 20.0) -> None:
+        """Dial every host (load role) and wait for each READY."""
+        for port in self.ports:
+            reader, writer = await _connect_with_retry(self.host, port, timeout)
+            writer.write(
+                codec.encode_frame(
+                    codec.HELLO,
+                    {"process": -1, "role": "load", "run": self.run_id},
+                )
+            )
+            await writer.drain()
+            self._streams.append((reader, writer))
+        for reader, _ in self._streams:
+            frame = await asyncio.wait_for(codec.read_frame(reader), timeout)
+            if frame is None or frame.kind != codec.READY:
+                raise RuntimeError("host did not become ready (got %r)" % (frame,))
+
+    async def close(self) -> None:
+        for _, writer in self._streams:
+            if not writer.is_closing():
+                writer.close()
+
+    async def _pull_one(
+        self, index: int, kind: int
+    ) -> Tuple[OffsetSample, Dict[str, Any]]:
+        """One stamped round trip of ``kind`` against host ``index``."""
+        reader, writer = self._streams[index]
+        t0 = time.time()
+        writer.write(codec.encode_frame(kind, {}))
+        await writer.drain()
+        frame = await codec.read_frame(reader)
+        t1 = time.time()
+        if frame is None or frame.kind != kind:
+            raise ConnectionError(
+                "host %d closed during a %s pull"
+                % (index, codec.KIND_NAMES.get(kind, kind))
+            )
+        sample = OffsetSample(t0=t0, t1=t1, host_wall=frame.body.get("wall", t1))
+        return sample, frame.body
+
+    async def pull(self, rounds: int = 3) -> List[HostPull]:
+        """TRACE (``rounds`` stamped round trips each) + METRICS + STATS.
+
+        Multiple TRACE rounds tighten the offset estimate; the *last*
+        round's dump is kept (it supersedes the earlier ones -- the ring
+        only grows).
+        """
+        pulls = []
+        for index in range(len(self._streams)):
+            pull = HostPull(process=index)
+            for _ in range(max(1, rounds)):
+                sample, body = await self._pull_one(index, codec.TRACE)
+                pull.samples.append(sample)
+                pull.trace_body = body
+            _, pull.metrics_body = await self._pull_one(index, codec.METRICS)
+            _, pull.stats_body = await self._pull_one(index, codec.STATS)
+            if pull.trace_body is not None:
+                pull.process = int(pull.trace_body.get("process", index))
+            pulls.append(pull)
+        return pulls
+
+
+# -- stitching ----------------------------------------------------------------
+
+
+def stitch_flight_dumps(
+    dumps: Sequence[Dict[str, Any]],
+    n_processes: int,
+    offsets: Optional[Dict[int, float]] = None,
+) -> Dict[str, Any]:
+    """Merge per-host flight dumps into one Chrome/Perfetto trace dict.
+
+    ``dumps`` are TRACE frame bodies; ``offsets`` maps process id to its
+    estimated clock offset (host minus collector, seconds), which is
+    *subtracted* from every record's wall stamp so all hosts land on the
+    collector's timeline.  The merged lifecycle records replay through a
+    fresh :class:`~repro.obs.spans.SpanTracer`, so the stitched trace
+    carries the same span tree and cross-process flow arrows a simulated
+    run exports -- timestamps in microseconds of corrected wall time.
+    """
+    offsets = offsets or {}
+    rows: List[Tuple[float, int, str, Dict[str, Any]]] = []
+    for dump in dumps:
+        flight = (dump or {}).get("flight")
+        if not flight:
+            continue
+        process = int(flight.get("process", dump.get("process", -1)))
+        correction = offsets.get(process, 0.0)
+        for record in FlightRecorder.records_from_wire(flight):
+            probe = _KIND_TO_PROBE.get(record.kind)
+            if probe is None:
+                continue  # context probes don't become spans
+            rows.append((record.wall - correction, process, probe, record.data))
+    bus = Bus()
+    tracer = SpanTracer(bus)
+    if not rows:
+        tracer.finish(0.0)
+        return spans_to_chrome_trace(tracer, n_processes, time_scale=1e6)
+    rows.sort(key=lambda row: row[0])
+    base = rows[0][0]
+    last = 0.0
+    for corrected, _, probe, data in rows:
+        last = corrected - base
+        bus.emit(probe, last, **data)
+    tracer.finish(last)
+    tracer.close()
+    return spans_to_chrome_trace(tracer, n_processes, time_scale=1e6)
+
+
+# -- the live view ------------------------------------------------------------
+
+
+def render_top(
+    pulls: Sequence[HostPull],
+    previous: Optional[Sequence[HostPull]] = None,
+    dt: Optional[float] = None,
+    violation: Optional[str] = None,
+) -> str:
+    """A ``repro top`` table from one collection round.
+
+    ``previous``/``dt`` (the prior round and the seconds between them)
+    turn absolute delivery counters into a rate column.
+    """
+    prior = {pull.process: pull for pull in previous or ()}
+    header = (
+        "P   invoked  delivered   msg/s   p50 ms   p99 ms   retx  dups"
+        "  pending  stuck  offset ms"
+    )
+    lines = [header]
+    totals = {"invoked": 0, "delivered": 0, "rate": 0.0, "stuck": 0}
+    for pull in pulls:
+        stats = pull.stats_body or {}
+        invoked = stats.get("invoked", 0)
+        delivered = stats.get("deliveries", 0)
+        rate = 0.0
+        before = prior.get(pull.process)
+        if before is not None and before.stats_body and dt:
+            rate = max(
+                0.0, (delivered - before.stats_body.get("deliveries", 0)) / dt
+            )
+        latency = stats.get("latencies")
+        histogram = (
+            Histogram.from_wire(latency) if isinstance(latency, dict) else None
+        )
+        p50 = histogram.percentile(50) * 1000.0 if histogram else 0.0
+        p99 = histogram.percentile(99) * 1000.0 if histogram else 0.0
+        stuck = stats.get("stuck_total", len(stats.get("stuck", [])))
+        totals["invoked"] += invoked
+        totals["delivered"] += delivered
+        totals["rate"] += rate
+        totals["stuck"] += stuck
+        lines.append(
+            "%-3d %7d %10d %7.0f %8.2f %8.2f %6d %5d %8d %6d %10.2f"
+            % (
+                pull.process,
+                invoked,
+                delivered,
+                rate,
+                p50,
+                p99,
+                stats.get("retransmissions", 0),
+                stats.get("duplicate_receives", 0),
+                stats.get("pending", 0),
+                stuck,
+                pull.offset * 1000.0,
+            )
+        )
+    lines.append(
+        "sum %7d %10d %7.0f%s"
+        % (
+            totals["invoked"],
+            totals["delivered"],
+            totals["rate"],
+            "   stuck=%d" % totals["stuck"] if totals["stuck"] else "",
+        )
+    )
+    if violation:
+        lines.append("VIOLATION: %s" % violation)
+    return "\n".join(lines)

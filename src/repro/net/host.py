@@ -33,6 +33,10 @@ from repro.net.transport import (
     packet_from_frame,
 )
 from repro.obs.bus import Bus
+from repro.obs.flight import DEFAULT_CAPACITY, FlightRecorder
+from repro.obs.metrics import Histogram, MetricsRecorder
+from repro.obs.openmetrics import render_openmetrics
+from repro.obs.watchdog import Watchdog
 from repro.simulation.host import ProtocolHost
 from repro.simulation.network import Network, Packet
 from repro.simulation.trace import SimulationStats, Trace, TraceRecord
@@ -120,6 +124,15 @@ class NetProtocolHost(ProtocolHost):
         #: local stamps for outbound frames (retransmissions reuse them).
         self.release_wall: Dict[str, float] = {}
         self.invoke_wall: Dict[str, float] = {}
+        #: Wall-clock latency distributions.  Memory-bounded histograms,
+        #: not the SimulationStats sample lists: a soak run must not grow
+        #: linearly with delivered messages.
+        self.delivery_latency = Histogram(
+            "latency.delivery", "send -> deliver wall seconds"
+        )
+        self.e2e_latency = Histogram(
+            "latency.end_to_end", "invoke -> deliver wall seconds"
+        )
 
     def invoke(self, message: Message) -> None:
         self.invoke_wall.setdefault(message.id, time.time())
@@ -160,11 +173,11 @@ class NetProtocolHost(ProtocolHost):
             # Self-addressed messages loop back without a frame; their
             # stamps are the local ones.
             sent = self.release_wall.get(message.id, now)
-        self.stats.delivery_latencies.append(now - sent)
+        self.delivery_latency.observe(now - sent)
         invoked = self.invoked_wall.pop(message.id, None)
         if invoked is None:
             invoked = self.invoke_wall.get(message.id, sent)
-        self.stats.end_to_end_latencies.append(now - invoked)
+        self.e2e_latency.observe(now - invoked)
         bus = self._bus
         if bus is not None and bus.active:
             bus.emit(
@@ -209,6 +222,8 @@ class NetHost:
         time_scale: float = DEFAULT_TIME_SCALE,
         bus: Optional[Bus] = None,
         dial_timeout: float = 20.0,
+        observability: bool = True,
+        flight_capacity: int = DEFAULT_CAPACITY,
     ) -> None:
         n_processes = len(ports)
         if not 0 <= process_id < n_processes:
@@ -249,6 +264,21 @@ class NetHost:
             bus=self.bus,
         )
         self.transport._stamp = self.host.stamp
+        #: The in-host observability plane (all opt-out via
+        #: ``observability=False`` for overhead measurements): a flight
+        #: recorder taping the last ``flight_capacity`` probe events with
+        #: vector timestamps, a metrics recorder backing the METRICS
+        #: frame's OpenMetrics exposition, and the liveness watchdog
+        #: whose diagnoses ride the STATS reply.
+        self.flight: Optional[FlightRecorder] = None
+        self.metrics: Optional[MetricsRecorder] = None
+        self.watchdog: Optional[Watchdog] = None
+        if observability:
+            self.flight = FlightRecorder(process_id, capacity=flight_capacity)
+            self.flight.attach(self.bus)
+            self.metrics = MetricsRecorder(self.bus)
+            self.watchdog = Watchdog(self.bus)
+            self.transport._vc_for = self._vc_for_packet
         self.draining = False
         self.errors: List[str] = []
         self._server: Optional[asyncio.base_events.Server] = None
@@ -316,6 +346,9 @@ class NetHost:
         if self._unsubscribe_bridge is not None:
             self._unsubscribe_bridge()
             self._unsubscribe_bridge = None
+        for recorder in (self.flight, self.metrics, self.watchdog):
+            if recorder is not None:
+                recorder.close()
         if self._server is not None:
             self._server.close()
         for task in list(self._tasks):
@@ -461,13 +494,32 @@ class NetHost:
                 if frame is None:
                     return
                 if frame.kind in (codec.USER, codec.CONTROL):
-                    self._dispatch_packet(packet_from_frame(frame))
+                    packet = packet_from_frame(frame)
+                    if frame.kind == codec.USER:
+                        self._note_remote_clock(packet, frame.body.get("vc"))
+                    self._dispatch_packet(packet)
                 # Anything else on a peer link is ignored (forward compat).
         except (codec.CodecError, ConnectionError) as exc:
             if not self._done.is_set():
                 self.errors.append("peer stream: %s" % exc)
         except asyncio.CancelledError:
             pass
+
+    def _vc_for_packet(self, packet: Packet) -> Optional[Dict[int, int]]:
+        """The flight recorder's causal stamp for an outbound user frame."""
+        if self.flight is None or not packet.is_user or packet.message is None:
+            return None
+        return self.flight.vc_for(packet.message.id)
+
+    def _note_remote_clock(self, packet: Packet, vc: Any) -> None:
+        """Stash the sender's vector clock from an inbound USER frame."""
+        if self.flight is None or packet.message is None or not vc:
+            return
+        try:
+            decoded = {int(process): int(count) for process, count in vc.items()}
+        except (AttributeError, TypeError, ValueError):
+            return  # a malformed stamp degrades causality, not delivery
+        self.flight.observe_remote(packet.message.id, decoded)
 
     def _dispatch_packet(self, packet: Packet) -> None:
         if packet.is_user and packet.message is not None:
@@ -565,6 +617,14 @@ class NetHost:
                     writer.write(
                         codec.encode_frame(codec.STATS, self.stats_body())
                     )
+                elif frame.kind == codec.TRACE:
+                    writer.write(
+                        codec.encode_frame(codec.TRACE, self.trace_body())
+                    )
+                elif frame.kind == codec.METRICS:
+                    writer.write(
+                        codec.encode_frame(codec.METRICS, self.metrics_body())
+                    )
                 elif frame.kind == codec.DRAIN:
                     self.draining = True
                     writer.write(codec.encode_frame(codec.DRAIN, {}))
@@ -601,10 +661,9 @@ class NetHost:
 
     # -- stats -----------------------------------------------------------------
 
-    def stats_body(self, max_samples: int = 200_000) -> Dict[str, Any]:
-        """The host's counters and latency samples as a STATS body."""
+    def stats_body(self) -> Dict[str, Any]:
+        """The host's counters and latency histograms as a STATS body."""
         stats = self.stats
-        latencies = stats.delivery_latencies[-max_samples:]
         body: Dict[str, Any] = {
             "process": self.process_id,
             "invoked": self._invoked_count,
@@ -619,11 +678,37 @@ class NetHost:
             "frames_sent": self.transport.frames_sent,
             "bytes_sent": self.transport.bytes_sent,
             "errors": list(self.errors),
-            "latencies": codec.encode_value(latencies),
-            "e2e_latencies": codec.encode_value(
-                stats.end_to_end_latencies[-max_samples:]
-            ),
+            # Memory-bounded wire histograms (plain JSON, see
+            # Histogram.to_wire) -- not the raw sample lists of old.
+            "latencies": self.host.delivery_latency.to_wire(),
+            "e2e_latencies": self.host.e2e_latency.to_wire(),
         }
+        if self.watchdog is not None:
+            protocols: List[Optional[object]] = [None] * self.n_processes
+            protocols[self.process_id] = self.host.protocol
+            # Only locally-diagnosable phases: this host's bus never sees
+            # the remote deliver, so every delivered message would read
+            # "in-flight" to its sender forever.  Inhibited (invoked but
+            # never released here) and buffered (received but never
+            # delivered here) are authoritative local knowledge;
+            # global in-flight detection is the load generator's quiesce.
+            stuck = [
+                entry
+                for entry in self.watchdog.stuck(protocols=protocols)
+                if entry.phase != "in-flight"
+            ]
+            body["stuck_total"] = len(stuck)
+            body["stuck"] = [
+                {
+                    "message_id": entry.message_id,
+                    "phase": entry.phase,
+                    "process": entry.process,
+                    "since": entry.since,
+                    "since_wall": self.clock.wall_at(entry.since),
+                    "reason": entry.reason,
+                }
+                for entry in stuck[:20]
+            ]
         outbound = self.outbound
         if outbound is not self.transport:  # fault layer attached
             body.update(
@@ -633,3 +718,36 @@ class NetHost:
                 spikes=outbound.spikes,
             )
         return body
+
+    def trace_body(self) -> Dict[str, Any]:
+        """The flight-recorder dump plus the clock fix a collector needs.
+
+        ``wall``/``virtual`` are sampled at reply build time; together
+        with the request/response times at the collector they bound this
+        host's clock offset (see :func:`repro.net.collector.estimate_offset`).
+        """
+        body: Dict[str, Any] = {
+            "process": self.process_id,
+            "wall": time.time(),
+            "virtual": self.clock.now,
+            "time_scale": self.time_scale,
+            "flight": self.flight.to_wire() if self.flight is not None else None,
+        }
+        return body
+
+    def metrics_body(self) -> Dict[str, Any]:
+        """OpenMetrics exposition text (plus raw snapshot) for METRICS."""
+        if self.metrics is not None:
+            registry = self.metrics.registry
+            text = render_openmetrics(
+                registry, {"process": str(self.process_id)}
+            )
+            snapshot = registry.snapshot()
+        else:
+            text, snapshot = "", {}
+        return {
+            "process": self.process_id,
+            "wall": time.time(),
+            "text": text,
+            "snapshot": snapshot,
+        }

@@ -50,6 +50,9 @@ class WallClock:
         self.time_scale = time_scale
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._t0 = 0.0
+        #: Wall time of :meth:`start` -- converts virtual stamps (e.g. a
+        #: watchdog's ``since``) back to wall clock for cross-host views.
+        self.started_wall = 0.0
         self._handles: Set[asyncio.TimerHandle] = set()
         self._closed = False
 
@@ -57,6 +60,7 @@ class WallClock:
         """Bind to the running loop and zero the virtual clock."""
         self._loop = loop or asyncio.get_running_loop()
         self._t0 = self._loop.time()
+        self.started_wall = time.time()
         self._closed = False
 
     @property
@@ -65,6 +69,10 @@ class WallClock:
         if self._loop is None:
             return 0.0
         return (self._loop.time() - self._t0) / self.time_scale
+
+    def wall_at(self, virtual: float) -> float:
+        """The wall time corresponding to virtual time ``virtual``."""
+        return self.started_wall + virtual * self.time_scale
 
     @property
     def pending_timers(self) -> int:
@@ -122,6 +130,9 @@ class AsyncTransport(Transport):
     ) -> None:
         self.process_id = process_id
         self._stamp = stamp
+        #: Optional vector-clock supplier for user frames (the flight
+        #: recorder's causal stamp; see :mod:`repro.obs.flight`).
+        self._vc_for: Optional[Callable[[Packet], Optional[Dict[int, int]]]] = None
         self._writers: Dict[int, asyncio.StreamWriter] = {}
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self.frames_sent = 0
@@ -182,6 +193,12 @@ class AsyncTransport(Transport):
                 sent=sent,
                 invoked=invoked,
             )
+            if self._vc_for is not None:
+                vc = self._vc_for(packet)
+                if vc:
+                    body["vc"] = {
+                        str(process): count for process, count in sorted(vc.items())
+                    }
             return codec.USER, body
         return codec.CONTROL, {
             "src": packet.src,

@@ -21,6 +21,8 @@ from repro.obs.export import (
     write_chrome_trace,
     write_probe_log,
 )
+from repro.obs.flight import FlightRecord, FlightRecorder
+from repro.obs.forensics import build_forensics, render_forensics
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -29,6 +31,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     stats_to_registry,
 )
+from repro.obs.openmetrics import parse_openmetrics, render_openmetrics
 from repro.obs.profile import (
     DEFAULT_PROFILE_PROTOCOLS,
     ProtocolProfile,
@@ -62,6 +65,12 @@ __all__ = [
     "write_probe_log",
     "StuckMessage",
     "Watchdog",
+    "FlightRecord",
+    "FlightRecorder",
+    "build_forensics",
+    "render_forensics",
+    "parse_openmetrics",
+    "render_openmetrics",
     "ProtocolProfile",
     "DEFAULT_PROFILE_PROTOCOLS",
     "catalog_protocols",

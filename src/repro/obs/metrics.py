@@ -90,58 +90,198 @@ class Gauge:
         return data
 
 
+#: Exact observations a histogram retains before switching to log
+#: buckets.  Below the limit percentiles are nearest-rank exact; above it
+#: memory stays O(buckets) and percentiles carry the bucket's relative
+#: error, so soak runs no longer grow linearly with delivered messages.
+SAMPLE_LIMIT = 4096
+
+#: Log-bucket resolution: buckets per power of two.  Eight sub-buckets
+#: per octave bound the representative-value error to 2^(1/16)-1 (~4.4%).
+BUCKETS_PER_OCTAVE = 8
+
+
 class Histogram:
-    """A distribution of observed values (exact; keeps every observation)."""
+    """A memory-bounded distribution of observed values.
+
+    The first :data:`SAMPLE_LIMIT` observations are kept exactly (so
+    short runs report nearest-rank percentiles bit-identical to the
+    pre-bounded implementation); past the limit every observation folds
+    into HDR-style log buckets (:data:`BUCKETS_PER_OCTAVE` per octave)
+    and percentiles are bucket midpoints clamped to the observed range.
+    ``count``/``total``/``mean``/``min``/``max`` are exact always.
+    """
 
     kind = "histogram"
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "", sample_limit: int = SAMPLE_LIMIT):
         self.name = name
         self.help = help
+        self.sample_limit = sample_limit
         self._values: List[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        #: log-bucket index -> count (positive values only).
+        self._buckets: Dict[int, int] = {}
+        #: observations <= 0 (wall-clock subtraction can graze zero).
+        self._zero = 0
+        self._exact = True
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        self._values.append(value)
+        self._count += 1
+        self._total += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if self._exact:
+            if len(self._values) < self.sample_limit:
+                self._values.append(value)
+                return
+            # Overflow: fold the exact head into buckets once, then
+            # bucket everything from here on (the head is retained for
+            # ``values()``, but percentiles become bucket-based).
+            self._exact = False
+            for retained in self._values:
+                self._bucket_add(retained)
+        self._bucket_add(value)
+
+    def _bucket_add(self, value: float, count: int = 1) -> None:
+        if value <= 0.0:
+            self._zero += count
+        else:
+            index = math.floor(math.log(value, 2.0) * BUCKETS_PER_OCTAVE)
+            self._buckets[index] = self._buckets.get(index, 0) + count
+
+    @property
+    def exact(self) -> bool:
+        """Whether every observation is still individually retained."""
+        return self._exact
 
     @property
     def count(self) -> int:
         """Number of observations."""
-        return len(self._values)
+        return self._count
 
     @property
     def total(self) -> float:
         """Sum of observations."""
-        return sum(self._values)
+        return self._total
 
     @property
     def mean(self) -> float:
         """Arithmetic mean (0 when empty)."""
-        return self.total / len(self._values) if self._values else 0.0
+        return self._total / self._count if self._count else 0.0
 
     @property
     def min(self) -> float:
         """Smallest observation (0 when empty)."""
-        return min(self._values) if self._values else 0.0
+        return self._min if self._min is not None else 0.0
 
     @property
     def max(self) -> float:
         """Largest observation (0 when empty)."""
-        return max(self._values) if self._values else 0.0
+        return self._max if self._max is not None else 0.0
 
     def percentile(self, p: float) -> float:
-        """The nearest-rank ``p``-th percentile (0 when empty)."""
-        if not self._values:
+        """The nearest-rank ``p``-th percentile (0 when empty).
+
+        Exact while under the sample limit; a clamped log-bucket midpoint
+        afterwards.
+        """
+        if not self._count:
             return 0.0
         if not 0 <= p <= 100:
             raise ValueError("percentile must be in [0, 100], got %r" % p)
-        ordered = sorted(self._values)
-        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
-        return ordered[rank - 1]
+        rank = max(1, math.ceil(p / 100.0 * self._count))
+        if self._exact:
+            ordered = sorted(self._values)
+            return ordered[rank - 1]
+        seen = self._zero
+        if rank <= seen:
+            return self.min
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if rank <= seen:
+                midpoint = 2.0 ** ((index + 0.5) / BUCKETS_PER_OCTAVE)
+                return min(max(midpoint, self.min), self.max)
+        return self.max
 
     def values(self) -> List[float]:
-        """All observations, in recording order."""
+        """The retained observations, in recording order.
+
+        Complete while under the sample limit; afterwards only the exact
+        head is retained (use :meth:`percentile` for the tail).
+        """
         return list(self._values)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one."""
+        if other._count == 0:
+            return
+        combined = self._count + other._count
+        self._total += other._total
+        if other._min is not None and (self._min is None or other._min < self._min):
+            self._min = other._min
+        if other._max is not None and (self._max is None or other._max > self._max):
+            self._max = other._max
+        if self._exact and other._exact and combined <= self.sample_limit:
+            self._values.extend(other._values)
+            self._count = combined
+            return
+        if self._exact:
+            self._exact = False
+            for retained in self._values:
+                self._bucket_add(retained)
+        if other._exact:
+            for value in other._values:
+                self._bucket_add(value)
+        else:
+            self._zero += other._zero
+            for index, count in other._buckets.items():
+                self._buckets[index] = self._buckets.get(index, 0) + count
+        self._count = combined
+
+    def to_wire(self) -> Dict[str, Any]:
+        """A JSON-safe encoding (see :meth:`from_wire`); deterministic."""
+        body: Dict[str, Any] = {
+            "count": self._count,
+            "total": self._total,
+            "min": self.min,
+            "max": self.max,
+        }
+        if self._exact:
+            body["samples"] = list(self._values)
+        else:
+            body["buckets"] = [
+                [index, self._buckets[index]] for index in sorted(self._buckets)
+            ]
+            body["zero"] = self._zero
+        return body
+
+    @classmethod
+    def from_wire(
+        cls, body: Dict[str, Any], name: str = "h", help: str = ""
+    ) -> "Histogram":
+        """Rebuild a histogram encoded by :meth:`to_wire`."""
+        histogram = cls(name, help)
+        if "samples" in body:
+            for value in body["samples"]:
+                histogram.observe(float(value))
+            return histogram
+        histogram._exact = False
+        histogram._count = int(body.get("count", 0))
+        histogram._total = float(body.get("total", 0.0))
+        if histogram._count:
+            histogram._min = float(body.get("min", 0.0))
+            histogram._max = float(body.get("max", 0.0))
+        histogram._zero = int(body.get("zero", 0))
+        for index, count in body.get("buckets", []):
+            histogram._buckets[int(index)] = int(count)
+        return histogram
 
     def snapshot(self) -> Dict[str, Any]:
         """A JSON-ready summary of the distribution."""

@@ -1,0 +1,146 @@
+"""OpenMetrics / Prometheus text exposition for a metrics registry.
+
+Renders any :class:`~repro.obs.metrics.MetricsRegistry` to the
+Prometheus text format (the OpenMetrics-compatible subset: ``# HELP`` /
+``# TYPE`` headers, ``metric{label="..."} value`` samples, histograms as
+``_count`` / ``_sum`` plus quantile gauges).  Metric names are sanitized
+to the ``[a-zA-Z_][a-zA-Z0-9_]*`` charset (dots become underscores), so
+``latency.end_to_end`` exposes as ``latency_end_to_end``.
+
+:func:`parse_openmetrics` is the strict-enough inverse used by
+``repro top`` and the CI smoke check: it validates the line grammar and
+returns ``{name: {labelset: value}}``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Tuple
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "QUANTILES",
+    "metric_name",
+    "parse_openmetrics",
+    "render_openmetrics",
+]
+
+_NAME_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+#: Quantiles exposed per histogram (matching ``Histogram.snapshot``).
+QUANTILES = (50, 95, 99)
+
+
+def metric_name(name: str) -> str:
+    """A registry metric name as a legal exposition name."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not sanitized or not _NAME_OK.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return "%d" % int(value)
+    return repr(float(value))
+
+
+def _sample(name: str, labels: Dict[str, str], value: float) -> str:
+    if labels:
+        rendered = ",".join(
+            '%s="%s"' % (key, _escape(str(labels[key]))) for key in sorted(labels)
+        )
+        return "%s{%s} %s" % (name, rendered, _format(value))
+    return "%s %s" % (name, _format(value))
+
+
+def render_openmetrics(
+    registry: MetricsRegistry, extra_labels: Optional[Dict[str, str]] = None
+) -> str:
+    """The registry as Prometheus/OpenMetrics exposition text.
+
+    ``extra_labels`` (e.g. ``{"process": "2"}``) are stamped onto every
+    sample, which is how per-host scrapes stay distinguishable after a
+    collector aggregates them.
+    """
+    base = dict(extra_labels or {})
+    lines = []
+    for name in registry.names():
+        metric = registry.get(name)
+        exposed = metric_name(name)
+        if isinstance(metric, Counter):
+            lines.append("# HELP %s %s" % (exposed, _escape(metric.help or name)))
+            lines.append("# TYPE %s counter" % exposed)
+            lines.append(_sample(exposed, base, metric.value))
+            for label, value in sorted(metric.by_label.items()):
+                lines.append(_sample(exposed, dict(base, label=label), value))
+        elif isinstance(metric, Gauge):
+            lines.append("# HELP %s %s" % (exposed, _escape(metric.help or name)))
+            lines.append("# TYPE %s gauge" % exposed)
+            lines.append(_sample(exposed, base, metric.value))
+            lines.append(_sample(exposed + "_max", base, metric.max_seen))
+            for label, value in sorted(metric.by_label.items()):
+                lines.append(_sample(exposed, dict(base, label=label), value))
+        elif isinstance(metric, Histogram):
+            lines.append("# HELP %s %s" % (exposed, _escape(metric.help or name)))
+            lines.append("# TYPE %s summary" % exposed)
+            lines.append(_sample(exposed + "_count", base, metric.count))
+            lines.append(_sample(exposed + "_sum", base, metric.total))
+            for quantile in QUANTILES:
+                lines.append(
+                    _sample(
+                        exposed,
+                        dict(base, quantile="0.%02d" % quantile),
+                        metric.percentile(quantile),
+                    )
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def parse_openmetrics(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+    """Parse exposition text back to ``{name: {labelset: value}}``.
+
+    The labelset key is a sorted tuple of ``(label, value)`` pairs (empty
+    tuple for unlabelled samples).  Raises :class:`ValueError` on any
+    line that is neither a comment nor a well-formed sample -- the CI
+    smoke step leans on that strictness.
+    """
+    samples: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line.strip())
+        if match is None:
+            raise ValueError("openmetrics line %d is malformed: %r" % (lineno, line))
+        labels = []
+        raw = match.group("labels")
+        if raw:
+            for part in raw.split(","):
+                pair = _LABEL.match(part.strip())
+                if pair is None:
+                    raise ValueError(
+                        "openmetrics line %d has a bad label %r" % (lineno, part)
+                    )
+                labels.append((pair.group(1), pair.group(2)))
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise ValueError(
+                "openmetrics line %d has a bad value: %s" % (lineno, exc)
+            ) from exc
+        samples.setdefault(match.group("name"), {})[
+            tuple(sorted(labels))
+        ] = value
+    return samples

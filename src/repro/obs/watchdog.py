@@ -62,6 +62,10 @@ class Watchdog:
         self._receiver: Dict[str, int] = {}
         self._released: Dict[str, float] = {}
         self._received: Dict[str, float] = {}
+        #: Where the receive happened -- lets a *receiver-side* watchdog
+        #: (one net host's bus, which never sees the peer's invoke)
+        #: still report messages buffered locally.
+        self._receive_process: Dict[str, int] = {}
         self._delivered: Dict[str, float] = {}
         self._dropped: Dict[str, float] = {}
         self._retransmits: Dict[str, int] = {}
@@ -119,6 +123,9 @@ class Watchdog:
 
     def _on_receive(self, event: ProbeEvent) -> None:
         self._received[event.data["message_id"]] = event.time
+        process = event.data.get("process")
+        if process is not None:
+            self._receive_process[event.data["message_id"]] = process
 
     def _on_deliver(self, event: ProbeEvent) -> None:
         self._delivered[event.data["message_id"]] = event.time
@@ -207,6 +214,27 @@ class Watchdog:
                     phase=phase,
                     process=process,
                     since=since,
+                    reason=reason,
+                )
+            )
+        # Receiver-side view: a message this watchdog saw arrive but whose
+        # invoke happened on a bus it is not subscribed to (each net host
+        # has its own).  In the simulator one watchdog sees every process,
+        # so this loop adds nothing there.
+        for message_id in sorted(self._received):
+            if message_id in self._invoked or message_id in self._delivered:
+                continue
+            process = self._receive_process.get(message_id, -1)
+            reason = (
+                self._protocol_reason(protocols, process, message_id)
+                or "protocol never delivered after receive"
+            )
+            reports.append(
+                StuckMessage(
+                    message_id=message_id,
+                    phase="buffered",
+                    process=process,
+                    since=self._received[message_id],
                     reason=reason,
                 )
             )

@@ -88,6 +88,11 @@ class OnlineCausality:
         self._current[location] = clock
         self._log.append((event, location, previous))
 
+    def info(self, event: Event) -> Optional[Tuple[int, int, Dict[int, int]]]:
+        """``(location, own_component, vector_clock)`` for an observed
+        event, or ``None`` -- the clock dict is shared, do not mutate."""
+        return self._info.get(event)
+
     def before(self, a: Event, b: Event) -> bool:
         """``True`` iff ``a ▷ b`` in the observed order (O(1))."""
         if a == b:

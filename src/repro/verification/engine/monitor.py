@@ -99,6 +99,12 @@ class SpecMonitor:
         """How many trace records have been consumed."""
         return self._consumed
 
+    @property
+    def causality(self) -> OnlineCausality:
+        """The monitor's causal order over consumed events (read-only
+        use: ``before``/``info`` queries for violation forensics)."""
+        return self._causality
+
     # -- the incremental step ----------------------------------------------
 
     def advance(self, trace) -> Optional[FirstViolation]:

@@ -38,6 +38,35 @@ def _sample_bodies():
         codec.STATS: {"deliveries": 7, "latencies": codec.encode_value([0.1])},
         codec.DRAIN: {},
         codec.BYE: {},
+        codec.TRACE: {
+            "process": 1,
+            "wall": 1700000000.5,
+            "virtual": 12.0,
+            "time_scale": 0.01,
+            "flight": {
+                "process": 1,
+                "capacity": 8,
+                "recorded": 1,
+                "dropped": 0,
+                "clock": {"1": 1},
+                "records": [
+                    {
+                        "seq": 0,
+                        "wall": 1700000000.25,
+                        "t": 11.5,
+                        "kind": "send",
+                        "data": {"message_id": "m1", "process": 1},
+                        "vc": {"1": 1},
+                    }
+                ],
+            },
+        },
+        codec.METRICS: {
+            "process": 1,
+            "wall": 1700000000.5,
+            "text": "# EOF\n",
+            "snapshot": {"messages.delivered": {"kind": "counter", "value": 7}},
+        },
     }
 
 

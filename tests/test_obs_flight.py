@@ -1,0 +1,180 @@
+"""Flight recorder tests: ring bounds, vector clocks, serialization."""
+
+import pytest
+
+from repro.obs.bus import Bus
+from repro.obs.flight import FlightRecord, FlightRecorder
+
+
+def _wall_from(start=1000.0, step=0.001):
+    """A deterministic wall clock advancing ``step`` per call."""
+    state = {"now": start - step}
+
+    def wall():
+        state["now"] += step
+        return state["now"]
+
+    return wall
+
+
+def _lifecycle(bus, t, mid, sender, receiver):
+    """Emit the sender-side invoke + release probes of one message."""
+    bus.emit("host.invoke", t, message_id=mid, process=sender, receiver=receiver)
+    bus.emit(
+        "host.release", t, message_id=mid, process=sender, receiver=receiver,
+        tag_bytes=0,
+    )
+
+
+class TestRing:
+    def test_capacity_bounds_the_ring(self):
+        bus = Bus()
+        recorder = FlightRecorder(0, capacity=4, wall=_wall_from())
+        recorder.attach(bus)
+        for index in range(10):
+            bus.emit("fault.drop", float(index), message_id="m%d" % index)
+        assert len(recorder) == 4
+        assert recorder.recorded == 10
+        assert recorder.dropped == 6
+        # Oldest records are overwritten; the tail survives.
+        assert [record.data["message_id"] for record in recorder.records()] == [
+            "m6", "m7", "m8", "m9",
+        ]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(0, capacity=0)
+
+    def test_close_detaches_but_keeps_records(self):
+        bus = Bus()
+        recorder = FlightRecorder(0, capacity=8, wall=_wall_from())
+        recorder.attach(bus)
+        bus.emit("fault.drop", 1.0, message_id="m1")
+        recorder.close()
+        bus.emit("fault.drop", 2.0, message_id="m2")
+        assert [r.data["message_id"] for r in recorder.records()] == ["m1"]
+
+    def test_window_selects_by_wall_time(self):
+        bus = Bus()
+        recorder = FlightRecorder(0, capacity=16, wall=_wall_from(step=1.0))
+        recorder.attach(bus)
+        for index in range(6):  # walls 1000..1005
+            bus.emit("fault.drop", float(index), message_id="m%d" % index)
+        window = recorder.window(1002.0, before=1.0, after=1.0)
+        assert [record.wall for record in window] == [1001.0, 1002.0, 1003.0]
+
+
+class TestVectorClocks:
+    def test_send_ticks_the_local_component(self):
+        bus = Bus()
+        recorder = FlightRecorder(0, wall=_wall_from())
+        recorder.attach(bus)
+        _lifecycle(bus, 1.0, "m1", 0, 1)
+        _lifecycle(bus, 2.0, "m2", 0, 1)
+        assert recorder.clock == {0: 2}
+        assert recorder.vc_for("m1") == {0: 1}
+        assert recorder.vc_for("m2") == {0: 2}
+        assert recorder.vc_for("unknown") is None
+
+    def test_retransmission_keeps_the_original_send_clock(self):
+        bus = Bus()
+        recorder = FlightRecorder(0, wall=_wall_from())
+        recorder.attach(bus)
+        _lifecycle(bus, 1.0, "m1", 0, 1)
+        original = recorder.vc_for("m1")
+        # A retransmit re-emits host.release for the same message id.
+        bus.emit(
+            "host.release", 5.0, message_id="m1", process=0, receiver=1,
+            tag_bytes=0,
+        )
+        assert recorder.vc_for("m1") == original
+
+    def test_deliver_joins_the_remote_clock(self):
+        bus = Bus()
+        recorder = FlightRecorder(1, wall=_wall_from())
+        recorder.attach(bus)
+        recorder.observe_remote("m1", {0: 7})
+        bus.emit("host.receive", 1.0, message_id="m1", process=1, sender=0)
+        bus.emit(
+            "host.deliver", 1.1, message_id="m1", process=1, sender=0,
+            delayed=False,
+        )
+        assert recorder.clock == {0: 7, 1: 1}
+        deliver = recorder.records()[-1]
+        assert deliver.kind == "deliver"
+        assert deliver.vc == {0: 7, 1: 1}
+
+    def test_self_send_joins_its_own_release_clock(self):
+        bus = Bus()
+        recorder = FlightRecorder(0, wall=_wall_from())
+        recorder.attach(bus)
+        _lifecycle(bus, 1.0, "m1", 0, 0)
+        bus.emit("host.receive", 1.1, message_id="m1", process=0, sender=0)
+        bus.emit(
+            "host.deliver", 1.2, message_id="m1", process=0, sender=0,
+            delayed=False,
+        )
+        assert recorder.clock == {0: 2}  # send tick + deliver tick
+
+    def test_records_are_causally_comparable_across_recorders(self):
+        bus_a, bus_b = Bus(), Bus()
+        sender = FlightRecorder(0, wall=_wall_from())
+        receiver = FlightRecorder(1, wall=_wall_from())
+        sender.attach(bus_a)
+        receiver.attach(bus_b)
+        _lifecycle(bus_a, 1.0, "m1", 0, 1)
+        receiver.observe_remote("m1", sender.vc_for("m1"))
+        bus_b.emit("host.receive", 2.0, message_id="m1", process=1, sender=0)
+        bus_b.emit(
+            "host.deliver", 2.1, message_id="m1", process=1, sender=0,
+            delayed=False,
+        )
+        send = next(r for r in sender.records() if r.kind == "send")
+        deliver = next(r for r in receiver.records() if r.kind == "deliver")
+        # send happened-before deliver: VC(deliver)[0] >= VC(send)[0].
+        assert deliver.vc[0] >= send.vc[0]
+        assert send.vc.get(1, 0) < deliver.vc[1]
+
+
+class TestWire:
+    def _recorder_with_traffic(self):
+        bus = Bus()
+        recorder = FlightRecorder(0, capacity=8, wall=_wall_from())
+        recorder.attach(bus)
+        _lifecycle(bus, 1.0, "m1", 0, 1)
+        bus.emit("fault.drop", 1.5, message_id="m1", reason="random")
+        return recorder
+
+    def test_dump_round_trips(self):
+        recorder = self._recorder_with_traffic()
+        dump = recorder.to_wire()
+        assert dump["process"] == 0
+        assert dump["recorded"] == 3
+        assert dump["dropped"] == 0
+        decoded = FlightRecorder.records_from_wire(dump)
+        assert decoded == recorder.records()
+
+    def test_dump_is_deterministic_and_json_safe(self):
+        import json
+
+        recorder = self._recorder_with_traffic()
+        first = json.dumps(recorder.to_wire(), sort_keys=True)
+        second = json.dumps(recorder.to_wire(), sort_keys=True)
+        assert first == second
+
+    def test_record_from_wire_is_strict(self):
+        with pytest.raises(ValueError, match="bad flight record"):
+            FlightRecord.from_wire({"seq": 0})
+        with pytest.raises(ValueError, match="bad flight record"):
+            FlightRecord.from_wire(
+                {"seq": "x", "wall": 1.0, "t": 1.0, "kind": "send"}
+            )
+
+    def test_vc_keys_become_ints_again(self):
+        record = FlightRecord(
+            seq=0, wall=1.0, time=2.0, kind="send",
+            data={"message_id": "m1"}, vc={3: 4},
+        )
+        wired = record.to_wire()
+        assert wired["vc"] == {"3": 4}
+        assert FlightRecord.from_wire(wired) == record

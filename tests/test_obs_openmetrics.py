@@ -1,0 +1,94 @@
+"""OpenMetrics exposition tests: render, sanitize, escape, parse back."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.openmetrics import (
+    metric_name,
+    parse_openmetrics,
+    render_openmetrics,
+)
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("messages.delivered", help="total deliveries").inc(7)
+    registry.counter("faults.injected").inc(2, label="drop")
+    registry.gauge("queue.depth").set(3)
+    histogram = registry.histogram("latency.e2e", help="end to end")
+    for value in (0.010, 0.020, 0.030, 0.040):
+        histogram.observe(value)
+    return registry
+
+
+class TestRender:
+    def test_names_are_sanitized(self):
+        assert metric_name("latency.e2e") == "latency_e2e"
+        assert metric_name("a-b c") == "a_b_c"
+        assert metric_name("0bad") == "_0bad"
+
+    def test_headers_and_types(self):
+        text = render_openmetrics(_registry())
+        assert "# HELP messages_delivered total deliveries" in text
+        assert "# TYPE messages_delivered counter" in text
+        assert "# TYPE queue_depth gauge" in text
+        assert "# TYPE latency_e2e summary" in text
+        assert text.endswith("# EOF\n")
+
+    def test_histograms_expose_count_sum_and_quantiles(self):
+        text = render_openmetrics(_registry())
+        assert "latency_e2e_count 4" in text
+        assert 'latency_e2e{quantile="0.50"}' in text
+        assert 'latency_e2e{quantile="0.99"}' in text
+
+    def test_extra_labels_stamp_every_sample(self):
+        text = render_openmetrics(_registry(), {"process": "2"})
+        for line in text.splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            assert 'process="2"' in line, line
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1)
+        text = render_openmetrics(registry, {"run": 'a"b\\c\nd'})
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        parsed = parse_openmetrics(text)
+        assert parsed["c"][(("run", 'a\\"b\\\\c\\nd'),)] == 1.0
+
+
+class TestParse:
+    def test_round_trip(self):
+        registry = _registry()
+        parsed = parse_openmetrics(render_openmetrics(registry, {"process": "0"}))
+        base = (("process", "0"),)
+        assert parsed["messages_delivered"][base] == 7.0
+        assert parsed["faults_injected"][base] == 2.0
+        assert parsed["faults_injected"][(("label", "drop"),) + base] == 2.0
+        assert parsed["queue_depth"][base] == 3.0
+        assert parsed["queue_depth_max"][base] == 3.0
+        assert parsed["latency_e2e_count"][base] == 4.0
+        assert parsed["latency_e2e_sum"][base] == pytest.approx(0.1)
+        quantile = parsed["latency_e2e"][base + (("quantile", "0.50"),)]
+        assert 0.01 <= quantile <= 0.04
+
+    def test_empty_registry_is_just_eof(self):
+        text = render_openmetrics(MetricsRegistry())
+        assert text == "# EOF\n"
+        assert parse_openmetrics(text) == {}
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="line 1 is malformed"):
+            parse_openmetrics("not a metric line at all!\n")
+
+    def test_bad_label_raises(self):
+        with pytest.raises(ValueError, match="bad label"):
+            parse_openmetrics("name{label=unquoted} 1\n")
+
+    def test_bad_value_raises(self):
+        with pytest.raises(ValueError, match="bad value"):
+            parse_openmetrics("name notanumber\n")
+
+    def test_comments_and_blank_lines_skipped(self):
+        parsed = parse_openmetrics("# HELP x y\n\nx 1\n# EOF\n")
+        assert parsed == {"x": {(): 1.0}}
