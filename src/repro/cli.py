@@ -140,15 +140,38 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             tracer = SpanTracer(bus)
         if args.metrics_out:
             recorder = MetricsRecorder(bus)
-    result = run_simulate(
-        specification,
-        workload,
-        seed=args.seed,
-        protocol_factory=factory,
-        latency=UniformLatency(low=1.0, high=args.max_latency),
-        bus=bus,
-        faults=faults,
-    )
+    wal_sink = None
+    if args.record:
+        from repro.wal import WalSink
+
+        # Record the spec under the name `repro replay` can resolve: the
+        # catalogue key the user typed, or the DSL text itself.
+        wal_sink = WalSink(
+            args.record,
+            meta={
+                "spec": args.predicate,
+                "processes": workload.n_processes,
+                "seed": args.seed,
+                "workload": workload.name,
+            },
+        )
+    try:
+        result = run_simulate(
+            specification,
+            workload,
+            seed=args.seed,
+            protocol_factory=factory,
+            latency=UniformLatency(low=1.0, high=args.max_latency),
+            bus=bus,
+            faults=faults,
+            wal=wal_sink,
+        )
+    finally:
+        if wal_sink is not None:
+            wal_sink.close()
+    if wal_sink is not None:
+        print("recorded:          %s (replay with `repro replay`)"
+              % args.record)
     print(result.summary())
     outcome = verify(result, specification)
     print("verification:      %s" % outcome.summary())
@@ -233,10 +256,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
     )
     from repro.simulation.persistence import save_schedule
 
-    if args.protocol not in protocol_factories():
+    factories = protocol_factories()
+    if args.protocol not in factories:
         raise SystemExit(
             "unknown protocol %r; available: %s"
-            % (args.protocol, ", ".join(sorted(protocol_factories())))
+            % (args.protocol, ", ".join(sorted(factories)))
         )
     if args.workload == "random":
         workload = random_traffic(
@@ -298,12 +322,12 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    from repro.protocols.registry import catalogue
+    from repro.protocols.registry import cached_catalogue
     from repro.verification.compare import ProtocolRow, compare_protocols
 
     entries = [
         (entry.name, entry.factory, entry.spec)
-        for entry in catalogue().values()
+        for entry in cached_catalogue().values()
     ]
     workloads = [
         random_traffic(args.processes, args.messages, seed=s, color_every=6)
@@ -358,9 +382,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         run_id=args.run_id,
         faults=faults,
         time_scale=args.time_scale,
+        wal_dir=args.wal,
+        wal_meta={"protocol": args.protocol} if args.wal else None,
     )
     print(
-        "serving %s as process %d of %d on %s:%d (run %s)%s"
+        "serving %s as process %d of %d on %s:%d (run %s)%s%s"
         % (
             args.protocol,
             args.process_id,
@@ -369,6 +395,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ports[args.process_id],
             args.run_id,
             " with faults" if faults is not None else "",
+            " [recovered from WAL]" if host.recovered else "",
         ),
         flush=True,
     )
@@ -426,22 +453,66 @@ def _cmd_load(args: argparse.Namespace) -> int:
             spec = default_spec_for(args.protocol)
 
     async def drive():
+        # --record needs the merged event stream even without a spec to
+        # monitor, so the observer attaches either way.
         observer = (
-            LiveObserver(args.processes, spec=spec) if spec is not None else None
+            LiveObserver(args.processes, spec=spec)
+            if spec is not None or args.record
+            else None
         )
+        recorder = soak_wal = None
+        if args.record or args.wal:
+            from repro.wal import WalSink
+
+            spec_name = args.spec or (
+                getattr(spec, "name", None) if spec is not None else None
+            )
+            wal_meta = {
+                "run": args.run_id,
+                "processes": args.processes,
+                "seed": args.seed,
+            }
+            if args.protocol:
+                wal_meta["protocol"] = args.protocol
+            if spec_name:
+                wal_meta["spec"] = spec_name
+            if args.record:
+                recorder = WalSink(args.record, meta=wal_meta)
+                recorder.attach_trace(observer.trace)
+            if args.wal:
+                soak_wal = WalSink(args.wal, meta=dict(wal_meta, role="load"))
         load = LoadGenerator(
             ports,
             host=args.host,
             run_id=args.run_id,
             seed=args.seed,
             color_rate=args.color_rate,
+            wal=soak_wal,
         )
+        duration = args.duration
+        if soak_wal is not None:
+            resume = load.last_checkpoint()
+            if resume is not None:
+                if resume.get("seed") not in (None, args.seed):
+                    raise SystemExit(
+                        "soak WAL %s was written with seed %s; rerun with "
+                        "the same seed to resume it" % (args.wal, resume["seed"])
+                    )
+                load.fast_forward(int(resume.get("requested", 0)))
+                duration = max(0.0, duration - float(resume.get("elapsed", 0.0)))
+                print(
+                    "resuming soak: %d message(s) already offered, "
+                    "%.1fs remaining" % (load.requested, duration),
+                    flush=True,
+                )
         try:
             if observer is not None:
                 await observer.connect(ports, host=args.host, run_id=args.run_id)
             await load.connect()
             started = _time.monotonic()
-            load_seconds = await load.run(args.rate, args.duration)
+            load_seconds = (
+                await load.run(args.rate, duration) if duration > 0 else 0.0
+            )
             await load.drain_hosts()
             quiesced, stats = await load.quiesce(timeout=args.quiesce_timeout)
             if observer is not None:
@@ -495,9 +566,16 @@ def _cmd_load(args: argparse.Namespace) -> int:
             await load.close()
             if observer is not None:
                 await observer.close()
+            if recorder is not None:
+                recorder.close()
+            if soak_wal is not None:
+                soak_wal.close()
 
     report = asyncio.run(drive())
     print(report.render(), flush=True)
+    if args.record:
+        print("recorded: %s (replay with `repro replay`)" % args.record,
+              flush=True)
     if args.trace_out:
         print("trace: %s (open in https://ui.perfetto.dev)" % args.trace_out,
               flush=True)
@@ -516,10 +594,115 @@ def _cmd_load(args: argparse.Namespace) -> int:
     return 0 if report.violation is None else 1
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.wal import WalError, delivery_order, replay_log
+
+    spec = _resolve_spec(args.spec, distinct=False) if args.spec else None
+    try:
+        result = replay_log(args.directory, spec=spec)
+    except FileNotFoundError as exc:
+        print("repro replay: %s" % exc, file=sys.stderr)
+        return 2
+    except WalError as exc:
+        print("repro replay: unreadable log: %s" % exc, file=sys.stderr)
+        return 2
+    meta = result.meta
+    deliveries = delivery_order(result.trace)
+    print("log:               %s" % args.directory)
+    print(
+        "segments:          %d (%d event(s), %d delivery(ies))"
+        % (result.segments, result.trace.record_count, len(deliveries))
+    )
+    if result.tail_dropped:
+        print("torn tail:         %d byte(s) dropped" % result.tail_dropped)
+    for key in ("run", "protocol", "spec", "seed", "processes"):
+        if key in meta:
+            print("%-18s %s" % (key + ":", meta[key]))
+    if spec is None and not meta.get("spec"):
+        print("verification:      skipped (no spec recorded; pass --spec)")
+    elif result.violation is None:
+        print("verification:      OK (monitor found no violation)")
+    elif isinstance(result.violation, str):
+        # The membership-oracle verdict (logically synchronous specs)
+        # names no witness assignment.
+        print("verification:      VIOLATION %s" % result.violation)
+    else:
+        violation = result.violation
+        binding = ", ".join(
+            "%s=%s" % (k, v) for k, v in sorted(violation.assignment.items())
+        )
+        print(
+            "verification:      VIOLATION %s at t=%.3f with %s"
+            % (violation.predicate_name, violation.time, binding)
+        )
+    if args.json:
+        verdict = None
+        if isinstance(result.violation, str):
+            verdict = {"oracle": result.violation}
+        elif result.violation is not None:
+            verdict = {
+                "predicate": result.violation.predicate_name,
+                "time": result.violation.time,
+                "assignment": dict(result.violation.assignment),
+            }
+        body = {
+            "meta": meta,
+            "segments": result.segments,
+            "tail_dropped": result.tail_dropped,
+            "events": result.trace.record_count,
+            "deliveries": [[process, mid] for process, mid in deliveries],
+            "violation": verdict,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(body, handle, indent=1)
+        print("json:              %s" % args.json)
+    if args.explore:
+        from repro.mc import DEFAULT_MAX_DEPTH, DEFAULT_MAX_SCHEDULES
+        from repro.wal import explore_from_log
+
+        try:
+            report = explore_from_log(
+                args.directory,
+                spec=spec,
+                max_schedules=args.max_schedules or DEFAULT_MAX_SCHEDULES,
+                max_depth=args.max_depth or DEFAULT_MAX_DEPTH,
+            )
+        except (ValueError, WalError) as exc:
+            print("repro replay: cannot explore: %s" % exc, file=sys.stderr)
+            return 2
+        print()
+        print("continuing exploration from the recorded prefix:")
+        print(report.summary())
+        return 1 if report.violations or result.violation else 0
+    return 0 if result.violation is None else 1
+
+
+def _net_error(exc: BaseException, args: argparse.Namespace) -> str:
+    """A one-line operator-facing account of a collector failure."""
+    import asyncio
+
+    from repro.net import codec
+
+    ports = "%d-%d" % (args.port_base, args.port_base + args.processes - 1)
+    where = "%s:%s" % (args.host, ports)
+    if isinstance(exc, codec.UnknownVersion):
+        return "%s (is the cluster at %s running an older build?)" % (exc, where)
+    if isinstance(exc, codec.CodecError):
+        return "bad frame from %s: %s" % (where, exc)
+    if isinstance(exc, asyncio.TimeoutError):
+        return "timed out waiting for the cluster at %s" % where
+    if isinstance(exc, ConnectionRefusedError):
+        return "connection refused at %s (is `repro serve` running?)" % where
+    return "cannot reach the cluster at %s: %s" % (where, exc)
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import asyncio
     import json
 
+    from repro.net import codec
     from repro.net.collector import ClusterCollector, stitch_flight_dumps
 
     ports = [args.port_base + index for index in range(args.processes)]
@@ -532,7 +715,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         finally:
             await collector.close()
 
-    pulls = asyncio.run(pull())
+    # One readable line for the operator errors: nothing listening on the
+    # target ports, a peer speaking another frame version, or a dead
+    # cluster timing the handshake out.  (asyncio.TimeoutError is not an
+    # OSError before Python 3.10, so it is caught explicitly.)
+    try:
+        pulls = asyncio.run(pull())
+    except (OSError, asyncio.TimeoutError, codec.CodecError) as exc:
+        print("repro trace: %s" % _net_error(exc, args), file=sys.stderr)
+        return 1
     dumps = [pull.trace_body for pull in pulls if pull.trace_body]
     offsets = {pull.process: pull.offset for pull in pulls}
     records = sum(
@@ -575,6 +766,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
     import asyncio
     import time as _time
 
+    from repro.net import codec
     from repro.net.collector import ClusterCollector, render_top
 
     ports = [args.port_base + index for index in range(args.processes)]
@@ -606,6 +798,9 @@ def _cmd_top(args: argparse.Namespace) -> int:
         return asyncio.run(watch())
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         return 0
+    except (OSError, asyncio.TimeoutError, codec.CodecError) as exc:
+        print("repro top: %s" % _net_error(exc, args), file=sys.stderr)
+        return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -698,6 +893,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="write the run's metrics registry as JSON",
+    )
+    p_sim.add_argument(
+        "--record",
+        metavar="DIR",
+        default=None,
+        help="append the run to a write-ahead log directory "
+        "(replay with `repro replay DIR`)",
     )
     p_sim.set_defaults(func=_cmd_simulate)
 
@@ -871,6 +1073,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="at drain, write this host's metrics as OpenMetrics text",
     )
+    p_serve.add_argument(
+        "--wal",
+        metavar="DIR",
+        default=None,
+        help="durable write-ahead log: appends every input before the "
+        "protocol sees it, and recovers state from the log segments "
+        "on restart (crash durability for this process)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_load = sub.add_parser(
@@ -942,7 +1152,61 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="violation forensics JSON path (default forensics-<run>.json)",
     )
+    p_load.add_argument(
+        "--record",
+        metavar="DIR",
+        default=None,
+        help="record the merged observer event stream to a write-ahead "
+        "log directory (replay with `repro replay DIR`)",
+    )
+    p_load.add_argument(
+        "--wal",
+        metavar="DIR",
+        default=None,
+        help="checkpoint load progress to a WAL directory; rerunning "
+        "with the same directory and seed resumes an interrupted soak",
+    )
     p_load.set_defaults(func=_cmd_load)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="re-execute a recorded WAL through the spec monitor "
+        "(bit-identical verdict), optionally continuing into the "
+        "model checker",
+    )
+    p_replay.add_argument(
+        "directory", help="WAL directory written by --record / --wal"
+    )
+    p_replay.add_argument(
+        "--spec",
+        default=None,
+        help="specification override (catalogue name or DSL); default: "
+        "the spec named in the log's META record",
+    )
+    p_replay.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write the replay verdict (meta, deliveries, violation) as JSON",
+    )
+    p_replay.add_argument(
+        "--explore",
+        action="store_true",
+        help="hand the recorded run to the model checker as a fixed "
+        "schedule prefix and explore its continuations",
+    )
+    p_replay.add_argument(
+        "--max-schedules",
+        "--budget",
+        dest="max_schedules",
+        type=int,
+        default=None,
+        help="schedule budget for --explore",
+    )
+    p_replay.add_argument(
+        "--max-depth", type=int, default=None, help="depth budget for --explore"
+    )
+    p_replay.set_defaults(func=_cmd_replay)
 
     p_trace = sub.add_parser(
         "trace",

@@ -51,11 +51,19 @@ class FaultInjector:
         transport: FaultyTransport,
         hosts: "Dict[int, ProtocolHost]",
         bus: "Optional[Bus]" = None,
+        wal: "Optional[Any]" = None,
+        protocol_factory: "Optional[Callable[[int, int], Any]]" = None,
     ):
         self.sim = sim
         self.transport = transport
         self.hosts = hosts
         self._bus = bus
+        # With a WAL sink and the factory, restarts rebuild protocol
+        # state by replaying the logged inputs (repro.wal.recovery)
+        # instead of restoring a crash-instant snapshot -- redo-log
+        # durability rather than checkpoint-at-crash magic.
+        self._wal = wal if protocol_factory is not None else None
+        self._factory = protocol_factory
         self._snapshots: Dict[int, Dict[str, Any]] = {}
         self._deferred: Dict[int, List[Callable[[], None]]] = {}
         self.crashes = 0
@@ -109,7 +117,8 @@ class FaultInjector:
             return
         host.down = True
         self.transport.mark_down(process_id)
-        self._snapshots[process_id] = host.protocol.snapshot()
+        if self._wal is None:
+            self._snapshots[process_id] = host.protocol.snapshot()
         host.stats.crashes += 1
         self.crashes += 1
         bus = self._bus
@@ -123,7 +132,21 @@ class FaultInjector:
         host.down = False
         host.crash_epoch += 1
         self.transport.mark_up(process_id)
-        host.protocol.restore(self._snapshots.pop(process_id))
+        if self._wal is not None:
+            from repro.wal import rebuild_protocol
+
+            # The log, not the dead instance, is the recovery authority:
+            # replay every input this process ever handled into a fresh
+            # protocol built by the same factory.
+            assert self._factory is not None
+            host.protocol = rebuild_protocol(
+                self._factory,
+                process_id,
+                host.n_processes,
+                self._wal.reload().records,
+            )
+        else:
+            host.protocol.restore(self._snapshots.pop(process_id))
         host.stats.restarts += 1
         self.restarts += 1
         bus = self._bus

@@ -39,7 +39,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.mc.counterexample import (
     Schedule,
@@ -106,6 +116,9 @@ class MCReport:
     max_schedules: Optional[int]
     max_depth: int
     fault_budget: int = 0
+    #: Transitions of the fixed stem the search was seeded with (a
+    #: recorded run handed over by :func:`repro.wal.explore_from_log`).
+    prefix_length: int = 0
     schedules_explored: int = 0
     replays: int = 0
     transitions: int = 0
@@ -233,6 +246,7 @@ class ModelChecker:
         minimize: bool = True,
         collect_runs: bool = False,
         bus: Optional[Bus] = None,
+        prefix: Optional[Sequence[TransitionKey]] = None,
     ):
         self.factory = protocol_factory
         self.workload = workload
@@ -254,6 +268,16 @@ class ModelChecker:
         self.minimize = minimize
         self.collect_runs = collect_runs
         self.bus = bus
+        #: A fixed schedule stem (e.g. a recorded production run): the
+        #: DFS replays it verbatim and explores only its continuations.
+        #: The stem itself is checked too -- a violation *inside* the
+        #: recording surfaces at the root node.
+        self.prefix: List[TransitionKey] = [
+            tuple(key) for key in (prefix or [])
+        ]
+        # The depth budget bounds the *continuation*, not the stem: a
+        # long recording must not eat the whole search allowance.
+        self.max_depth += len(self.prefix)
         #: Complete (drained) user-view runs reached, when ``collect_runs``.
         self.complete_runs: Set[UserRun] = set()
         self._run_signatures: Set[Tuple] = set()
@@ -273,6 +297,7 @@ class ModelChecker:
             max_schedules=self.max_schedules,
             max_depth=self.max_depth,
             fault_budget=self.fault_budget,
+            prefix_length=len(self.prefix),
         )
         self._report = report
         self._visited.clear()
@@ -282,7 +307,7 @@ class ModelChecker:
         # DFS so each node only verifies its new trace suffix.
         self._monitor = SpecMonitor(self.spec, bus=self.bus)
         try:
-            self._explore([], frozenset())
+            self._explore(list(self.prefix), frozenset())
         except _BudgetExhausted:
             report.budget_exhausted = True
         except _EnoughViolations:

@@ -84,10 +84,10 @@ def protocol_factories() -> Dict[str, Callable[[int, int], object]]:
     (every timer expiry is a transition the adversary may fire at will).
     """
     from repro.mc.mutations import mutation_factories
-    from repro.protocols.registry import catalogue
+    from repro.protocols.registry import cached_catalogue
     from repro.protocols.reliable import make_reliable
 
-    registry = {name: entry.factory for name, entry in catalogue().items()}
+    registry = {name: entry.factory for name, entry in cached_catalogue().items()}
     registry.update(mutation_factories())
     for name, factory in list(registry.items()):
         registry["reliable-" + name] = make_reliable(
@@ -114,9 +114,9 @@ def default_spec_for(name: str) -> Specification:
     protocol they break -- that is the point of seeding them.
     """
     from repro.predicates.catalog import CAUSAL_ORDERING, FIFO_ORDERING
-    from repro.protocols.registry import catalogue
+    from repro.protocols.registry import cached_catalogue
 
-    table = {name: entry.spec for name, entry in catalogue().items()}
+    table = {name: entry.spec for name, entry in cached_catalogue().items()}
     table.update(
         {
             "broken-fifo": FIFO_ORDERING,

@@ -359,19 +359,43 @@ class LoadGenerator:
         run_id: str = "default",
         seed: int = 0,
         color_rate: float = 0.0,
+        wal: Optional[Any] = None,
     ) -> None:
         import random
 
         self.ports = list(ports)
         self.host = host
         self.run_id = run_id
+        self.seed = seed
         self.rng = random.Random(seed)
         self.color_rate = color_rate
         self.requested = 0
         self.errors: List[str] = []
+        #: Optional :class:`repro.wal.WalSink` for resumable soak runs:
+        #: one CHECKPOINT per pacing tick, so an interrupted soak resumes
+        #: from its last progress marker (:meth:`fast_forward`).
+        self.wal = wal
         self._streams: List[
             Tuple[asyncio.StreamReader, asyncio.StreamWriter]
         ] = []
+
+    def fast_forward(self, requested: int) -> None:
+        """Re-draw the first ``requested`` messages so the seeded RNG
+        stream continues exactly where an interrupted run left off."""
+        while self.requested < requested:
+            self._next_message()
+
+    def last_checkpoint(self) -> Optional[Dict[str, Any]]:
+        """The newest CHECKPOINT in the attached WAL, if any."""
+        if self.wal is None:
+            return None
+        from repro.wal import records as _rec
+
+        newest = None
+        for record in self.wal.reload().records:
+            if record.kind == _rec.CHECKPOINT:
+                newest = dict(record.body)
+        return newest
 
     @property
     def n_processes(self) -> int:
@@ -437,9 +461,20 @@ class LoadGenerator:
             for batch, (_, writer) in zip(batches, self._streams):
                 if batch:
                     writer.write(bytes(batch))
+            if self.wal is not None:
+                self.wal.checkpoint(
+                    requested=self.requested, elapsed=elapsed, seed=self.seed
+                )
             await asyncio.sleep(0.005)
         for _, writer in self._streams:
             await writer.drain()
+        if self.wal is not None:
+            self.wal.checkpoint(
+                requested=self.requested,
+                elapsed=loop.time() - start,
+                seed=self.seed,
+                done=True,
+            )
         return loop.time() - start
 
     async def _round_trip(self, kind: int, body: Dict[str, Any]) -> List[codec.Frame]:
@@ -587,6 +622,10 @@ async def run_cluster(
     quiesce_timeout: float = 30.0,
     run_id: Optional[str] = None,
     observability: bool = True,
+    observe: bool = False,
+    wal_dir: Optional[str] = None,
+    record_dir: Optional[str] = None,
+    spec_name: Optional[str] = None,
 ) -> NetRunReport:
     """One complete networked run with every role in this process.
 
@@ -595,9 +634,18 @@ async def run_cluster(
     benchmarks want (no interpreter startup noise, full determinism of
     the seeded workload).  ``repro serve`` / ``repro load`` provide the
     process-per-host deployment of the same pieces.
+
+    ``wal_dir`` gives every host a per-process WAL segment directory
+    (``<wal_dir>/p<i>``) -- durable crash recovery.  ``record_dir``
+    records the *observer's* merged view of the run (requires a
+    ``spec``-driven observer) into one WAL the ``repro replay``
+    subcommand and :func:`repro.wal.replay_log` re-execute bit-identically.
     """
     run_id = run_id or "inline-%d" % seed
     ports = free_ports(n_processes)
+    wal_meta = {"protocol": protocol_name}
+    if spec_name:
+        wal_meta["spec"] = spec_name
     hosts = [
         NetHost(
             protocol_factory,
@@ -607,10 +655,34 @@ async def run_cluster(
             faults=faults,
             time_scale=time_scale,
             observability=observability,
+            wal_dir=wal_dir,
+            wal_meta=wal_meta if wal_dir is not None else None,
         )
         for process_id in range(n_processes)
     ]
-    observer = LiveObserver(n_processes, spec=spec) if spec is not None else None
+    # ``observe`` taps the merged event stream without a spec monitor --
+    # the recorder's baseline configuration for overhead benchmarks.
+    observer = (
+        LiveObserver(n_processes, spec=spec)
+        if spec is not None or observe
+        else None
+    )
+    recorder = None
+    if record_dir is not None:
+        if observer is None:
+            observer = LiveObserver(n_processes)
+        from repro.wal import WalSink
+
+        recorder = WalSink(
+            record_dir,
+            meta={
+                "run": run_id,
+                "processes": n_processes,
+                "seed": seed,
+                **wal_meta,
+            },
+        )
+        recorder.attach_trace(observer.trace)
     load = LoadGenerator(ports, run_id=run_id, seed=seed, color_rate=color_rate)
     started = time.monotonic()
     try:
@@ -656,6 +728,8 @@ async def run_cluster(
         await load.close()
         if observer is not None:
             await observer.close()
+        if recorder is not None:
+            recorder.close()
         for host in hosts:
             await host.shutdown()
 

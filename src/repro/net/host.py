@@ -84,25 +84,11 @@ def event_from_wire(body: Dict[str, Any]) -> "tuple[float, int, Event, Message]"
 
 
 class TapTrace(Trace):
-    """A trace that mirrors every record to attached taps (observers)."""
-
-    def __init__(self, n_processes: int) -> None:
-        super().__init__(n_processes)
-        self._taps: List[Callable[[TraceRecord, Message], None]] = []
-
-    def attach_tap(self, tap: Callable[[TraceRecord, Message], None]) -> None:
-        """Stream future records to ``tap``; past records are the caller's
-        job (see :meth:`NetHost._attach_observer`, which replays)."""
-        self._taps.append(tap)
-
-    def record(self, time: float, process: int, event: Event) -> None:
-        super().record(time, process, event)
-        if self._taps:
-            record = self._records[-1]
-            message = self.message(event.message_id)
-            assert message is not None  # record() validated registration
-            for tap in self._taps:
-                tap(record, message)
+    """Backwards-compatible alias: the tap machinery (``attach_tap``
+    streaming every record to ``tap(record, message)``) moved into the
+    base :class:`~repro.simulation.trace.Trace` when the WAL sink grew a
+    second consumer for it.  Past records are still the attacher's job
+    (see :meth:`NetHost._attach_observer`, which replays)."""
 
 
 class NetProtocolHost(ProtocolHost):
@@ -224,6 +210,9 @@ class NetHost:
         dial_timeout: float = 20.0,
         observability: bool = True,
         flight_capacity: int = DEFAULT_CAPACITY,
+        wal_dir: Optional[str] = None,
+        wal_meta: Optional[Dict[str, Any]] = None,
+        wal_sync_every: int = 64,
     ) -> None:
         n_processes = len(ports)
         if not 0 <= process_id < n_processes:
@@ -283,6 +272,10 @@ class NetHost:
         self.errors: List[str] = []
         self._server: Optional[asyncio.base_events.Server] = None
         self._peer_writers: List[asyncio.StreamWriter] = []
+        #: Accepted inbound peer streams.  Tracked so :meth:`crash` can
+        #: close them like a SIGKILL would close the fds -- peers then
+        #: see EOF on their outbound links and know to re-dial.
+        self._accepted_writers: Set[asyncio.StreamWriter] = set()
         self._client_writers: Set[asyncio.StreamWriter] = set()
         self._observer_writers: List[asyncio.StreamWriter] = []
         self._inbound_peers: Set[int] = set()
@@ -291,6 +284,104 @@ class NetHost:
         self._tasks: Set[asyncio.Task] = set()
         self._unsubscribe_bridge: Optional[Callable[[], None]] = None
         self._invoked_count = 0
+        #: Durable replay log (repro.wal).  Recovery runs *before* the
+        #: sink attaches, so replayed inputs are not logged twice.
+        self.wal: Optional[Any] = None
+        self.recovery: Optional[Any] = None
+        self.crashed = False
+        self._recovered = False
+        self._redialing: Set[int] = set()
+        if wal_dir is not None:
+            self._init_wal(wal_dir, wal_meta, wal_sync_every)
+
+    @property
+    def recovered(self) -> bool:
+        """Whether this host rebuilt state from an existing WAL."""
+        return self._recovered
+
+    # -- durability (repro.wal) ------------------------------------------------
+
+    def _init_wal(
+        self,
+        wal_dir: str,
+        wal_meta: Optional[Dict[str, Any]],
+        wal_sync_every: int,
+    ) -> None:
+        """Recover from this process's segment directory, then log into it.
+
+        Existing records mean a previous incarnation crashed here: its
+        INPUT stream replays through the live host (outbound and timers
+        suppressed) so the protocol's durable state -- ARQ sequence
+        numbers, reassembly buffers, tags, delivered sets -- comes back
+        before any peer connects.  ``on_restart`` then runs at the
+        rendezvous point (:meth:`_check_ready`) to re-arm recovery.
+        """
+        import os
+
+        from repro.wal import WalSink, read_log, replay_into_host
+
+        directory = os.path.join(wal_dir, "p%d" % self.process_id)
+        existing = read_log(directory)
+        if existing.records:
+            self.recovery = replay_into_host(
+                self.host, existing.records, process_id=self.process_id
+            )
+            self._recovered = True
+            self._invoked_count = self.recovery.invokes
+            for error in self.recovery.errors:
+                self.errors.append("wal recovery: %s" % error)
+        meta = {
+            "run": self.run_id,
+            "process": self.process_id,
+            "processes": self.n_processes,
+        }
+        if wal_meta:
+            meta.update(wal_meta)
+        sink = WalSink(
+            directory,
+            meta=meta,
+            sync_every=wal_sync_every,
+            clock=lambda: self.clock.now,
+        )
+        sink.attach_trace(self.trace)
+        sink.attach_host(self.host)
+        sink.attach_bus(self.bus)
+        if self.flight is not None:
+            flight = self.flight
+            sink.vc_for = lambda record: flight.vc_for(record.event.message_id)
+        self.wal = sink
+
+    async def crash(self) -> None:
+        """Die abruptly: no drain, no graceful close, no final fsync.
+
+        Volatile state is gone exactly as a SIGKILL would lose it; the
+        WAL keeps every record already appended (the writer is
+        unbuffered, so only a power failure could tear the tail).  A new
+        :class:`NetHost` pointed at the same ``wal_dir`` recovers.
+        """
+        if self._done.is_set():
+            return
+        self.crashed = True
+        self.draining = True
+        self.clock.cancel_all()
+        if self._unsubscribe_bridge is not None:
+            self._unsubscribe_bridge()
+            self._unsubscribe_bridge = None
+        if self._server is not None:
+            self._server.close()
+        for task in list(self._tasks):
+            task.cancel()
+        for writer in (
+            self._peer_writers
+            + list(self._accepted_writers)
+            + list(self._client_writers)
+            + self._observer_writers
+        ):
+            if not writer.is_closing():
+                writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._done.set()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -349,12 +440,15 @@ class NetHost:
         for recorder in (self.flight, self.metrics, self.watchdog):
             if recorder is not None:
                 recorder.close()
+        if self.wal is not None:
+            self.wal.close()
         if self._server is not None:
             self._server.close()
         for task in list(self._tasks):
             task.cancel()
         writers = (
             self._peer_writers
+            + list(self._accepted_writers)
             + list(self._client_writers)
             + self._observer_writers
         )
@@ -432,14 +526,34 @@ class NetHost:
         self.transport.connect(dst, writer)
         self._peer_writers.append(writer)
         # Nothing travels host-ward on a dialed link; watch it for EOF only.
-        self._spawn(self._watch_eof(reader))
+        self._spawn(self._watch_eof(dst, reader, writer))
 
-    async def _watch_eof(self, reader: asyncio.StreamReader) -> None:
+    async def _redial(self, dst: int) -> None:
+        try:
+            await self._dial(dst)
+        except OSError as exc:
+            self.errors.append("re-dial of peer %d failed: %s" % (dst, exc))
+        finally:
+            self._redialing.discard(dst)
+
+    async def _watch_eof(
+        self,
+        dst: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
         try:
             while await reader.read(4096):
                 pass
         except (asyncio.CancelledError, ConnectionError):
-            pass
+            return
+        # EOF: the peer's incarnation is gone.  Tear the link down so
+        # ``link_up`` reports it and the rendezvous logic re-dials when
+        # (if) a new incarnation comes back.
+        if self.transport._writers.get(dst) is writer:
+            self.transport.disconnect(dst)
+        if not writer.is_closing():
+            writer.close()
 
     def _check_ready(self) -> None:
         peers = self.n_processes - 1
@@ -449,7 +563,17 @@ class NetHost:
             and not self._ready.is_set()
         ):
             self._ready.set()
-            self.host.start()  # the protocol's on_start, exactly once
+            if self._recovered:
+                # The protocol already re-lived its history during WAL
+                # replay (on_start included); what it needs now is the
+                # restart hook -- the ARQ sublayer retransmits everything
+                # unacked, exactly like a snapshot restore would.
+                bus = self.bus
+                if bus is not None and bus.active:
+                    bus.emit("restart", self.clock.now, process=self.process_id)
+                self.host.protocol.on_restart(self.host.ctx)
+            else:
+                self.host.start()  # the protocol's on_start, exactly once
 
     # -- inbound connections ---------------------------------------------------
 
@@ -474,9 +598,25 @@ class NetHost:
             return
         role = hello.body.get("role")
         if role == "peer":
-            self._inbound_peers.add(int(hello.body.get("process", -1)))
+            peer = int(hello.body.get("process", -1))
+            self._inbound_peers.add(peer)
+            if (
+                self._ready.is_set()
+                and 0 <= peer < self.n_processes
+                and peer != self.process_id
+                and not self.transport.link_up(peer)
+                and peer not in self._redialing
+            ):
+                # A crashed peer came back and dialed us; our outbound
+                # stream died with its old incarnation, so dial back.
+                self._redialing.add(peer)
+                self._spawn(self._redial(peer))
             self._check_ready()
-            await self._peer_loop(reader, writer)
+            self._accepted_writers.add(writer)
+            try:
+                await self._peer_loop(reader, writer)
+            finally:
+                self._accepted_writers.discard(writer)
         elif role == "observer":
             await self._observer_loop(reader, writer)
         elif role == "load":

@@ -151,6 +151,12 @@ class AsyncTransport(Transport):
     def disconnect(self, dst: int) -> None:
         self._writers.pop(dst, None)
 
+    def link_up(self, dst: int) -> bool:
+        """Whether an open outbound stream to ``dst`` exists right now
+        (a restarted peer's old stream counts as down once it closes)."""
+        writer = self._writers.get(dst)
+        return writer is not None and not writer.is_closing()
+
     @property
     def connected(self) -> Set[int]:
         return set(self._writers)

@@ -42,6 +42,7 @@ probe            payload fields
 ``retx.send``    ``process``, ``message_id``, ``receiver``, ``kind``
 ``retx.ack``     ``process``, ``peer``, ``cumulative``
 ``retx.dup``     ``process``, ``message_id``, ``sender``
+``timer.fire``   ``process``
 ===============  ============================================================
 
 The ``mc.*`` probes are emitted by the model checker's explorer
@@ -66,6 +67,11 @@ extra latency added.  The ``retx.*`` probes come from the ARQ sublayer
 (:mod:`repro.protocols.reliable`): ``retx.send`` per retransmitted
 packet, ``retx.ack`` per acknowledgment processed, ``retx.dup`` per
 duplicate arrival suppressed by receive-side dedup.
+
+``timer.fire`` is emitted by the host each time a protocol timer's
+action actually runs (armed timers that die in a crash never fire); the
+WAL (:mod:`repro.wal`) mirrors it so a recorded run carries its timer
+history alongside the fault and retransmission streams.
 """
 
 from __future__ import annotations
@@ -99,6 +105,7 @@ PROBES = frozenset(
         "retx.send",
         "retx.ack",
         "retx.dup",
+        "timer.fire",
     }
 )
 

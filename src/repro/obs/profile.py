@@ -24,9 +24,9 @@ from repro.simulation.workloads import Workload
 def catalog_protocols() -> "dict[str, Callable[[int, int], object]]":
     """The named protocol factories available for profiling (a view of
     the single :func:`repro.protocols.catalogue` registry)."""
-    from repro.protocols.registry import catalogue
+    from repro.protocols.registry import cached_catalogue
 
-    return {name: entry.factory for name, entry in catalogue().items()}
+    return {name: entry.factory for name, entry in cached_catalogue().items()}
 
 
 #: The default comparison set of ``repro profile``.

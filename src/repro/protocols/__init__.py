@@ -28,12 +28,18 @@ from repro.protocols.sync_coordinator import SyncCoordinatorProtocol
 from repro.protocols.sync_rendezvous import SyncRendezvousProtocol
 from repro.protocols.generated import GeneratedTaggedProtocol
 from repro.protocols.reliable import ReliableProtocol, make_reliable
-from repro.protocols.registry import CatalogueEntry, catalogue, catalogue_entry
+from repro.protocols.registry import (
+    CatalogueEntry,
+    cached_catalogue,
+    catalogue,
+    catalogue_entry,
+)
 
 __all__ = [
     "Protocol",
     "make_factory",
     "CatalogueEntry",
+    "cached_catalogue",
     "catalogue",
     "catalogue_entry",
     "TaglessProtocol",

@@ -16,7 +16,9 @@ implements.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from functools import lru_cache
+from types import MappingProxyType
+from typing import Callable, Dict, Mapping, Tuple
 
 from repro.protocols.base import Protocol, make_factory
 
@@ -103,9 +105,21 @@ def catalogue() -> Dict[str, CatalogueEntry]:
     }
 
 
+@lru_cache(maxsize=1)
+def cached_catalogue() -> "Mapping[str, CatalogueEntry]":
+    """The registry built once and shared, behind a read-only view.
+
+    :func:`catalogue` rebuilds its dict (and re-imports the spec
+    catalog) on every call, which the CLI used to do several times per
+    subcommand.  Entries are immutable, so one shared mapping is safe;
+    the proxy keeps a careless consumer from mutating the shared copy.
+    """
+    return MappingProxyType(catalogue())
+
+
 def catalogue_entry(name: str) -> CatalogueEntry:
     """One entry by name, with a helpful error on a miss."""
-    entries = catalogue()
+    entries = cached_catalogue()
     if name not in entries:
         raise KeyError(
             "unknown catalogue protocol %r; available: %s"

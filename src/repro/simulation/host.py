@@ -109,6 +109,11 @@ class ProtocolHost:
         self._delivered: Set[str] = set()
         # Reactive applications (repro.apps) observe deliveries.
         self.delivery_listener: Optional[Any] = None
+        # The WAL's redo-log hook (repro.wal.sink.WalSink.attach_host):
+        # called with (process_id, "invoke", message) / (process_id,
+        # "packet", packet) before the input is processed, so the log
+        # holds every input in processing order even when handling raises.
+        self.input_listener: Optional[Any] = None
         # Crash state (driven by repro.faults.FaultInjector): while down,
         # the faulty transport blackholes arrivals and timers are inert.
         # The epoch invalidates every timer armed before a crash.
@@ -131,6 +136,8 @@ class ProtocolHost:
             )
         if message.id in self._invoked:
             raise ProtocolError("message %r invoked twice" % message.id)
+        if self.input_listener is not None:
+            self.input_listener(self.process_id, "invoke", message)
         self.trace.register_message(message)
         self._invoked.add(message.id)
         self.trace.record(self.sim.now, self.process_id, Event.invoke(message.id))
@@ -249,6 +256,7 @@ class ProtocolHost:
         def guarded() -> None:
             if self.down or self.crash_epoch != epoch:
                 return  # the timer did not survive the crash
+            self.emit_probe("timer.fire")
             action()
 
         self.sim.schedule(delay, guarded)
@@ -262,6 +270,8 @@ class ProtocolHost:
     # Network-facing --------------------------------------------------------
 
     def _on_packet(self, packet: Packet) -> None:
+        if self.input_listener is not None:
+            self.input_listener(self.process_id, "packet", packet)
         if packet.is_user:
             message = packet.message
             assert message is not None

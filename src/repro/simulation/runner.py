@@ -107,6 +107,7 @@ def run_simulation(
     bus: "Optional[Bus]" = None,
     spec: Optional[Any] = None,
     faults: Optional[Any] = None,
+    wal: Optional[Any] = None,
 ) -> SimulationResult:
     """Run ``workload`` under the protocol and record the execution.
 
@@ -130,6 +131,13 @@ def run_simulation(
     events; user invokes hitting a crashed process are deferred to its
     restart.  The fault RNG is private to the plan's ``seed``, so the
     same ``seed`` argument still produces the same latency stream.
+
+    With a ``wal`` (a :class:`repro.wal.WalSink`), the run is recorded
+    durably: every trace record, every host input (in processing order)
+    and the fault/retx/timer probe streams are appended to the sink's
+    segment directory, and crash-restart events recover protocol state
+    by *replaying the log* instead of restoring a crash-instant snapshot
+    -- the honest durability semantics (see :mod:`repro.wal`).
     """
     import time as _time
 
@@ -167,9 +175,21 @@ def run_simulation(
         )
         for process_id in range(workload.n_processes)
     ]
+    if wal is not None:
+        wal.set_clock(lambda: sim.now)
+        wal.attach_trace(trace)
+        for host in hosts:
+            wal.attach_host(host)
+        if bus is not None:
+            wal.attach_bus(bus)
     if faults is not None:
         injector = FaultInjector(
-            sim, transport, {host.process_id: host for host in hosts}, bus=bus
+            sim,
+            transport,
+            {host.process_id: host for host in hosts},
+            bus=bus,
+            wal=wal,
+            protocol_factory=protocol_factory,
         )
         injector.install(faults)
     for host in hosts:
@@ -192,6 +212,8 @@ def run_simulation(
         sim.schedule(request.time, invoke)
 
     executed = sim.run(max_events=max_events)
+    if wal is not None:
+        wal.sync()
     if executed >= max_events:
         raise RuntimeError(
             "simulation exceeded %d events; suspected protocol livelock"

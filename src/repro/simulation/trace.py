@@ -136,6 +136,17 @@ class Trace:
         self._messages: Dict[str, Message] = {}
         self._times: Dict[Event, float] = {}
         self._sequence = 0
+        self._taps: List[Any] = []
+
+    def attach_tap(self, tap) -> None:
+        """Stream every *future* record to ``tap(record, message)``.
+
+        Taps observe, they cannot veto; replaying history to a
+        late-attaching consumer is the caller's job (see
+        :meth:`repro.net.host.NetHost._attach_observer` and the WAL sink,
+        which both attach before traffic starts or replay first).
+        """
+        self._taps.append(tap)
 
     def register_message(self, message: Message) -> None:
         """Declare a message of the run (idempotent; conflicts rejected)."""
@@ -155,6 +166,11 @@ class Trace:
         )
         self._times[event] = time
         self._sequence += 1
+        if self._taps:
+            record = self._records[-1]
+            message = self._messages[event.message_id]
+            for tap in self._taps:
+                tap(record, message)
 
     # Queries --------------------------------------------------------------
 

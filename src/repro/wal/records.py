@@ -1,0 +1,381 @@
+"""WAL record model: kinds, bodies, and content-addressed message ids.
+
+One WAL record is a ``(kind, body)`` pair serialized with the wire
+codec's tagged value encoding (:func:`repro.net.codec.encode_value`) so
+protocol tags, vector timestamps and control payloads survive the disk
+round trip exactly like they survive a socket.  The on-disk framing is
+versioned, length-prefixed and checksummed::
+
+    +----------------+---------+------+-------------+-------------------+
+    | length (4B BE) | version | kind | crc32 (4B)  | body (JSON utf-8) |
+    +----------------+---------+------+-------------+-------------------+
+
+``length`` covers version + kind + crc + body; ``crc32`` covers the body
+bytes only.  Decoding is strict about corruption (:class:`WalCorrupt`)
+but distinguishes a *truncated* record (:class:`WalTruncated`) because a
+torn final write is the expected crash artifact -- segment readers drop
+the torn tail instead of refusing to replay (see
+:mod:`repro.wal.segment`).
+
+Record kinds
+------------
+
+``META``
+    run metadata, written at the head of every segment (run id, process,
+    protocol, format version) so a single segment file is self-describing.
+``EVENT``
+    one trace record (the paper's ``x.s*``/``x.s``/``x.r*``/``x.r``),
+    with the message inlined and content-addressed.
+``INPUT``
+    one redo-log input: a user invoke or a packet arrival, in processing
+    order.  Deterministic protocols reconstruct their durable state by
+    replaying exactly these (:mod:`repro.wal.recovery`).
+``FAULT`` / ``RETX`` / ``TIMER``
+    the fault-injection, retransmission, and timer-fire probe streams,
+    so a replayed run carries its recovery history.
+``CHECKPOINT``
+    a load-generator progress marker (resumable soak runs).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Dict, Optional, Tuple
+
+from repro.events import Event, EventKind, Message
+from repro.net import codec
+from repro.simulation.network import Packet
+from repro.simulation.trace import TraceRecord
+
+__all__ = [
+    "WAL_VERSION",
+    "META",
+    "EVENT",
+    "INPUT",
+    "FAULT",
+    "RETX",
+    "TIMER",
+    "CHECKPOINT",
+    "RECORD_KINDS",
+    "KIND_NAMES",
+    "WalError",
+    "WalTruncated",
+    "WalCorrupt",
+    "UnknownWalVersion",
+    "WalRecord",
+    "content_id",
+    "encode_record",
+    "decode_record",
+    "meta_record",
+    "event_record",
+    "event_from_record",
+    "invoke_record",
+    "packet_record",
+    "input_from_record",
+    "probe_record",
+    "checkpoint_record",
+]
+
+#: On-disk format version; bump on any incompatible framing/body change.
+WAL_VERSION = 1
+
+#: Upper bound on one record's (version + kind + crc + body) size.
+MAX_RECORD_BYTES = 4 * 1024 * 1024
+
+# -- record kinds -------------------------------------------------------------
+
+META = 1  # run/segment metadata (head of every segment)
+EVENT = 2  # one trace record: {t, p, k, m, cid[, vc]}
+INPUT = 3  # one redo input: invoke or packet arrival, processing order
+FAULT = 4  # fault.* / crash / restart probe record
+RETX = 5  # retx.* probe record (ARQ recovery traffic)
+TIMER = 6  # a protocol timer fired
+CHECKPOINT = 7  # load-generator progress marker (soak resume)
+
+RECORD_KINDS = frozenset({META, EVENT, INPUT, FAULT, RETX, TIMER, CHECKPOINT})
+
+KIND_NAMES = {
+    META: "META",
+    EVENT: "EVENT",
+    INPUT: "INPUT",
+    FAULT: "FAULT",
+    RETX: "RETX",
+    TIMER: "TIMER",
+    CHECKPOINT: "CHECKPOINT",
+}
+
+_LENGTH = struct.Struct("!I")
+_HEAD = struct.Struct("!BBI")  # version, kind, crc32(body)
+
+_EVENT_KIND_TO_NAME = {
+    EventKind.INVOKE: "invoke",
+    EventKind.SEND: "send",
+    EventKind.RECEIVE: "receive",
+    EventKind.DELIVER: "deliver",
+}
+_NAME_TO_EVENT_KIND = {name: kind for kind, name in _EVENT_KIND_TO_NAME.items()}
+
+
+# -- errors -------------------------------------------------------------------
+
+
+class WalError(ValueError):
+    """Base error for WAL decoding problems."""
+
+
+class WalTruncated(WalError):
+    """The buffer ends inside a record (the torn-final-write artifact)."""
+
+
+class WalCorrupt(WalError):
+    """A record is structurally invalid or fails its checksum."""
+
+
+class UnknownWalVersion(WalError):
+    """The record claims a WAL format version this reader cannot parse."""
+
+
+# -- the record ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable record: a kind and a JSON-safe body."""
+
+    kind: int
+    body: Dict[str, Any]
+
+    @property
+    def kind_name(self) -> str:
+        return KIND_NAMES.get(self.kind, str(self.kind))
+
+
+def _content_id_uncached(message: Message) -> str:
+    canonical = json.dumps(
+        codec.message_to_wire(message), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+_content_id_cached = lru_cache(maxsize=8192)(_content_id_uncached)
+
+
+def content_id(message: Message) -> str:
+    """A stable, content-addressed id for ``message``.
+
+    The hash covers the canonical JSON of the message's wire form
+    (sorted keys, no whitespace), so the same message content yields the
+    same id in every process, every run, and every replay -- the WAL's
+    cross-host join key.  Cached when the message is hashable: one
+    message is logged at up to four events (invoke/send/receive/
+    deliver), and messages are frozen, so equal content always means an
+    equal id.  A message whose payload is an unhashable container takes
+    the uncached path.
+    """
+    try:
+        return _content_id_cached(message)
+    except TypeError:
+        return _content_id_uncached(message)
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def encode_record(record: WalRecord) -> bytes:
+    """Serialize one record with length prefix, version, kind and crc."""
+    if record.kind not in RECORD_KINDS:
+        raise WalError("unknown WAL record kind %r" % (record.kind,))
+    # No sort_keys: record bodies are built with deterministic insertion
+    # order, so the bytes are already reproducible; only content_id needs
+    # the fully canonical (sorted) form.
+    body = json.dumps(
+        codec.encode_value(record.body), separators=(",", ":")
+    ).encode("utf-8")
+    size = _HEAD.size + len(body)
+    if size > MAX_RECORD_BYTES:
+        raise WalError("record of %d bytes exceeds the 4 MiB bound" % size)
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return _LENGTH.pack(size) + _HEAD.pack(WAL_VERSION, record.kind, crc) + body
+
+
+def decode_record(buffer: bytes, offset: int = 0) -> Tuple[WalRecord, int]:
+    """Decode the record at ``offset``; returns ``(record, next_offset)``.
+
+    Raises :class:`WalTruncated` if the buffer ends mid-record,
+    :class:`UnknownWalVersion` on a format version mismatch, and
+    :class:`WalCorrupt` on anything structurally wrong (bad kind, crc
+    mismatch, malformed JSON).
+    """
+    end = len(buffer)
+    if offset + _LENGTH.size > end:
+        raise WalTruncated(
+            "record length prefix truncated at offset %d" % offset
+        )
+    (size,) = _LENGTH.unpack_from(buffer, offset)
+    if size < _HEAD.size or size > MAX_RECORD_BYTES:
+        raise WalCorrupt("implausible record size %d at offset %d" % (size, offset))
+    start = offset + _LENGTH.size
+    if start + size > end:
+        raise WalTruncated(
+            "record of %d bytes truncated at offset %d (%d available)"
+            % (size, offset, end - start)
+        )
+    version, kind, crc = _HEAD.unpack_from(buffer, start)
+    if version != WAL_VERSION:
+        raise UnknownWalVersion(
+            "WAL version %d (this reader speaks %d)" % (version, WAL_VERSION)
+        )
+    if kind not in RECORD_KINDS:
+        raise WalCorrupt("unknown record kind %d at offset %d" % (kind, offset))
+    body_bytes = buffer[start + _HEAD.size : start + size]
+    if zlib.crc32(body_bytes) & 0xFFFFFFFF != crc:
+        raise WalCorrupt("crc mismatch at offset %d" % offset)
+    try:
+        body = codec.decode_value(json.loads(body_bytes.decode("utf-8")))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise WalCorrupt("malformed body at offset %d: %s" % (offset, exc)) from exc
+    if not isinstance(body, dict):
+        raise WalCorrupt("record body at offset %d is not an object" % offset)
+    return WalRecord(kind=kind, body=body), start + size
+
+
+# -- constructors / accessors -------------------------------------------------
+
+
+def meta_record(fields: Dict[str, Any]) -> WalRecord:
+    """A segment-head META record (``format`` stamped automatically)."""
+    body = dict(fields)
+    body.setdefault("format", WAL_VERSION)
+    return WalRecord(kind=META, body=body)
+
+
+def event_record(
+    record: TraceRecord,
+    message: Message,
+    vc: Optional[Dict[int, int]] = None,
+) -> WalRecord:
+    """One trace record as an EVENT body (message inline + content id)."""
+    body: Dict[str, Any] = {
+        "t": record.time,
+        "p": record.process,
+        "k": _EVENT_KIND_TO_NAME[record.event.kind],
+        "m": codec.message_to_wire(message),
+        "cid": content_id(message),
+    }
+    if vc:
+        body["vc"] = dict(vc)
+    return WalRecord(kind=EVENT, body=body)
+
+
+def event_from_record(
+    body: Dict[str, Any], verify: bool = True
+) -> Tuple[float, int, Event, Message]:
+    """Strict inverse of :func:`event_record` (content id re-verified)."""
+    try:
+        kind = _NAME_TO_EVENT_KIND[body["k"]]
+        message = codec.message_from_wire(body["m"])
+        t, p = float(body["t"]), int(body["p"])
+    except (KeyError, TypeError, ValueError, codec.CodecError) as exc:
+        raise WalCorrupt("bad EVENT body %r: %s" % (body, exc)) from exc
+    if verify:
+        expected = body.get("cid")
+        if expected is not None and expected != content_id(message):
+            raise WalCorrupt(
+                "content id mismatch for message %r (stored %s)"
+                % (message.id, expected)
+            )
+    return t, p, Event(message.id, kind), message
+
+
+def invoke_record(t: float, process: int, message: Message) -> WalRecord:
+    """A redo input: the user invoked ``message`` at ``process``."""
+    return WalRecord(
+        kind=INPUT,
+        body={
+            "t": t,
+            "p": process,
+            "op": "invoke",
+            "m": codec.message_to_wire(message),
+            "cid": content_id(message),
+        },
+    )
+
+
+def packet_record(t: float, process: int, packet: Packet) -> WalRecord:
+    """A redo input: ``packet`` arrived at ``process``."""
+    body: Dict[str, Any] = {
+        "t": t,
+        "p": process,
+        "op": "packet",
+        "src": packet.src,
+        "dst": packet.dst,
+        "kind": packet.kind,
+        "sent": packet.send_time,
+        "uid": packet.uid,
+        "cs": packet.channel_seq,
+    }
+    if packet.is_user and packet.message is not None:
+        body["m"] = codec.message_to_wire(packet.message)
+        body["cid"] = content_id(packet.message)
+        body["tag"] = packet.tag
+    else:
+        body["payload"] = packet.payload
+    return WalRecord(kind=INPUT, body=body)
+
+
+def input_from_record(body: Dict[str, Any]) -> Tuple[str, float, int, Any]:
+    """Decode an INPUT body to ``(op, t, process, payload)``.
+
+    ``payload`` is the :class:`~repro.events.Message` for an invoke and
+    the reconstructed :class:`~repro.simulation.network.Packet` for an
+    arrival.
+    """
+    try:
+        op = body["op"]
+        t, process = float(body["t"]), int(body["p"])
+        if op == "invoke":
+            return op, t, process, codec.message_from_wire(body["m"])
+        if op != "packet":
+            raise WalCorrupt("unknown input op %r" % (op,))
+        message = None
+        if "m" in body:
+            message = codec.message_from_wire(body["m"])
+        packet = Packet(
+            src=int(body["src"]),
+            dst=int(body["dst"]),
+            kind=body["kind"],
+            message=message,
+            tag=body.get("tag"),
+            payload=body.get("payload"),
+            send_time=float(body.get("sent", 0.0)),
+            uid=int(body.get("uid", 0)),
+            channel_seq=int(body.get("cs", 0)),
+        )
+        return op, t, process, packet
+    except WalCorrupt:
+        raise
+    except (KeyError, TypeError, ValueError, codec.CodecError) as exc:
+        raise WalCorrupt("bad INPUT body %r: %s" % (body, exc)) from exc
+
+
+def probe_record(
+    kind: int, t: float, process: int, probe: str, data: Dict[str, Any]
+) -> WalRecord:
+    """A FAULT/RETX/TIMER record taped from a bus probe."""
+    if kind not in (FAULT, RETX, TIMER):
+        raise WalError("probe records must be FAULT, RETX or TIMER")
+    return WalRecord(
+        kind=kind, body={"t": t, "p": process, "probe": probe, "data": dict(data)}
+    )
+
+
+def checkpoint_record(t: float, fields: Dict[str, Any]) -> WalRecord:
+    """A load-generator CHECKPOINT (progress marker for soak resume)."""
+    body = dict(fields)
+    body["t"] = t
+    return WalRecord(kind=CHECKPOINT, body=body)

@@ -1,0 +1,313 @@
+"""Replay: turn a WAL directory back into a first-class run object.
+
+A recorded run replays three ways:
+
+- :func:`replay_log` rebuilds the :class:`~repro.simulation.trace.Trace`
+  from the EVENT stream and drives it through the incremental
+  :class:`~repro.verification.engine.monitor.SpecMonitor` -- the same
+  engine, the same verdict, the same violating assignment as the live
+  run, bit for bit.
+- :func:`delivery_order` projects the delivery sequence (the paper's
+  user-view order) for determinism comparisons.
+- :func:`mc_prefix_from_records` + :func:`explore_from_log` hand the
+  recorded run to the model checker as a fixed schedule prefix, so
+  counterexample search continues *from the recorded state* instead of
+  from scratch.
+
+The mc projection is only sound for protocols that send no control
+packets (the tagged/tagless catalogue half): the explorer keys
+deliveries by per-channel transmission index, and control traffic --
+invisible to the trace -- would shift those indexes.
+:func:`explore_from_log` refuses the rest loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.events import DELIVER, INVOKE, RECEIVE, SEND
+from repro.simulation.trace import Trace
+from repro.simulation.workloads import SendRequest, Workload
+from repro.wal import records as rec
+from repro.wal.records import WalCorrupt, WalRecord, event_from_record
+from repro.wal.segment import read_log
+
+__all__ = [
+    "ReplayResult",
+    "resolve_spec_name",
+    "trace_from_records",
+    "replay_log",
+    "delivery_order",
+    "workload_from_records",
+    "mc_prefix_from_records",
+    "explore_from_log",
+]
+
+
+def resolve_spec_name(text: str):
+    """A recorded ``meta["spec"]`` back to a live Specification.
+
+    Tries the predicate catalogue by entry name, then by the entry's own
+    specification name (they differ for a couple of aliases), then falls
+    back to parsing the text as predicate DSL.  Returns ``None`` when
+    nothing matches -- replay then runs unmonitored rather than failing.
+    """
+    from repro.predicates.catalog import catalog_by_name
+
+    by_name = catalog_by_name()
+    if text in by_name:
+        return by_name[text].specification
+    for entry in by_name.values():
+        if entry.specification.name == text:
+            return entry.specification
+    try:
+        from repro.predicates.dsl import parse_predicate
+        from repro.predicates.spec import Specification
+
+        predicate = parse_predicate(text, name="recorded", distinct=False)
+        return Specification(name="recorded", predicates=(predicate,))
+    except Exception:
+        return None
+
+
+def _meta_of(records: List[WalRecord]) -> Dict[str, Any]:
+    for record in records:
+        if record.kind == rec.META:
+            return dict(record.body)
+    return {}
+
+
+def _infer_processes(records: List[WalRecord]) -> int:
+    highest = -1
+    for record in records:
+        if record.kind != rec.EVENT:
+            continue
+        _t, process, _event, message = event_from_record(record.body, verify=False)
+        highest = max(highest, process, message.sender, message.receiver)
+    return highest + 1
+
+
+def trace_from_records(
+    records: List[WalRecord], n_processes: int, verify: bool = True
+) -> Trace:
+    """Rebuild the trace from the EVENT stream, content ids re-verified.
+
+    Record order in the log *is* trace order: every EVENT was appended by
+    the trace tap at record time, so replaying them through a fresh
+    :class:`Trace` reproduces the identical record sequence (and the
+    trace re-checks the event preconditions as it goes)."""
+    trace = Trace(n_processes)
+    for record in records:
+        if record.kind != rec.EVENT:
+            continue
+        t, process, event, message = event_from_record(record.body, verify=verify)
+        trace.register_message(message)
+        trace.record(t, process, event)
+    return trace
+
+
+@dataclass
+class ReplayResult:
+    """One replayed run: its trace, metadata, and monitor verdict."""
+
+    trace: Trace
+    meta: Dict[str, Any] = field(default_factory=dict)
+    violation: Optional[Any] = None
+    tail_dropped: int = 0
+    segments: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return self.violation is None
+
+
+def replay_log(directory: str, spec=None) -> ReplayResult:
+    """Re-execute a recorded run into the incremental SpecMonitor.
+
+    With ``spec=None`` the spec is resolved from the log's own META
+    record (the ``spec`` field names a catalog entry); pass a
+    :class:`~repro.predicates.Specification` to override.  Returns the
+    rebuilt trace plus the monitor's verdict -- identical to the live
+    run's, because both consumed the same records in the same order.
+    """
+    log = read_log(directory)
+    if not log.segments:
+        raise FileNotFoundError("no WAL segments in %r" % directory)
+    meta = _meta_of(log.records)
+    n_processes = int(meta.get("processes") or _infer_processes(log.records))
+    trace = trace_from_records(log.records, n_processes)
+    violation = None
+    if spec is None and meta.get("spec"):
+        spec = resolve_spec_name(str(meta["spec"]))
+    if spec is not None:
+        violation = _verify_trace(trace, spec)
+    return ReplayResult(
+        trace=trace,
+        meta=meta,
+        violation=violation,
+        tail_dropped=log.tail_dropped,
+        segments=len(log.segments),
+    )
+
+
+#: Largest family member the incremental monitor searches during a
+#: replay -- the same cap :data:`repro.net.cluster.LIVE_FAMILY_ARITY`
+#: applies live, and for the same reason: the anchored search on a
+#: logically-synchronous crown family is super-quadratic in the trace.
+REPLAY_FAMILY_ARITY = 2
+
+
+def _verify_trace(trace: Trace, spec) -> Optional[Any]:
+    """The LiveObserver's two-step verdict, replayed offline.
+
+    Monitor incrementally with the family search capped, then close the
+    completeness gap with the spec's exact polynomial membership oracle
+    over the full trace.  Verdicts therefore match the live observer's
+    exactly -- including which step flagged the run.
+    """
+    import dataclasses
+
+    from repro.verification.engine import SpecMonitor
+
+    check_spec = spec
+    needs_oracle = False
+    cap = getattr(spec, "family_arity_cap", None)
+    if (
+        getattr(spec, "families", ())
+        and getattr(spec, "oracle", None) is not None
+        and (cap is None or cap > REPLAY_FAMILY_ARITY)
+    ):
+        check_spec = dataclasses.replace(
+            spec, family_arity_cap=REPLAY_FAMILY_ARITY
+        )
+        needs_oracle = True
+    violation = SpecMonitor(check_spec).advance(trace)
+    if violation is None and needs_oracle and trace.record_count:
+        run = trace.to_system_run().users_view()
+        if not spec.admits(run):
+            violation = (
+                "membership oracle rejected the replayed run (spec %s)"
+                % (getattr(spec, "name", spec),)
+            )
+    return violation
+
+
+def delivery_order(trace: Trace) -> List[Tuple[int, str]]:
+    """The run's delivery sequence: ``(process, message_id)`` pairs in
+    trace order -- the bit-exact determinism comparand."""
+    return [
+        (record.process, record.event.message_id)
+        for record in trace.records()
+        if record.event.kind is DELIVER
+    ]
+
+
+def workload_from_records(
+    records: List[WalRecord], n_processes: Optional[int] = None
+) -> Workload:
+    """Reconstruct the request script from the INVOKE events.
+
+    Ids are canonicalized to the workload convention (``m1``, ``m2``,
+    ... in invoke order); colour/group/payload survive, times become the
+    invoke index (the explorer ignores them, determinism prefers them
+    stable)."""
+    if n_processes is None:
+        meta = _meta_of(records)
+        n_processes = int(meta.get("processes") or _infer_processes(records))
+    requests = []
+    for record in records:
+        if record.kind != rec.EVENT:
+            continue
+        _t, _process, event, message = event_from_record(record.body, verify=False)
+        if event.kind is not INVOKE:
+            continue
+        requests.append(
+            SendRequest(
+                time=float(len(requests)),
+                sender=message.sender,
+                receiver=message.receiver,
+                color=message.color,
+                group=message.group,
+                payload=message.payload,
+            )
+        )
+    return Workload(
+        name="replayed", n_processes=n_processes, requests=tuple(requests)
+    )
+
+
+def mc_prefix_from_records(records: List[WalRecord]) -> List[Tuple]:
+    """Project the recorded run onto explorer transition keys.
+
+    Walks the EVENT stream once: each invoke becomes
+    ``("invoke", sender, i)`` with ``i`` the global invoke index (the
+    workload position :func:`workload_from_records` assigns), each send
+    claims the next transmission slot on its ``(src, dst)`` channel, and
+    each receive becomes ``("deliver", src, dst, channel_seq)`` for the
+    slot its message claimed.  Valid only when user packets are the only
+    channel traffic (see the module docstring).
+    """
+    prefix: List[Tuple] = []
+    invoke_index: Dict[str, int] = {}
+    channel_next: Dict[Tuple[int, int], int] = {}
+    seq_of: Dict[str, int] = {}
+    for record in records:
+        if record.kind != rec.EVENT:
+            continue
+        _t, process, event, message = event_from_record(record.body, verify=False)
+        kind = event.kind
+        if kind is INVOKE:
+            index = len(invoke_index)
+            invoke_index[message.id] = index
+            prefix.append(("invoke", message.sender, index))
+        elif kind is SEND:
+            channel = (process, message.receiver)
+            seq = channel_next.get(channel, 0)
+            channel_next[channel] = seq + 1
+            seq_of[message.id] = seq
+        elif kind is RECEIVE:
+            if message.id not in seq_of:
+                raise WalCorrupt(
+                    "receive of %r precedes its send in the log" % message.id
+                )
+            prefix.append(
+                ("deliver", message.sender, process, seq_of[message.id])
+            )
+    return prefix
+
+
+def explore_from_log(directory: str, spec=None, **options):
+    """Model-check onward from a recorded run's final state.
+
+    Reads the log, rebuilds the workload and the schedule prefix, and
+    hands both to :func:`repro.mc.explorer.check_protocol` with the
+    protocol named in the META record.  The explorer replays the prefix
+    as a fixed stem and explores only its continuations -- counterexample
+    search seeded from a production state.
+    """
+    log = read_log(directory)
+    if not log.segments:
+        raise FileNotFoundError("no WAL segments in %r" % directory)
+    meta = _meta_of(log.records)
+    protocol = meta.get("protocol")
+    if not protocol:
+        raise ValueError(
+            "the log's META record names no protocol; cannot re-explore"
+        )
+    from repro.protocols.registry import cached_catalogue
+
+    entry = cached_catalogue().get(protocol)
+    if entry is not None and entry.uses_control_messages:
+        raise ValueError(
+            "protocol %r sends control packets; the trace cannot fix "
+            "their channel slots, so prefix-seeded exploration is only "
+            "supported for tag-only protocols" % protocol
+        )
+    workload = workload_from_records(log.records)
+    prefix = mc_prefix_from_records(log.records)
+    from repro.mc.explorer import check_protocol
+
+    return check_protocol(
+        protocol, workload, spec=spec, prefix=prefix, **options
+    )

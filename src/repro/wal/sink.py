@@ -1,0 +1,164 @@
+"""WalSink: the append-only hook the Simulator and NetHost write through.
+
+One sink owns one WAL directory.  It taps three producer surfaces and
+funnels everything into a single :class:`~repro.wal.segment.SegmentWriter`:
+
+- a :class:`~repro.simulation.trace.Trace` tap -- every trace record
+  becomes an EVENT record (the run object the SpecMonitor replays);
+- a :class:`~repro.simulation.host.ProtocolHost` ``input_listener`` --
+  every invoke and packet arrival becomes an INPUT record in processing
+  order (the redo log crash recovery replays);
+- a :class:`~repro.obs.bus.Bus` subscription over the fault, retx and
+  timer probes (the recovery history a replayed run carries along).
+
+Producers differ only in which taps they attach: the Simulator attaches
+all hosts plus the shared trace; a NetHost attaches its own host and
+trace (its WAL is a per-process segment directory); an observer-side
+recorder attaches nothing and calls :meth:`on_trace` directly from the
+merged live stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.events import Message
+from repro.net import codec
+from repro.simulation.trace import TraceRecord
+from repro.wal import records as rec
+from repro.wal.records import WalRecord
+from repro.wal.segment import (
+    DEFAULT_MAX_SEGMENT_BYTES,
+    DEFAULT_SYNC_EVERY,
+    SegmentWriter,
+    read_log,
+)
+
+__all__ = ["WalSink"]
+
+#: Bus probes mirrored into the WAL, mapped to their record kind.
+_PROBE_KINDS = {
+    "fault.drop": rec.FAULT,
+    "fault.dup": rec.FAULT,
+    "fault.partition": rec.FAULT,
+    "fault.spike": rec.FAULT,
+    "crash": rec.FAULT,
+    "restart": rec.FAULT,
+    "retx.send": rec.RETX,
+    "retx.ack": rec.RETX,
+    "retx.dup": rec.RETX,
+    "timer.fire": rec.TIMER,
+}
+
+
+class WalSink:
+    """Write-ahead log sink: one directory, one writer, many taps."""
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        meta: Optional[Dict[str, Any]] = None,
+        sync_every: int = DEFAULT_SYNC_EVERY,
+        max_segment_bytes: int = DEFAULT_MAX_SEGMENT_BYTES,
+        fsync: bool = True,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.directory = directory
+        self.meta = dict(meta or {})
+        self._clock = clock or (lambda: 0.0)
+        #: Optional vector-clock lookup (the NetHost points this at its
+        #: flight recorder) so EVENT records carry causal timestamps.
+        self.vc_for: Optional[Callable[[TraceRecord], Optional[Dict[int, int]]]] = None
+        self.writer = SegmentWriter(
+            directory,
+            max_segment_bytes=max_segment_bytes,
+            sync_every=sync_every,
+            fsync=fsync,
+            header_factory=self._header,
+        )
+        self._unsubscribes: List[Callable[[], None]] = []
+        self.closed = False
+
+    def _header(self, segment_index: int) -> WalRecord:
+        fields = dict(self.meta)
+        fields["segment"] = segment_index
+        return rec.meta_record(fields)
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Use ``clock`` for record timestamps that lack their own."""
+        self._clock = clock
+
+    # -- taps -----------------------------------------------------------------
+
+    def on_trace(self, record: TraceRecord, message: Message) -> None:
+        """Trace tap: one EVENT record per trace record."""
+        vc = self.vc_for(record) if self.vc_for is not None else None
+        self.writer.append(rec.event_record(record, message, vc=vc))
+
+    def attach_trace(self, trace) -> None:
+        """Mirror every future record of ``trace`` into the log."""
+        trace.attach_tap(self.on_trace)
+
+    def input_listener(self, process: int, op: str, payload: Any) -> None:
+        """Host tap: one INPUT record per invoke / packet arrival."""
+        t = self._clock()
+        if op == "invoke":
+            self.writer.append(rec.invoke_record(t, process, payload))
+        else:
+            self.writer.append(rec.packet_record(t, process, payload))
+
+    def attach_host(self, host) -> None:
+        """Log ``host``'s inputs (its ``input_listener`` hook)."""
+        host.input_listener = self.input_listener
+
+    def _on_probe(self, event) -> None:
+        kind = _PROBE_KINDS[event.probe]
+        data = dict(event.data)
+        try:
+            codec.encode_value(data)
+        except codec.CodecError:
+            # Probe payloads are free-form; degrade to repr rather than
+            # lose the record.
+            data = {key: repr(value) for key, value in data.items()}
+        process = data.get("process", -1)
+        try:
+            process = int(process)
+        except (TypeError, ValueError):
+            process = -1
+        self.writer.append(
+            rec.probe_record(kind, event.time, process, event.probe, data)
+        )
+
+    def attach_bus(self, bus) -> None:
+        """Mirror the fault/retx/timer probe streams into the log."""
+        for probe in sorted(_PROBE_KINDS):
+            self._unsubscribes.append(bus.subscribe(probe, self._on_probe))
+
+    # -- explicit records -----------------------------------------------------
+
+    def checkpoint(self, **fields: Any) -> None:
+        """Write a CHECKPOINT record and force it to disk."""
+        self.writer.append(rec.checkpoint_record(self._clock(), fields))
+        self.writer.sync()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Force buffered records to disk."""
+        self.writer.sync()
+
+    def reload(self):
+        """Sync, then read the directory back (testing/inspection aid)."""
+        self.sync()
+        return read_log(self.directory)
+
+    def close(self) -> None:
+        """Unsubscribe probe taps, final sync, close the writer."""
+        if self.closed:
+            return
+        for unsubscribe in self._unsubscribes:
+            unsubscribe()
+        self._unsubscribes = []
+        self.writer.close()
+        self.closed = True

@@ -78,6 +78,7 @@ class TestBus:
             "retx.send",
             "retx.ack",
             "retx.dup",
+            "timer.fire",
         }
 
 

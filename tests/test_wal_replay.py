@@ -1,0 +1,208 @@
+"""Record/replay determinism: the WAL reproduces the run bit for bit.
+
+The acceptance sweep of the tentpole: every catalogue protocol, several
+seeds, recorded through a :class:`~repro.wal.WalSink` during a real
+simulation, then replayed with :func:`~repro.wal.replay_log` -- the
+delivery order and the :class:`SpecMonitor` verdict (including the
+violating assignment, when there is one) must be identical.
+"""
+
+import pytest
+
+from repro.mc.mutations import mutation_factories
+from repro.predicates.catalog import FIFO_ORDERING
+from repro.protocols import catalogue
+from repro.simulation import UniformLatency, random_traffic, run_simulation
+from repro.verification.engine import SpecMonitor
+from repro.wal import (
+    WalSink,
+    delivery_order,
+    explore_from_log,
+    mc_prefix_from_records,
+    read_log,
+    replay_log,
+    workload_from_records,
+)
+
+SEEDS = (0, 1, 2)
+
+
+def _record_run(directory, factory, workload, seed, meta, **kwargs):
+    sink = WalSink(str(directory), meta=meta, fsync=False)
+    try:
+        return run_simulation(
+            factory,
+            workload,
+            seed=seed,
+            latency=UniformLatency(low=1.0, high=30.0),
+            wal=sink,
+            **kwargs,
+        )
+    finally:
+        sink.close()
+
+
+class TestCatalogueSweepIsBitIdentical:
+    """8 protocols x 3 seeds: recorded replay == live run, exactly."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("name", sorted(catalogue()))
+    def test_replay_matches_live_run(self, name, seed, tmp_path):
+        entry = catalogue()[name]
+        workload = random_traffic(
+            3, 14, seed=seed, color_every=5 if name == "flush" else None
+        )
+        live = _record_run(
+            tmp_path, entry.factory, workload, seed, {"protocol": name}
+        )
+        replayed = replay_log(str(tmp_path), spec=entry.spec)
+
+        assert replayed.tail_dropped == 0
+        # Bit-identical delivery order (the paper's user-visible run).
+        assert delivery_order(replayed.trace) == delivery_order(live.trace)
+        # The full four-event stream matches, timestamps included.
+        assert [
+            (r.time, r.process, r.event) for r in replayed.trace.records()
+        ] == [(r.time, r.process, r.event) for r in live.trace.records()]
+        # Identical monitor verdict: these protocols implement their
+        # specs, so both sides must be clean.
+        live_violation = SpecMonitor(entry.spec).advance(live.trace)
+        assert live_violation is None
+        assert replayed.violation is None
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_recording_does_not_perturb_the_schedule(self, seed, tmp_path):
+        """The sink only observes: a recorded run equals an unrecorded
+        one under the same (factory, workload, seed)."""
+        entry = catalogue()["causal-rst"]
+        workload = random_traffic(3, 12, seed=seed)
+        bare = run_simulation(
+            entry.factory,
+            workload,
+            seed=seed,
+            latency=UniformLatency(low=1.0, high=30.0),
+        )
+        recorded = _record_run(
+            tmp_path, entry.factory, workload, seed, {"protocol": "causal-rst"}
+        )
+        assert delivery_order(recorded.trace) == delivery_order(bare.trace)
+        assert recorded.stats.user_messages == bare.stats.user_messages
+        assert recorded.stats.control_messages == bare.stats.control_messages
+
+
+class TestViolationAssignmentsSurviveReplay:
+    def _broken_run(self, tmp_path, seed=4):
+        factory = mutation_factories()["broken-fifo"]
+        workload = random_traffic(3, 16, seed=seed)
+        live = _record_run(
+            tmp_path, factory, workload, seed, {"protocol": "broken-fifo"}
+        )
+        return live
+
+    def test_same_predicate_same_assignment(self, tmp_path):
+        live = self._broken_run(tmp_path)
+        live_violation = SpecMonitor(FIFO_ORDERING).advance(live.trace)
+        assert live_violation is not None, "seed did not trip broken-fifo"
+        replayed = replay_log(str(tmp_path), spec=FIFO_ORDERING)
+        assert replayed.violation is not None
+        assert replayed.violation.predicate_name == live_violation.predicate_name
+        assert replayed.violation.assignment == live_violation.assignment
+        assert replayed.violation.time == live_violation.time
+
+    def test_meta_spec_name_resolves_for_unattended_replay(self, tmp_path):
+        factory = mutation_factories()["broken-fifo"]
+        workload = random_traffic(3, 16, seed=4)
+        sink = WalSink(
+            str(tmp_path),
+            meta={"protocol": "broken-fifo", "spec": "fifo"},
+            fsync=False,
+        )
+        try:
+            run_simulation(
+                factory,
+                workload,
+                seed=4,
+                latency=UniformLatency(low=1.0, high=30.0),
+                wal=sink,
+            )
+        finally:
+            sink.close()
+        replayed = replay_log(str(tmp_path))  # no spec argument
+        assert replayed.meta["spec"] == "fifo"
+        assert replayed.violation is not None
+
+
+class TestWorkloadAndPrefixProjection:
+    def test_workload_rebuilt_from_invokes(self, tmp_path):
+        entry = catalogue()["fifo"]
+        workload = random_traffic(3, 10, seed=2)
+        _record_run(tmp_path, entry.factory, workload, 2, {"protocol": "fifo"})
+        log = read_log(str(tmp_path))
+        rebuilt = workload_from_records(log.records)
+        assert rebuilt.n_processes == 3
+        original = list(workload.messages())
+        recovered = list(rebuilt.messages())
+        assert [(m.sender, m.receiver, m.color) for m in recovered] == [
+            (m.sender, m.receiver, m.color) for m in original
+        ]
+
+    def test_prefix_covers_every_user_transition(self, tmp_path):
+        entry = catalogue()["fifo"]
+        workload = random_traffic(3, 8, seed=1)
+        live = _record_run(tmp_path, entry.factory, workload, 1,
+                           {"protocol": "fifo"})
+        prefix = mc_prefix_from_records(read_log(str(tmp_path)).records)
+        invokes = [key for key in prefix if key[0] == "invoke"]
+        delivers = [key for key in prefix if key[0] == "deliver"]
+        assert len(invokes) == len(workload.requests)
+        assert len(delivers) == live.stats.user_messages
+        # Channel slots are claimed in send order, starting at zero.
+        for src, dst in {(k[1], k[2]) for k in delivers}:
+            seqs = sorted(k[3] for k in delivers if (k[1], k[2]) == (src, dst))
+            assert seqs == list(range(len(seqs)))
+
+    def test_explore_continues_from_the_recorded_state(self, tmp_path):
+        entry = catalogue()["fifo"]
+        workload = random_traffic(3, 6, seed=0)
+        _record_run(
+            tmp_path,
+            entry.factory,
+            workload,
+            0,
+            {"protocol": "fifo", "processes": 3},
+        )
+        report = explore_from_log(
+            str(tmp_path), spec=entry.spec, max_schedules=40, max_depth=64
+        )
+        assert report.prefix_length > 0
+        assert report.schedules_explored >= 1
+        assert not report.violations  # fifo implements fifo, prefix or not
+
+    def test_explore_refuses_control_message_protocols(self, tmp_path):
+        entry = catalogue()["sync-coord"]
+        workload = random_traffic(3, 6, seed=0)
+        _record_run(
+            tmp_path, entry.factory, workload, 0, {"protocol": "sync-coord"}
+        )
+        with pytest.raises(ValueError, match="control packets"):
+            explore_from_log(str(tmp_path), spec=entry.spec, max_schedules=10)
+
+    def test_recorded_violation_prefix_still_violates_under_explorer(
+        self, tmp_path
+    ):
+        """A recorded broken-fifo run handed to the explorer as a prefix
+        must reproduce the violation on the replayed stem itself."""
+        factory = mutation_factories()["broken-fifo"]
+        workload = random_traffic(3, 16, seed=4)
+        _record_run(
+            tmp_path, factory, workload, 4, {"protocol": "broken-fifo"}
+        )
+        report = explore_from_log(
+            str(tmp_path),
+            spec=FIFO_ORDERING,
+            max_schedules=5,
+            max_depth=8,
+            minimize=False,
+        )
+        assert report.prefix_length > 0
+        assert report.violations
