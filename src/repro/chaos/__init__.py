@@ -1,0 +1,41 @@
+"""Seeded chaos testing for the real-network runtime.
+
+The resilience layer (:mod:`repro.net.resilience`,
+:mod:`repro.faults.proxy`) claims three things: a severed or blackholed
+link heals automatically, an acked message is never lost or
+double-delivered across crashes, and the live ordering specification
+stays violation-free through all of it.  This package *checks* those
+claims instead of trusting them:
+
+:class:`~repro.chaos.plan.ChaosPlan`
+    a seeded, reproducible schedule of faults -- process kills (with
+    restart from the WAL), pauses (SIGSTOP-shaped silence), severed
+    links and blackholed links -- generated from a single integer seed
+    so a failing run is a bug report, not an anecdote;
+
+:func:`~repro.chaos.harness.run_chaos`
+    executes the plan against a live loopback cluster (every host
+    fronted by a :class:`~repro.faults.proxy.FaultProxy`), then asserts
+    the three invariants and reduces the evidence to a JSON-ready
+    :class:`~repro.chaos.harness.ChaosReport`.
+
+``repro chaos`` is the command-line entry point.
+"""
+
+from repro.chaos.plan import ChaosAction, ChaosPlan, ACTION_KINDS
+from repro.chaos.harness import (
+    ChaosReport,
+    run_chaos,
+    run_chaos_sync,
+    wal_cross_check,
+)
+
+__all__ = [
+    "ACTION_KINDS",
+    "ChaosAction",
+    "ChaosPlan",
+    "ChaosReport",
+    "run_chaos",
+    "run_chaos_sync",
+    "wal_cross_check",
+]

@@ -374,6 +374,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
             factory = make_reliable(factory)
     ports = [args.port_base + index for index in range(args.processes)]
+    resilience = None
+    if args.heartbeat_interval is not None:
+        from repro.net.resilience import ResilienceConfig
+
+        resilience = ResilienceConfig(heartbeat_interval=args.heartbeat_interval)
     host = NetHost(
         factory,
         args.process_id,
@@ -384,6 +389,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         time_scale=args.time_scale,
         wal_dir=args.wal,
         wal_meta={"protocol": args.protocol} if args.wal else None,
+        resilience=resilience,
+        listen_port=args.listen_port,
     )
     print(
         "serving %s as process %d of %d on %s:%d (run %s)%s%s"
@@ -392,7 +399,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.process_id,
             args.processes,
             args.host,
-            ports[args.process_id],
+            host.listen_port,
             args.run_id,
             " with faults" if faults is not None else "",
             " [recovered from WAL]" if host.recovered else "",
@@ -571,7 +578,13 @@ def _cmd_load(args: argparse.Namespace) -> int:
             if soak_wal is not None:
                 soak_wal.close()
 
-    report = asyncio.run(drive())
+    # Same operator-facing treatment as `repro trace` / `repro top`: a
+    # cluster that is not there is one readable line, not a traceback.
+    try:
+        report = asyncio.run(drive())
+    except (OSError, asyncio.TimeoutError, codec.CodecError) as exc:
+        print("repro load: %s" % _net_error(exc, args), file=sys.stderr)
+        return 1
     print(report.render(), flush=True)
     if args.record:
         print("recorded: %s (replay with `repro replay`)" % args.record,
@@ -801,6 +814,58 @@ def _cmd_top(args: argparse.Namespace) -> int:
     except (OSError, asyncio.TimeoutError, codec.CodecError) as exc:
         print("repro top: %s" % _net_error(exc, args), file=sys.stderr)
         return 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    import shutil
+    import tempfile
+
+    from repro.chaos import ChaosPlan, run_chaos_sync
+
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    wal_root = args.wal or tempfile.mkdtemp(prefix="repro-chaos-")
+    keep_wal = args.wal is not None
+    plan = None
+    if args.plan:
+        with open(args.plan) as handle:
+            plan = ChaosPlan.from_json(json.load(handle))
+    try:
+        report = run_chaos_sync(
+            args.protocol,
+            wal_root=wal_root,
+            n_processes=args.processes,
+            seed=args.seed,
+            rate=args.rate,
+            duration=args.duration,
+            n_actions=args.actions,
+            kinds=kinds,
+            plan=plan,
+            spec=None if args.no_monitor else "auto",
+            convergence_deadline=args.deadline,
+            proc=args.proc,
+            port_base=args.port_base,
+        )
+    except KeyError as exc:
+        # resolve_protocol's miss message already lists the catalogue.
+        print("repro chaos: %s" % (exc.args[0] if exc.args else exc),
+              file=sys.stderr)
+        return 2
+    except (OSError, ValueError, RuntimeError) as exc:
+        print("repro chaos: %s" % exc, file=sys.stderr)
+        return 2
+    print(report.render(), flush=True)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_json(), handle, indent=1)
+        print("json: %s" % args.json, flush=True)
+    if not keep_wal:
+        if report.ok:
+            shutil.rmtree(wal_root, ignore_errors=True)
+        else:
+            # The WALs are the evidence for a failed run: keep them.
+            print("wal evidence kept: %s" % wal_root, flush=True)
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1081,6 +1146,20 @@ def build_parser() -> argparse.ArgumentParser:
         "protocol sees it, and recovers state from the log segments "
         "on restart (crash durability for this process)",
     )
+    p_serve.add_argument(
+        "--listen-port",
+        type=int,
+        default=None,
+        help="bind this port instead of port-base + process-id (for "
+        "deployments behind a proxy; peers still dial the public port)",
+    )
+    p_serve.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        help="seconds between link heartbeats (default 0.2; the failure "
+        "detector's suspect/down latency scales with this)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_load = sub.add_parser(
@@ -1264,6 +1343,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_top.add_argument("--timeout", type=float, default=20.0)
     p_top.set_defaults(func=_cmd_top)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded fault schedule against a live loopback cluster "
+        "and check the resilience invariants (no ordering violation, no "
+        "acked message lost, re-convergence within the deadline)",
+    )
+    p_chaos.add_argument(
+        "protocol",
+        nargs="?",
+        default="fifo",
+        help="registry protocol name; the ARQ sublayer is stacked "
+        "automatically (chaos severs real links)",
+    )
+    p_chaos.add_argument("--processes", type=int, default=3)
+    p_chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-schedule seed; the same (protocol, seed, knobs) "
+        "triple replays the same chaos",
+    )
+    p_chaos.add_argument(
+        "--rate", type=float, default=200.0, help="offered user msgs/sec"
+    )
+    p_chaos.add_argument(
+        "--duration", type=float, default=3.0, help="load phase seconds"
+    )
+    p_chaos.add_argument(
+        "--actions", type=int, default=3,
+        help="faults to schedule (fewer fit if the run is short)",
+    )
+    p_chaos.add_argument(
+        "--kinds",
+        default="kill,sever,blackhole",
+        help="comma-separated fault kinds (kill, pause, sever, blackhole)",
+    )
+    p_chaos.add_argument(
+        "--plan",
+        metavar="FILE",
+        default=None,
+        help="run this exact plan (JSON from a previous report) instead "
+        "of generating one from the seed",
+    )
+    p_chaos.add_argument(
+        "--deadline", type=float, default=15.0,
+        help="seconds the cluster gets to re-converge after the plan",
+    )
+    p_chaos.add_argument(
+        "--port-base",
+        type=int,
+        default=None,
+        help="first of 2N contiguous ports (public then private); "
+        "default picks free ephemeral ports (required with --proc)",
+    )
+    p_chaos.add_argument(
+        "--proc",
+        action="store_true",
+        help="run each host as a real `repro serve` OS process (SIGKILL/"
+        "SIGSTOP fidelity) instead of in-process hosts",
+    )
+    p_chaos.add_argument(
+        "--wal",
+        metavar="DIR",
+        default=None,
+        help="WAL root for the hosts (default: a temp dir, removed when "
+        "the run passes, kept as evidence when it fails)",
+    )
+    p_chaos.add_argument(
+        "--no-monitor",
+        action="store_true",
+        help="skip live spec monitoring (durability and convergence only)",
+    )
+    p_chaos.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write the full ChaosReport as JSON",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -12,6 +12,12 @@ drives crash/restart events against the protocol hosts using the
 ``Protocol.snapshot()/restore()`` hooks.
 
 The recovery layer lives in :mod:`repro.protocols.reliable`.
+
+For the *real* network runtime there is additionally
+:class:`~repro.faults.proxy.FaultProxy`, which injects faults at the
+socket layer (sever / blackhole live TCP links) rather than the packet
+layer -- the failure shapes the :mod:`repro.net.resilience` machinery
+and the :mod:`repro.chaos` harness exercise.
 """
 
 from repro.faults.plan import CrashEvent, FaultPlan, Partition
@@ -21,8 +27,20 @@ from repro.faults.injector import FaultInjector, FaultSummary
 __all__ = [
     "CrashEvent",
     "FaultPlan",
+    "FaultProxy",
     "Partition",
     "FaultyTransport",
     "FaultInjector",
     "FaultSummary",
 ]
+
+
+def __getattr__(name):
+    # FaultProxy lives behind a lazy import: repro.faults.proxy needs the
+    # wire codec, and eagerly importing repro.net here would couple the
+    # (asyncio-free) simulation fault layer to the network runtime.
+    if name == "FaultProxy":
+        from repro.faults.proxy import FaultProxy
+
+        return FaultProxy
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))

@@ -41,6 +41,12 @@ from repro.net.collector import (
     stitch_flight_dumps,
 )
 from repro.net.host import NetHost, NetProtocolHost, TapTrace
+from repro.net.resilience import (
+    LinkMonitor,
+    PhiAccrualDetector,
+    ReconnectPolicy,
+    ResilienceConfig,
+)
 from repro.net.transport import DEFAULT_TIME_SCALE, AsyncTransport, WallClock
 
 __all__ = [
@@ -53,6 +59,7 @@ __all__ = [
     "FrameOversized",
     "FrameTruncated",
     "HostPull",
+    "LinkMonitor",
     "LiveObserver",
     "LoadGenerator",
     "OffsetSample",
@@ -60,6 +67,9 @@ __all__ = [
     "NetHost",
     "NetProtocolHost",
     "NetRunReport",
+    "PhiAccrualDetector",
+    "ReconnectPolicy",
+    "ResilienceConfig",
     "TapTrace",
     "UnknownFrameKind",
     "UnknownVersion",

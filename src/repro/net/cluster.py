@@ -104,6 +104,7 @@ class LiveObserver:
         n_processes: int,
         spec: Optional[Any] = None,
         bus: Optional[Any] = None,
+        reconnect: bool = False,
     ) -> None:
         self.n_processes = n_processes
         self.trace = Trace(n_processes)
@@ -138,6 +139,13 @@ class LiveObserver:
         self._sends_appended: set = set()
         self._writers: List[asyncio.StreamWriter] = []
         self._readers: List[asyncio.Task] = []
+        #: Re-attach to a host whose stream dies (it replays its full
+        #: trace on attach; :meth:`_append` dedupes, so a reconnect is
+        #: safe).  Off by default: a plain run treats EOF as the end.
+        self.reconnect = reconnect
+        self.reconnects = 0
+        self._closing = False
+        self._endpoints: List[Tuple[str, int, str, float]] = []
 
     @property
     def violation(self):
@@ -187,14 +195,8 @@ class LiveObserver:
     ) -> None:
         """Attach to every host and start the stream readers."""
         for index, port in enumerate(ports):
-            reader, writer = await _connect_with_retry(host, port, timeout)
-            writer.write(
-                codec.encode_frame(
-                    codec.HELLO,
-                    {"process": -1, "role": "observer", "run": run_id},
-                )
-            )
-            await writer.drain()
+            self._endpoints.append((host, port, run_id, timeout))
+            reader, writer = await self._attach(host, port, run_id, timeout)
             self._writers.append(writer)
             self._readers.append(
                 asyncio.get_running_loop().create_task(
@@ -202,7 +204,21 @@ class LiveObserver:
                 )
             )
 
+    async def _attach(
+        self, host: str, port: int, run_id: str, timeout: float
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        reader, writer = await _connect_with_retry(host, port, timeout)
+        writer.write(
+            codec.encode_frame(
+                codec.HELLO,
+                {"process": -1, "role": "observer", "run": run_id},
+            )
+        )
+        await writer.drain()
+        return reader, writer
+
     async def close(self) -> None:
+        self._closing = True
         for writer in self._writers:
             if not writer.is_closing():
                 writer.close()
@@ -211,22 +227,45 @@ class LiveObserver:
         await asyncio.gather(*self._readers, return_exceptions=True)
 
     async def _read_stream(self, index: int, reader: asyncio.StreamReader) -> None:
-        try:
-            while True:
-                frame = await codec.read_frame(reader)
-                if frame is None:
+        while True:
+            try:
+                while True:
+                    frame = await codec.read_frame(reader)
+                    if frame is None:
+                        break
+                    if frame.kind == codec.EVENT:
+                        self.events_seen += 1
+                        self._queues[index].append(event_from_wire(frame.body))
+                        self._merge()
+                    elif frame.kind == codec.PROBE:
+                        self._on_probe(frame.body)
+                    # READY and anything else: ignored (forward compat).
+            except (codec.CodecError, ConnectionError) as exc:
+                if not self.reconnect:
+                    self.errors.append("observer stream %d: %s" % (index, exc))
+            except asyncio.CancelledError:
+                return
+            if not self.reconnect or self._closing:
+                return
+            # The host went away (crash, restart, severed link).  Keep
+            # re-attaching until it is back: the replay-on-attach plus
+            # merge-side dedup make this exactly-once for the trace.
+            host, port, run_id, timeout = self._endpoints[index]
+            try:
+                reader, writer = await self._attach(host, port, run_id, timeout)
+            except (OSError, asyncio.CancelledError):
+                if self._closing:
                     return
-                if frame.kind == codec.EVENT:
-                    self.events_seen += 1
-                    self._queues[index].append(event_from_wire(frame.body))
-                    self._merge()
-                elif frame.kind == codec.PROBE:
-                    self._on_probe(frame.body)
-                # READY and anything else: ignored (forward compat).
-        except (codec.CodecError, ConnectionError) as exc:
-            self.errors.append("observer stream %d: %s" % (index, exc))
-        except asyncio.CancelledError:
-            pass
+                self.errors.append(
+                    "observer stream %d: host %s:%d did not come back"
+                    % (index, host, port)
+                )
+                return
+            old = self._writers[index]
+            if not old.is_closing():
+                old.close()
+            self._writers[index] = writer
+            self.reconnects += 1
 
     def _on_probe(self, body: Dict[str, Any]) -> None:
         probe = body.get("probe", "?")
@@ -301,6 +340,11 @@ class NetRunReport:
     #: Structured violation forensics (see :mod:`repro.obs.forensics`),
     #: populated by :func:`run_cluster` / ``repro load`` on violation.
     forensics: Optional[Dict[str, Any]] = None
+    #: Resilience-layer counters summed over hosts (plus the generator's
+    #: own backpressure signal count).
+    redials: int = 0
+    frames_shed: int = 0
+    backpressure_signals: int = 0
 
     def render(self) -> str:
         lines = [
@@ -328,6 +372,11 @@ class NetRunReport:
             lines.append(
                 "  recovery    %d retransmissions, %d duplicates absorbed"
                 % (self.retransmissions, self.duplicate_receives)
+            )
+        if self.redials or self.frames_shed or self.backpressure_signals:
+            lines.append(
+                "  resilience  %d re-dials, %d frames shed, %d backpressure signals"
+                % (self.redials, self.frames_shed, self.backpressure_signals)
             )
         if self.observer_events:
             lines.append("  observer    %d events merged" % self.observer_events)
@@ -378,6 +427,16 @@ class LoadGenerator:
         self._streams: List[
             Tuple[asyncio.StreamReader, asyncio.StreamWriter]
         ] = []
+        #: One reader task per stream: BACKPRESSURE frames (which a host
+        #: pushes unsolicited) flip the pause flags; every other frame is
+        #: a reply routed to its stream's queue for :meth:`_round_trip`.
+        self._reader_tasks: List[asyncio.Task] = []
+        self._replies: List[asyncio.Queue] = []
+        self._paused: List[bool] = []
+        self.backpressure_signals = 0
+        #: Wall seconds :meth:`run` spent withholding traffic from
+        #: congested hosts (closed-loop mode only).
+        self.throttled_seconds = 0.0
 
     def fast_forward(self, requested: int) -> None:
         """Re-draw the first ``requested`` messages so the seeded RNG
@@ -403,7 +462,8 @@ class LoadGenerator:
 
     async def connect(self, timeout: float = 20.0) -> None:
         """Dial every host as a load client and wait for its READY."""
-        for port in self.ports:
+        loop = asyncio.get_running_loop()
+        for index, port in enumerate(self.ports):
             reader, writer = await _connect_with_retry(self.host, port, timeout)
             writer.write(
                 codec.encode_frame(
@@ -413,12 +473,38 @@ class LoadGenerator:
             )
             await writer.drain()
             self._streams.append((reader, writer))
-        for reader, _ in self._streams:
-            frame = await asyncio.wait_for(codec.read_frame(reader), timeout)
+            self._replies.append(asyncio.Queue())
+            self._paused.append(False)
+            self._reader_tasks.append(
+                loop.create_task(self._client_reader(index, reader))
+            )
+        for queue in self._replies:
+            frame = await asyncio.wait_for(queue.get(), timeout)
             if frame is None or frame.kind != codec.READY:
                 raise RuntimeError(
                     "host did not become ready (got %r)" % (frame,)
                 )
+
+    async def _client_reader(
+        self, index: int, reader: asyncio.StreamReader
+    ) -> None:
+        """Demultiplex one host's stream (see the reader-task comment)."""
+        try:
+            while True:
+                frame = await codec.read_frame(reader)
+                if frame is None:
+                    self._replies[index].put_nowait(None)
+                    return
+                if frame.kind == codec.BACKPRESSURE:
+                    self.backpressure_signals += 1
+                    self._paused[index] = frame.body.get("state") == "high"
+                else:
+                    self._replies[index].put_nowait(frame)
+        except (codec.CodecError, ConnectionError) as exc:
+            self.errors.append("load stream %d: %s" % (index, exc))
+            self._replies[index].put_nowait(None)
+        except asyncio.CancelledError:
+            pass
 
     def _next_message(self) -> Message:
         self.requested += 1
@@ -436,15 +522,26 @@ class LoadGenerator:
             id="m%d" % self.requested, sender=sender, receiver=receiver, color=color
         )
 
-    async def run(self, rate: float, duration: float) -> float:
+    async def run(
+        self, rate: float, duration: float, closed_loop: bool = False
+    ) -> float:
         """Offer ``rate`` msgs/sec for ``duration`` seconds; returns the
-        actual wall seconds of the load phase."""
+        actual wall seconds of the load phase.
+
+        With ``closed_loop=True`` the generator honours the hosts'
+        BACKPRESSURE signals: traffic for a host that reported ``high``
+        is *held* (batched locally, order preserved) until it reports
+        ``low`` again, so the offered load closes the loop on cluster
+        capacity instead of burying a degraded host.
+        """
         if rate <= 0 or duration <= 0:
             raise ValueError("rate and duration must be positive")
         loop = asyncio.get_running_loop()
         start = loop.time()
         sent = 0
         batches: List[bytearray] = [bytearray() for _ in self.ports]
+        #: Frames withheld from paused hosts (closed-loop mode).
+        held: List[bytearray] = [bytearray() for _ in self.ports]
         while True:
             elapsed = loop.time() - start
             if elapsed >= duration:
@@ -458,16 +555,38 @@ class LoadGenerator:
                     codec.INVOKE, codec.message_to_wire(message)
                 )
                 sent += 1
-            for batch, (_, writer) in zip(batches, self._streams):
+            throttled = False
+            for index, (batch, (_, writer)) in enumerate(
+                zip(batches, self._streams)
+            ):
+                if writer.is_closing():
+                    continue  # a crashed host; chaos runs tolerate this
+                if closed_loop and self._paused[index]:
+                    held[index] += batch
+                    if batch or held[index]:
+                        throttled = True
+                    continue
+                if held[index]:
+                    writer.write(bytes(held[index]))
+                    del held[index][:]
                 if batch:
                     writer.write(bytes(batch))
+            if throttled:
+                self.throttled_seconds += 0.005
             if self.wal is not None:
                 self.wal.checkpoint(
                     requested=self.requested, elapsed=elapsed, seed=self.seed
                 )
             await asyncio.sleep(0.005)
+        # Release anything still held: the run is over, the hosts drain
+        # at their own pace (withholding forever would lose messages).
+        for index, (_, writer) in enumerate(self._streams):
+            if held[index] and not writer.is_closing():
+                writer.write(bytes(held[index]))
+                del held[index][:]
         for _, writer in self._streams:
-            await writer.drain()
+            if not writer.is_closing():
+                await writer.drain()
         if self.wal is not None:
             self.wal.checkpoint(
                 requested=self.requested,
@@ -478,13 +597,14 @@ class LoadGenerator:
         return loop.time() - start
 
     async def _round_trip(self, kind: int, body: Dict[str, Any]) -> List[codec.Frame]:
-        """Send one frame to every host; await the (in-order) replies."""
+        """Send one frame to every host; await the replies (which the
+        reader tasks route here -- unsolicited frames never interleave)."""
         for _, writer in self._streams:
             writer.write(codec.encode_frame(kind, body))
         replies = []
-        for reader, writer in self._streams:
+        for (_, writer), queue in zip(self._streams, self._replies):
             await writer.drain()
-            frame = await codec.read_frame(reader)
+            frame = await queue.get()
             if frame is None:
                 raise ConnectionError("host closed during a %s round trip"
                                       % codec.KIND_NAMES.get(kind, kind))
@@ -535,6 +655,10 @@ class LoadGenerator:
         for _, writer in self._streams:
             if not writer.is_closing():
                 writer.close()
+        for task in self._reader_tasks:
+            task.cancel()
+        if self._reader_tasks:
+            await asyncio.gather(*self._reader_tasks, return_exceptions=True)
 
     # -- reduction -----------------------------------------------------------
 
@@ -554,8 +678,10 @@ class LoadGenerator:
         e2e = Histogram("latency.end_to_end")
         errors = list(self.errors)
         fault_counters: Dict[str, int] = {}
-        retx = dups = 0
+        retx = dups = redials = shed = 0
         for s in stats:
+            redials += s.get("redials", 0)
+            shed += s.get("frames_shed", 0)
             if isinstance(s.get("latencies"), dict):
                 latency.merge(Histogram.from_wire(s["latencies"]))
             if isinstance(s.get("e2e_latencies"), dict):
@@ -601,6 +727,9 @@ class LoadGenerator:
             retransmissions=retx,
             duplicate_receives=dups,
             observer_events=observer_events,
+            redials=redials,
+            frames_shed=shed,
+            backpressure_signals=self.backpressure_signals,
         )
 
 

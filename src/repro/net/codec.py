@@ -54,6 +54,8 @@ DRAIN = 9  # load generator -> host: no further invokes are coming
 BYE = 10  # orderly shutdown request/ack
 TRACE = 11  # flight-recorder pull: request (empty) and dump reply
 METRICS = 12  # metrics pull: request (empty) and OpenMetrics reply
+HEARTBEAT = 13  # liveness probe on peer links: {process, nonce[, echo]}
+BACKPRESSURE = 14  # host -> load client: {process, state: "high"|"low"}
 
 FRAME_KINDS = frozenset(
     {
@@ -69,6 +71,8 @@ FRAME_KINDS = frozenset(
         BYE,
         TRACE,
         METRICS,
+        HEARTBEAT,
+        BACKPRESSURE,
     }
 )
 
@@ -85,6 +89,8 @@ KIND_NAMES = {
     BYE: "bye",
     TRACE: "trace",
     METRICS: "metrics",
+    HEARTBEAT: "heartbeat",
+    BACKPRESSURE: "backpressure",
 }
 
 
@@ -263,13 +269,19 @@ def _decode_payload(kind: int, version: int, payload: bytes) -> Frame:
     return Frame(kind=kind, body=body)
 
 
-def decode_frame(data: bytes) -> Tuple[Frame, int]:
+def decode_frame(
+    data: bytes, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> Tuple[Frame, int]:
     """Decode one frame from the head of ``data``.
 
     Returns ``(frame, bytes_consumed)``.  Raises :class:`FrameTruncated`
     when ``data`` holds less than one full frame -- callers that buffer a
     stream should treat that as "wait for more bytes" only while the
-    connection is still open; at EOF it is a hard error.
+    connection is still open; at EOF it is a hard error.  The length
+    prefix is validated against ``max_frame_bytes`` *before* any body
+    bytes are awaited or buffered, so a corrupt or hostile prefix fails
+    loudly instead of committing the reader to a multi-gigabyte
+    allocation.
     """
     if len(data) < _LENGTH.size:
         raise FrameTruncated(
@@ -277,10 +289,10 @@ def decode_frame(data: bytes) -> Tuple[Frame, int]:
             % (_LENGTH.size, len(data))
         )
     (size,) = _LENGTH.unpack_from(data)
-    if size > MAX_FRAME_BYTES:
+    if size > max_frame_bytes:
         raise FrameOversized(
             "frame advertises %d bytes, exceeding the %d-byte limit"
-            % (size, MAX_FRAME_BYTES)
+            % (size, max_frame_bytes)
         )
     if size < _HEAD.size:
         raise MalformedFrame(
@@ -303,10 +315,19 @@ class FrameDecoder:
     Feed arbitrary chunks; complete frames come out.  Call :meth:`eof`
     when the stream closes -- leftover bytes then raise
     :class:`FrameTruncated`, turning a half-written frame into a loud
-    failure instead of silent loss.
+    failure instead of silent loss.  ``max_frame_bytes`` bounds what the
+    decoder will buffer for a single frame: a length prefix above it
+    raises :class:`FrameOversized` out of :meth:`feed` immediately (the
+    default is :data:`MAX_FRAME_BYTES`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        if max_frame_bytes < _HEAD.size:
+            raise ValueError(
+                "max_frame_bytes must cover at least the %d-byte header"
+                % _HEAD.size
+            )
+        self.max_frame_bytes = max_frame_bytes
         self._buffer = bytearray()
 
     def feed(self, data: bytes) -> List[Frame]:
@@ -315,7 +336,9 @@ class FrameDecoder:
         frames: List[Frame] = []
         while True:
             try:
-                frame, consumed = decode_frame(bytes(self._buffer))
+                frame, consumed = decode_frame(
+                    bytes(self._buffer), max_frame_bytes=self.max_frame_bytes
+                )
             except FrameTruncated:
                 break
             del self._buffer[:consumed]
@@ -335,11 +358,16 @@ class FrameDecoder:
         return len(self._buffer)
 
 
-async def read_frame(reader: "asyncio.StreamReader") -> Optional[Frame]:
+async def read_frame(
+    reader: "asyncio.StreamReader", max_frame_bytes: int = MAX_FRAME_BYTES
+) -> Optional[Frame]:
     """Read exactly one frame from an asyncio stream.
 
     Returns ``None`` on a clean EOF at a frame boundary; raises
-    :class:`FrameTruncated` when the peer dies mid-frame.
+    :class:`FrameTruncated` when the peer dies mid-frame and
+    :class:`FrameOversized` when the length prefix exceeds
+    ``max_frame_bytes`` -- checked before the body read is even issued,
+    so a corrupt prefix cannot pin the reader's buffer.
     """
     try:
         prefix = await reader.readexactly(_LENGTH.size)
@@ -351,10 +379,10 @@ async def read_frame(reader: "asyncio.StreamReader") -> Optional[Frame]:
             % (len(exc.partial), _LENGTH.size)
         ) from exc
     (size,) = _LENGTH.unpack(prefix)
-    if size > MAX_FRAME_BYTES:
+    if size > max_frame_bytes:
         raise FrameOversized(
             "frame advertises %d bytes, exceeding the %d-byte limit"
-            % (size, MAX_FRAME_BYTES)
+            % (size, max_frame_bytes)
         )
     if size < _HEAD.size:
         raise MalformedFrame(

@@ -247,7 +247,7 @@ def render_top(
     prior = {pull.process: pull for pull in previous or ()}
     header = (
         "P   invoked  delivered   msg/s   p50 ms   p99 ms   retx  dups"
-        "  pending  stuck  offset ms"
+        "  pending  stuck  links      offset ms"
     )
     lines = [header]
     totals = {"invoked": 0, "delivered": 0, "rate": 0.0, "stuck": 0}
@@ -272,8 +272,24 @@ def render_top(
         totals["delivered"] += delivered
         totals["rate"] += rate
         totals["stuck"] += stuck
+        # The failure detector's verdict per peer link: "up" when every
+        # link is healthy, otherwise the peers that are not ("2:down").
+        links = stats.get("links") or {}
+        degraded = sorted(
+            (peer, state) for peer, state in links.items() if state != "up"
+        )
+        if not links:
+            link_view = "-"
+        elif degraded:
+            link_view = ",".join(
+                "%s:%s" % (peer, state) for peer, state in degraded
+            )
+        else:
+            link_view = "up"
+        if stats.get("congested"):
+            link_view += "!"
         lines.append(
-            "%-3d %7d %10d %7.0f %8.2f %8.2f %6d %5d %8d %6d %10.2f"
+            "%-3d %7d %10d %7.0f %8.2f %8.2f %6d %5d %8d %6d  %-9s %9.2f"
             % (
                 pull.process,
                 invoked,
@@ -285,6 +301,7 @@ def render_top(
                 stats.get("duplicate_receives", 0),
                 stats.get("pending", 0),
                 stuck,
+                link_view[:9],
                 pull.offset * 1000.0,
             )
         )

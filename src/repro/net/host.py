@@ -21,11 +21,18 @@ probe points -- is byte-for-byte the simulation stack.
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.events import Event, EventKind, Message
 from repro.net import codec
+from repro.net.resilience import (
+    LINK_DOWN,
+    LINK_UP,
+    LinkMonitor,
+    ResilienceConfig,
+)
 from repro.net.transport import (
     DEFAULT_TIME_SCALE,
     AsyncTransport,
@@ -50,7 +57,15 @@ BRIDGED_PROBES = (
     "fault.spike",
     "retx.send",
     "retx.dup",
+    "retx.resume",
     "host.inhibit",
+    "link.up",
+    "link.suspect",
+    "link.down",
+    "link.redial",
+    "link.giveup",
+    "net.shed",
+    "net.backpressure",
 )
 
 _KIND_TO_WIRE = {
@@ -213,6 +228,9 @@ class NetHost:
         wal_dir: Optional[str] = None,
         wal_meta: Optional[Dict[str, Any]] = None,
         wal_sync_every: int = 64,
+        resilience: Optional[ResilienceConfig] = None,
+        listen_port: Optional[int] = None,
+        incarnation: Optional[int] = None,
     ) -> None:
         n_processes = len(ports)
         if not 0 <= process_id < n_processes:
@@ -222,13 +240,23 @@ class NetHost:
         self.process_id = process_id
         self.n_processes = n_processes
         self.ports = list(ports)
+        #: Where *this* host's server binds.  Normally its own ports[]
+        #: entry; a fault proxy deployment overrides it so the proxy
+        #: owns the public port and forwards here (see
+        #: :mod:`repro.faults.proxy`).
+        self.listen_port = (
+            listen_port if listen_port is not None else ports[process_id]
+        )
         self.bind_host = host
         self.run_id = run_id
         self.time_scale = time_scale
         self.dial_timeout = dial_timeout
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
         self.bus = bus if bus is not None else Bus()
         self.clock = WallClock(time_scale=time_scale)
-        self.transport = AsyncTransport(process_id)
+        self.transport = AsyncTransport(
+            process_id, queue_limit=self.resilience.queue_limit
+        )
         outbound: Any = self.transport
         if faults is not None:
             from repro.faults import FaultyTransport
@@ -291,6 +319,28 @@ class NetHost:
         self.crashed = False
         self._recovered = False
         self._redialing: Set[int] = set()
+        #: Session resumption state: this host's incarnation number (in
+        #: every HELLO it sends) and the highest incarnation seen per
+        #: peer -- a HELLO from a lower one is a stale duplicate and is
+        #: rejected without disturbing the live link.
+        self.incarnation = incarnation if incarnation is not None else 0
+        self._peer_incarnations: Dict[int, int] = {}
+        #: Failure detection (phi-accrual over HEARTBEAT echoes on the
+        #: dialed peer links) and reconnect supervision state.
+        self.monitor: Optional[LinkMonitor] = (
+            self.resilience.monitor() if self.resilience.heartbeats else None
+        )
+        self.heartbeats_sent = 0
+        self.redials = 0
+        self._redial_rng = random.Random(0x52D1 ^ process_id)
+        #: Leading re-dial delay per peer: a link that flaps immediately
+        #: after a "successful" reconnect (e.g. a proxy accepting and
+        #: then dropping us) escalates this instead of spinning.
+        self._redial_delay: Dict[int, float] = {}
+        self._link_up_at: Dict[int, float] = {}
+        #: Backpressure: latched congestion state + transition counter.
+        self._congested = False
+        self.backpressure_transitions = 0
         if wal_dir is not None:
             self._init_wal(wal_dir, wal_meta, wal_sync_every)
 
@@ -319,6 +369,7 @@ class NetHost:
         import os
 
         from repro.wal import WalSink, read_log, replay_into_host
+        from repro.wal import records as _wal_records
 
         directory = os.path.join(wal_dir, "p%d" % self.process_id)
         existing = read_log(directory)
@@ -330,10 +381,21 @@ class NetHost:
             self._invoked_count = self.recovery.invokes
             for error in self.recovery.errors:
                 self.errors.append("wal recovery: %s" % error)
+            # Session resumption: each incarnation stamps its META
+            # records, so the successor outranks every HELLO the dead
+            # incarnation may still have in flight.
+            for record in existing.records:
+                if record.kind == _wal_records.META:
+                    prior = record.body.get("incarnation")
+                    if prior is not None:
+                        self.incarnation = max(
+                            self.incarnation, int(prior) + 1
+                        )
         meta = {
             "run": self.run_id,
             "process": self.process_id,
             "processes": self.n_processes,
+            "incarnation": self.incarnation,
         }
         if wal_meta:
             meta.update(wal_meta)
@@ -387,7 +449,9 @@ class NetHost:
 
     @property
     def port(self) -> int:
-        return self.ports[self.process_id]
+        """The port this host's server binds (the private port when a
+        fault proxy fronts the public one)."""
+        return self.listen_port
 
     async def start(self) -> None:
         """Listen, dial every peer, and complete the rendezvous."""
@@ -398,6 +462,7 @@ class NetHost:
             self._on_connection, self.bind_host, self.port
         )
         self._spawn(self._dial_peers())
+        self._spawn(self._resilience_loop())
         if self.n_processes == 1:
             self._check_ready()
 
@@ -413,6 +478,13 @@ class NetHost:
             )
         self._invoked_count += 1
         self.host.invoke(message)
+        # Rising edge checked inline (the periodic loop would lag a
+        # burst); the falling edge is the resilience loop's job.
+        if (
+            not self._congested
+            and self.local_pending() > self.resilience.high_watermark
+        ):
+            self._set_congested(True, self.local_pending())
 
     def local_pending(self) -> int:
         """Local drain condition (see :attr:`NetProtocolHost.pending_local`)."""
@@ -508,52 +580,253 @@ class NetHost:
         deadline = time.monotonic() + self.dial_timeout
         while True:
             try:
-                reader, writer = await asyncio.open_connection(
-                    self.bind_host, self.ports[dst]
-                )
-                break
+                await self._dial_once(dst)
+                return
             except OSError:
                 if time.monotonic() > deadline:
                     raise
                 await asyncio.sleep(0.05)
+
+    async def _dial_once(self, dst: int) -> None:
+        """One connect + HELLO attempt; registers the link on success."""
+        reader, writer = await asyncio.open_connection(
+            self.bind_host, self.ports[dst]
+        )
         writer.write(
             codec.encode_frame(
                 codec.HELLO,
-                {"process": self.process_id, "role": "peer", "run": self.run_id},
+                {
+                    "process": self.process_id,
+                    "role": "peer",
+                    "run": self.run_id,
+                    "incarnation": self.incarnation,
+                },
             )
         )
         await writer.drain()
         self.transport.connect(dst, writer)
+        self._peer_writers = [
+            peer_writer
+            for peer_writer in self._peer_writers
+            if not peer_writer.is_closing()
+        ]
         self._peer_writers.append(writer)
-        # Nothing travels host-ward on a dialed link; watch it for EOF only.
-        self._spawn(self._watch_eof(dst, reader, writer))
+        self._link_up_at[dst] = time.monotonic()
+        if self.monitor is not None:
+            self.monitor.watch(dst, time.monotonic())
+        # Heartbeat echoes travel host-ward on a dialed link; parse them
+        # (and detect the EOF that tears the link down).
+        self._spawn(self._watch_peer_link(dst, reader, writer))
 
     async def _redial(self, dst: int) -> None:
+        """Supervised reconnection: retry with exponential backoff and
+        jitter until the link is back or the give-up deadline passes.
+
+        Replaces the original one-shot re-dial.  The first attempt fires
+        immediately (a restarted peer's listener is usually already
+        back); each refused attempt backs off.  A link that flaps right
+        after "succeeding" (a fault proxy accepting, then severing)
+        escalates a leading delay across supervisor runs so the loop
+        converges to the backoff cadence instead of spinning.
+        """
+        policy = self.resilience.reconnect
+        attempts = 0
         try:
-            await self._dial(dst)
-        except OSError as exc:
-            self.errors.append("re-dial of peer %d failed: %s" % (dst, exc))
+            leading = self._redial_delay.get(dst, 0.0)
+            if leading:
+                await asyncio.sleep(leading)
+            for delay in policy.delays(self._redial_rng):
+                if self.crashed or self._done.is_set():
+                    return
+                if delay:
+                    await asyncio.sleep(delay)
+                    if self.crashed or self._done.is_set():
+                        return
+                if self.transport.link_up(dst):
+                    return  # restored concurrently (peer dial-back path)
+                attempts += 1
+                try:
+                    await self._dial_once(dst)
+                except OSError:
+                    continue
+                self._on_link_restored(dst, attempts)
+                return
+            self.errors.append(
+                "gave up re-dialing peer %d after %.1fs (%d attempts)"
+                % (dst, policy.deadline, attempts)
+            )
+            self._emit_link_probe("link.giveup", dst, attempts=attempts)
+        except asyncio.CancelledError:
+            pass
         finally:
             self._redialing.discard(dst)
 
-    async def _watch_eof(
+    def _on_link_restored(self, dst: int, attempts: int) -> None:
+        """The supervised re-dial succeeded: resume the session."""
+        self.redials += 1
+        self._emit_link_probe("link.redial", dst, attempts=attempts)
+        self._emit_link_probe("link.up", dst, previous="down")
+        flushed = self.transport.flush(dst)
+        if self._ready.is_set():
+            try:
+                self.host.protocol.on_link_restored(self.host.ctx, dst)
+            except Exception as exc:  # noqa: BLE001 - protocol bug, not fatal
+                self.errors.append(
+                    "link-restored hook for peer %d: %s" % (dst, exc)
+                )
+        if flushed:
+            self._emit_link_probe("net.shed", dst, flushed=flushed)
+        # A link lost *during* rendezvous (a slow-starting peer behind a
+        # proxy: the dial "succeeds" against the proxy, then dies with an
+        # EOF when the upstream refuses) comes back through this path, so
+        # readiness must be re-evaluated here or the host waits forever.
+        self._check_ready()
+
+    def _supervise_redial(self, dst: int) -> None:
+        """Start a reconnect supervisor for ``dst`` unless one is
+        already running (or the host is going away).
+
+        Runs during the initial rendezvous too: once ``_dial`` has
+        registered the link its retry loop is done, so a pre-ready EOF
+        (the peer's listener came up after its fault proxy) has no other
+        recovery path.
+        """
+        if self.crashed or self._done.is_set():
+            return
+        if dst in self._redialing:
+            return
+        self._redialing.add(dst)
+        self._spawn(self._redial(dst))
+
+    def _emit_link_probe(self, probe: str, peer: int, **data: Any) -> None:
+        bus = self.bus
+        if bus is not None and bus.active:
+            bus.emit(
+                probe, self.clock.now, process=self.process_id, peer=peer, **data
+            )
+
+    async def _watch_peer_link(
         self,
         dst: int,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
         try:
-            while await reader.read(4096):
-                pass
-        except (asyncio.CancelledError, ConnectionError):
+            while True:
+                frame = await codec.read_frame(reader)
+                if frame is None:
+                    break
+                if frame.kind == codec.HEARTBEAT and self.monitor is not None:
+                    self.monitor.observe(dst, time.monotonic())
+                # Anything else host-ward on a dialed link is ignored.
+        except asyncio.CancelledError:
             return
-        # EOF: the peer's incarnation is gone.  Tear the link down so
-        # ``link_up`` reports it and the rendezvous logic re-dials when
-        # (if) a new incarnation comes back.
+        except (codec.CodecError, ConnectionError):
+            pass
+        # EOF (or a torn stream): the peer's incarnation -- or just the
+        # link -- is gone.  Tear it down so ``link_up`` reports it, then
+        # hand the destination to the reconnect supervisor.
         if self.transport._writers.get(dst) is writer:
             self.transport.disconnect(dst)
         if not writer.is_closing():
             writer.close()
+        if self.monitor is not None:
+            transition = self.monitor.mark_down(dst)
+            if transition is not None:
+                self._emit_link_probe("link.down", dst, previous=transition[0])
+        up_for = time.monotonic() - self._link_up_at.get(dst, 0.0)
+        if up_for < 1.0:
+            # Immediate flap: escalate the next supervisor's lead-in.
+            current = self._redial_delay.get(dst, 0.0)
+            self._redial_delay[dst] = min(
+                max(current * 2.0, self.resilience.reconnect.base),
+                self.resilience.reconnect.cap,
+            )
+        else:
+            self._redial_delay[dst] = 0.0
+        self._supervise_redial(dst)
+
+    # -- failure detection / degradation ---------------------------------------
+
+    async def _resilience_loop(self) -> None:
+        """Heartbeat the dialed links, reclassify them, and check the
+        backpressure falling edge -- every ``heartbeat_interval``."""
+        interval = self.resilience.heartbeat_interval
+        beat = 0
+        try:
+            while not self._done.is_set():
+                await asyncio.sleep(interval)
+                if self._done.is_set():
+                    return
+                # A draining host keeps heartbeating: settling pending
+                # obligations needs live, monitored links.
+                beat += 1
+                if self.monitor is not None:
+                    self._send_heartbeats(beat)
+                    self._evaluate_links()
+                self._check_backpressure()
+        except asyncio.CancelledError:
+            return
+
+    def _send_heartbeats(self, beat: int) -> None:
+        for dst in range(self.n_processes):
+            if dst == self.process_id or not self.transport.link_up(dst):
+                continue
+            writer = self.transport._writers[dst]
+            writer.write(
+                codec.encode_frame(
+                    codec.HEARTBEAT,
+                    {"process": self.process_id, "n": beat},
+                )
+            )
+            self.heartbeats_sent += 1
+
+    def _evaluate_links(self) -> None:
+        assert self.monitor is not None
+        for peer, old, new in self.monitor.evaluate(time.monotonic()):
+            self._emit_link_probe("link." + new, peer, previous=old)
+            if new == LINK_DOWN:
+                # The socket may still look open (a blackholed link
+                # produces no EOF): force the teardown so the reconnect
+                # supervisor takes over.
+                writer = self.transport._writers.get(peer)
+                self.transport.disconnect(peer)
+                if writer is not None and not writer.is_closing():
+                    writer.close()
+                self._supervise_redial(peer)
+
+    def _check_backpressure(self) -> None:
+        pending = self.local_pending()
+        if not self._congested and pending > self.resilience.high_watermark:
+            self._set_congested(True, pending)
+        elif self._congested and pending < self.resilience.low_watermark:
+            self._set_congested(False, pending)
+
+    def _set_congested(self, congested: bool, pending: int) -> None:
+        self._congested = congested
+        self.backpressure_transitions += 1
+        state = "high" if congested else "low"
+        bus = self.bus
+        if bus is not None and bus.active:
+            bus.emit(
+                "net.backpressure",
+                self.clock.now,
+                process=self.process_id,
+                state=state,
+                pending=pending,
+            )
+        frame = codec.encode_frame(
+            codec.BACKPRESSURE,
+            {"process": self.process_id, "state": state, "pending": pending},
+        )
+        for writer in list(self._client_writers):
+            if not writer.is_closing():
+                writer.write(frame)
+
+    @property
+    def congested(self) -> bool:
+        """Whether local pending work is above the high watermark."""
+        return self._congested
 
     def _check_ready(self) -> None:
         peers = self.n_processes - 1
@@ -599,6 +872,19 @@ class NetHost:
         role = hello.body.get("role")
         if role == "peer":
             peer = int(hello.body.get("process", -1))
+            incarnation = int(hello.body.get("incarnation", 0))
+            known = self._peer_incarnations.get(peer)
+            if known is not None and incarnation < known:
+                # A stale duplicate HELLO -- a frame the peer's *dead*
+                # incarnation had in flight, or a delayed proxy replay.
+                # Rejecting it must not disturb the live link.
+                self.errors.append(
+                    "rejected stale HELLO from peer %d "
+                    "(incarnation %d < %d)" % (peer, incarnation, known)
+                )
+                writer.close()
+                return
+            self._peer_incarnations[peer] = incarnation
             self._inbound_peers.add(peer)
             if (
                 self._ready.is_set()
@@ -617,6 +903,8 @@ class NetHost:
                 await self._peer_loop(reader, writer)
             finally:
                 self._accepted_writers.discard(writer)
+                if not writer.is_closing():
+                    writer.close()
         elif role == "observer":
             await self._observer_loop(reader, writer)
         elif role == "load":
@@ -638,6 +926,12 @@ class NetHost:
                     if frame.kind == codec.USER:
                         self._note_remote_clock(packet, frame.body.get("vc"))
                     self._dispatch_packet(packet)
+                elif frame.kind == codec.HEARTBEAT and not frame.body.get("echo"):
+                    # Echo back on the same socket: the dialer's watcher
+                    # feeds its failure detector from these.
+                    body = dict(frame.body)
+                    body["echo"] = True
+                    writer.write(codec.encode_frame(codec.HEARTBEAT, body))
                 # Anything else on a peer link is ignored (forward compat).
         except (codec.CodecError, ConnectionError) as exc:
             if not self._done.is_set():
@@ -745,6 +1039,7 @@ class NetHost:
         await self._ready.wait()
         self._client_writers.add(writer)
         writer.write(codec.encode_frame(codec.READY, {"process": self.process_id}))
+        drained_here = False
         try:
             await writer.drain()
             while True:
@@ -767,8 +1062,10 @@ class NetHost:
                     )
                 elif frame.kind == codec.DRAIN:
                     self.draining = True
+                    drained_here = True
                     writer.write(codec.encode_frame(codec.DRAIN, {}))
                 elif frame.kind == codec.BYE:
+                    drained_here = False  # terminal: shutdown owns the flag
                     writer.write(codec.encode_frame(codec.BYE, {}))
                     try:
                         await writer.drain()
@@ -783,6 +1080,11 @@ class NetHost:
             pass
         finally:
             self._client_writers.discard(writer)
+            if drained_here and not self.crashed and not self._done.is_set():
+                # DRAIN is a per-run barrier, not a terminal state: once
+                # the drained load client goes away, a keep-serving host
+                # must take the next run's invokes and keep healing links.
+                self.draining = False
 
     def _handle_invoke(self, frame: "codec.Frame") -> None:
         message = codec.message_from_wire(frame.body)
@@ -822,6 +1124,20 @@ class NetHost:
             # Histogram.to_wire) -- not the raw sample lists of old.
             "latencies": self.host.delivery_latency.to_wire(),
             "e2e_latencies": self.host.e2e_latency.to_wire(),
+            # Resilience layer: link states keyed by peer id (stringified
+            # for JSON), reconnect/degradation counters.
+            "incarnation": self.incarnation,
+            "links": {
+                str(peer): state
+                for peer, state in (
+                    self.monitor.states() if self.monitor is not None else {}
+                ).items()
+            },
+            "congested": self._congested,
+            "redials": self.redials,
+            "heartbeats_sent": self.heartbeats_sent,
+            "frames_queued": self.transport.pending_frames,
+            "frames_shed": self.transport.user_shed + self.transport.control_shed,
         }
         if self.watchdog is not None:
             protocols: List[Optional[object]] = [None] * self.n_processes

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Any, Callable, Dict, Optional, Set
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
 
 from repro.net import codec
 from repro.simulation.network import Network, Packet, Transport
@@ -121,13 +122,24 @@ class AsyncTransport(Transport):
     in user frames; the host keeps them keyed by message id so a
     retransmission carries its *original* release time and latency
     accounting at the receiver stays honest.
+
+    A packet for a destination whose link is down is not discarded: it
+    goes into a bounded per-peer queue (``queue_limit`` frames) that
+    :meth:`flush` writes out when the reconnect supervisor restores the
+    link.  Past the limit the *oldest USER frame* is shed first --
+    control frames (acks, protocol coordination) are what lets the
+    cluster recover, so they survive preferentially.  Sheds are counted
+    and emitted as ``net.shed`` probes.
     """
 
     def __init__(
         self,
         process_id: int,
         stamp: Optional[Callable[[Packet], "tuple[float, float]"]] = None,
+        queue_limit: int = 2048,
     ) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
         self.process_id = process_id
         self._stamp = stamp
         #: Optional vector-clock supplier for user frames (the flight
@@ -139,7 +151,15 @@ class AsyncTransport(Transport):
         self.bytes_sent = 0
         #: Packets for peers with no (or a closed) connection -- counted,
         #: not raised: during shutdown in-flight traffic may race closes.
+        #: Since the resilience layer these packets are also *queued* for
+        #: the reconnect flush, so unroutable != lost.
         self.unroutable = 0
+        self.queue_limit = queue_limit
+        #: dst -> queued (kind, frame bytes) awaiting a link.
+        self._pending: Dict[int, Deque[Tuple[int, bytes]]] = {}
+        self.user_shed = 0
+        self.control_shed = 0
+        self.queued_flushed = 0
 
     def bind_loop(self, loop: asyncio.AbstractEventLoop) -> None:
         self._loop = loop
@@ -150,6 +170,62 @@ class AsyncTransport(Transport):
 
     def disconnect(self, dst: int) -> None:
         self._writers.pop(dst, None)
+
+    def pending_for(self, dst: int) -> int:
+        """Frames queued for ``dst`` awaiting a reconnect flush."""
+        return len(self._pending.get(dst, ()))
+
+    @property
+    def pending_frames(self) -> int:
+        """Total frames queued across all down links."""
+        return sum(len(queue) for queue in self._pending.values())
+
+    def flush(self, dst: int) -> int:
+        """Write every frame queued for ``dst`` to its restored link.
+
+        Control frames go first: a flushed ack unblocks the peer's
+        retransmit timers before the user data lands.  Returns how many
+        frames were written; a still-down link flushes nothing.
+        """
+        queue = self._pending.get(dst)
+        writer = self._writers.get(dst)
+        if not queue or writer is None or writer.is_closing():
+            return 0
+        ordered = [item for item in queue if item[0] != codec.USER]
+        ordered += [item for item in queue if item[0] == codec.USER]
+        queue.clear()
+        for _, data in ordered:
+            writer.write(data)
+            self.frames_sent += 1
+            self.bytes_sent += len(data)
+        self.queued_flushed += len(ordered)
+        return len(ordered)
+
+    def _enqueue(self, network: Network, dst: int, kind: int, data: bytes) -> None:
+        queue = self._pending.setdefault(dst, deque())
+        queue.append((kind, data))
+        if len(queue) <= self.queue_limit:
+            return
+        for index, (queued_kind, _) in enumerate(queue):
+            if queued_kind == codec.USER:
+                del queue[index]
+                self.user_shed += 1
+                shed = "user"
+                break
+        else:
+            queue.popleft()
+            self.control_shed += 1
+            shed = "control"
+        bus = getattr(network, "bus", None)
+        sim = getattr(network, "sim", None)
+        if bus is not None and bus.active:
+            bus.emit(
+                "net.shed",
+                sim.now if sim is not None else 0.0,
+                dst=dst,
+                kind=shed,
+                queued=len(queue),
+            )
 
     def link_up(self, dst: int) -> bool:
         """Whether an open outbound stream to ``dst`` exists right now
@@ -172,11 +248,13 @@ class AsyncTransport(Transport):
             handler = network.handler_for(packet.dst)
             self._loop.call_soon(handler, packet)
             return None
+        kind, body = self._frame_for(packet)
+        data = codec.encode_frame(kind, body)
         writer = self._writers.get(packet.dst)
         if writer is None or writer.is_closing():
             self.unroutable += 1
+            self._enqueue(network, packet.dst, kind, data)
             return None
-        data = codec.encode_frame(*self._frame_for(packet))
         writer.write(data)
         self.frames_sent += 1
         self.bytes_sent += len(data)

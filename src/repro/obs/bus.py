@@ -42,7 +42,15 @@ probe            payload fields
 ``retx.send``    ``process``, ``message_id``, ``receiver``, ``kind``
 ``retx.ack``     ``process``, ``peer``, ``cumulative``
 ``retx.dup``     ``process``, ``message_id``, ``sender``
+``retx.resume``  ``peer``, ``unacked``
 ``timer.fire``   ``process``
+``link.up``      ``process``, ``peer``, ``previous``
+``link.suspect`` ``process``, ``peer``, ``previous``
+``link.down``    ``process``, ``peer``, ``previous``
+``link.redial``  ``process``, ``peer``, ``attempts``
+``link.giveup``  ``process``, ``peer``, ``attempts``
+``net.shed``     ``dst``, ``kind``, ``queued`` (or ``flushed`` on restore)
+``net.backpressure`` ``process``, ``state``, ``pending``
 ===============  ============================================================
 
 The ``mc.*`` probes are emitted by the model checker's explorer
@@ -72,6 +80,18 @@ duplicate arrival suppressed by receive-side dedup.
 action actually runs (armed timers that die in a crash never fire); the
 WAL (:mod:`repro.wal`) mirrors it so a recorded run carries its timer
 history alongside the fault and retransmission streams.
+
+The ``link.*`` / ``net.shed`` / ``net.backpressure`` probes come from
+the cluster resilience layer (:mod:`repro.net.resilience` plus the
+:class:`~repro.net.host.NetHost` runtime): ``link.up`` /
+``link.suspect`` / ``link.down`` mark each failure-detector state
+transition for one peer link (``previous`` is the state it left),
+``link.redial`` a successful supervised reconnect after ``attempts``
+tries, ``link.giveup`` an abandoned one, ``retx.resume`` the ARQ
+sublayer retransmitting its unacked window on a restored link,
+``net.shed`` a frame shed from (or flushed out of) a down-link queue,
+and ``net.backpressure`` a high/low watermark crossing of the host's
+local pending work.
 """
 
 from __future__ import annotations
@@ -105,7 +125,15 @@ PROBES = frozenset(
         "retx.send",
         "retx.ack",
         "retx.dup",
+        "retx.resume",
         "timer.fire",
+        "link.up",
+        "link.suspect",
+        "link.down",
+        "link.redial",
+        "link.giveup",
+        "net.shed",
+        "net.backpressure",
     }
 )
 

@@ -409,7 +409,16 @@ class MetricsRecorder:
       ``retx.acks`` / ``retx.dups`` -- the ARQ sublayer's recovery work,
     - ``net.goodput`` (gauge: deliveries per packet the user layer paid
       for, ``delivered / (released + retransmitted)``; 1.0 on a clean
-      network, sinking as recovery work grows).
+      network, sinking as recovery work grows),
+    - ``link.transitions`` (counter, labelled by the new detector state
+      ``up`` / ``suspect`` / ``down``), ``link.redials`` / ``link.giveups``
+      (counters, per-process labels) -- the failure detector and the
+      reconnect supervisor at work,
+    - ``net.shed.frames`` (counter, labelled ``user`` / ``control``:
+      frames dropped from a full send queue while a link was down),
+    - ``net.backpressure.transitions`` (counter, labelled ``high`` /
+      ``low``) and ``net.backpressure.pending`` (gauge, per-process: the
+      pending depth at the last watermark crossing).
     """
 
     def __init__(self, bus: Bus, registry: Optional[MetricsRegistry] = None):
@@ -436,6 +445,13 @@ class MetricsRecorder:
             bus.subscribe("retx.send", self._on_retx_send),
             bus.subscribe("retx.ack", self._on_retx_ack),
             bus.subscribe("retx.dup", self._on_retx_dup),
+            bus.subscribe("link.up", self._on_link_transition),
+            bus.subscribe("link.suspect", self._on_link_transition),
+            bus.subscribe("link.down", self._on_link_transition),
+            bus.subscribe("link.redial", self._on_link_redial),
+            bus.subscribe("link.giveup", self._on_link_giveup),
+            bus.subscribe("net.shed", self._on_net_shed),
+            bus.subscribe("net.backpressure", self._on_backpressure),
         ]
 
     def close(self) -> None:
@@ -582,6 +598,40 @@ class MetricsRecorder:
 
     def _on_retx_ack(self, event: ProbeEvent) -> None:
         self.registry.counter("retx.acks", "cumulative acks observed").inc()
+
+    def _on_link_transition(self, event: ProbeEvent) -> None:
+        state = event.probe.rsplit(".", 1)[1]  # link.up -> up
+        self.registry.counter(
+            "link.transitions", "failure-detector link state changes"
+        ).inc(label=state)
+
+    def _on_link_redial(self, event: ProbeEvent) -> None:
+        self.registry.counter(
+            "link.redials", "supervised reconnects that restored a link"
+        ).inc(label="p%d" % event.data["process"])
+
+    def _on_link_giveup(self, event: ProbeEvent) -> None:
+        self.registry.counter(
+            "link.giveups", "reconnect supervisors past their deadline"
+        ).inc(label="p%d" % event.data["process"])
+
+    def _on_net_shed(self, event: ProbeEvent) -> None:
+        # Two shapes share the probe: the transport's shed (has "kind")
+        # and the host's flush-on-restore notice (has "flushed").
+        kind = event.data.get("kind")
+        if kind is not None:
+            self.registry.counter(
+                "net.shed.frames", "frames dropped from a full send queue"
+            ).inc(label=kind)
+
+    def _on_backpressure(self, event: ProbeEvent) -> None:
+        state = event.data["state"]
+        self.registry.counter(
+            "net.backpressure.transitions", "send-watermark crossings"
+        ).inc(label=state)
+        self.registry.gauge(
+            "net.backpressure.pending", "pending depth at the last crossing"
+        ).set(event.data.get("pending", 0), label="p%d" % event.data["process"])
 
     def _on_retx_dup(self, event: ProbeEvent) -> None:
         self.registry.counter(

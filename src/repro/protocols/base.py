@@ -107,6 +107,19 @@ class Protocol:
         (e.g. to re-arm retransmission timers).  The default does nothing.
         """
 
+    def on_link_restored(self, ctx: HostContext, dst: int) -> None:
+        """The runtime re-established a broken link to ``dst``.
+
+        Unlike :meth:`on_restart` this process never died -- only the
+        channel did, taking any in-flight packets with it.  A recovery
+        sublayer should resend whatever ``dst`` has not acknowledged and
+        reset any per-peer give-up counters (the peer is provably
+        reachable again).  The default does nothing: a protocol that
+        assumes reliable channels has nothing to repair -- stack
+        :class:`~repro.protocols.reliable.ReliableProtocol` under it if
+        its channels can actually break.
+        """
+
     def blocking_reason(self, message_id: str) -> Optional[str]:
         """Why this instance is withholding ``message_id``, or ``None``.
 

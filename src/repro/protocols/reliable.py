@@ -186,6 +186,23 @@ class ReliableProtocol(Protocol):
                 self._retransmit_all(ctx, dst)
                 self._arm(ctx, dst)
 
+    def on_link_restored(self, ctx: HostContext, dst: int) -> None:
+        """The channel to ``dst`` healed (reconnect supervisor callback).
+
+        Everything still unacked there is retransmitted immediately, and
+        the per-peer give-up state resets: ``max_retries`` expiries
+        without progress meant "the peer is unreachable", which the
+        reconnect just disproved.  The receive side needs no repair --
+        sequence-number dedup absorbs whatever overlap the flush and the
+        retransmission produce.
+        """
+        self._retries[dst] = 0
+        self._rto_cur[dst] = self.rto
+        if self._unacked.get(dst):
+            ctx.emit("retx.resume", peer=dst, unacked=len(self._unacked[dst]))
+            self._retransmit_all(ctx, dst)
+            self._arm(ctx, dst)
+
     # -- user-facing hooks --------------------------------------------------
 
     def on_invoke(self, ctx: HostContext, message: Message) -> None:

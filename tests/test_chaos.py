@@ -1,0 +1,239 @@
+"""Chaos layer: seeded plans, the WAL cross-check, reports, a live run."""
+
+import json
+import os
+import tempfile
+
+import pytest
+
+from repro.chaos import (
+    ACTION_KINDS,
+    ChaosAction,
+    ChaosPlan,
+    ChaosReport,
+    run_chaos_sync,
+    wal_cross_check,
+)
+from repro.events import Message
+from repro.net import codec
+from repro.wal import EVENT, SegmentWriter, content_id
+from repro.wal.records import WalRecord, invoke_record
+
+
+class TestChaosAction:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown chaos action"):
+            ChaosAction(at=0.0, kind="meteor", target=0, duration=1.0)
+        with pytest.raises(ValueError, match="duration"):
+            ChaosAction(at=0.0, kind="kill", target=0, duration=0.0)
+        with pytest.raises(ValueError, match="src != target"):
+            ChaosAction(at=0.0, kind="sever", target=1, duration=1.0, src=1)
+
+    def test_describe_names_the_link_for_link_faults(self):
+        cut = ChaosAction(at=1.0, kind="sever", target=2, duration=0.5, src=0)
+        assert "P0->P2" in cut.describe()
+        isolate = ChaosAction(at=1.0, kind="blackhole", target=2, duration=0.5)
+        assert "*->P2" in isolate.describe()
+        kill = ChaosAction(at=1.0, kind="kill", target=2, duration=0.5)
+        assert "kill P2" in kill.describe()
+
+    def test_json_round_trip(self):
+        action = ChaosAction(
+            at=0.25, kind="blackhole", target=1, duration=0.75, src=2
+        )
+        assert ChaosAction.from_json(action.to_json()) == action
+        bare = ChaosAction(at=0.25, kind="kill", target=1, duration=0.75)
+        body = bare.to_json()
+        assert "src" not in body
+        assert ChaosAction.from_json(body) == bare
+
+
+class TestChaosPlan:
+    def test_same_seed_same_plan(self):
+        first = ChaosPlan.generate(7, 3, 5.0)
+        second = ChaosPlan.generate(7, 3, 5.0)
+        assert first == second
+        assert first.actions  # a 5s window fits at least one action
+
+    def test_different_seeds_differ(self):
+        plans = {ChaosPlan.generate(seed, 3, 5.0) for seed in range(8)}
+        assert len(plans) > 1
+
+    def test_actions_never_overlap(self):
+        for seed in range(10):
+            plan = ChaosPlan.generate(seed, 4, 6.0, n_actions=5)
+            cursor = 0.0
+            for action in plan.actions:
+                assert action.at >= cursor
+                cursor = action.ends_at
+            assert plan.ends_at == cursor or not plan.actions
+
+    def test_kind_filter_is_respected_and_validated(self):
+        plan = ChaosPlan.generate(3, 3, 8.0, n_actions=6, kinds=("kill",))
+        assert plan.actions
+        assert all(action.kind == "kill" for action in plan.actions)
+        with pytest.raises(ValueError, match="unknown chaos action kind"):
+            ChaosPlan.generate(3, 3, 8.0, kinds=("kill", "asteroid"))
+        with pytest.raises(ValueError, match="at least 2"):
+            ChaosPlan.generate(3, 1, 8.0)
+
+    def test_link_faults_draw_a_distinct_source(self):
+        for seed in range(20):
+            plan = ChaosPlan.generate(
+                seed, 3, 8.0, n_actions=6, kinds=("sever", "blackhole")
+            )
+            for action in plan.actions:
+                assert action.src is None or action.src != action.target
+
+    def test_json_round_trip_survives_serialization(self):
+        plan = ChaosPlan.generate(5, 3, 5.0)
+        wire = json.loads(json.dumps(plan.to_json()))
+        assert ChaosPlan.from_json(wire) == plan
+
+    def test_every_generated_kind_is_catalogued(self):
+        seen = set()
+        for seed in range(40):
+            plan = ChaosPlan.generate(seed, 3, 6.0, n_actions=4)
+            seen.update(action.kind for action in plan.actions)
+        assert seen <= set(ACTION_KINDS)
+        assert {"kill", "sever", "blackhole"} <= seen
+
+
+def _message(n, sender, receiver):
+    return Message(
+        id="m%d" % n, sender=sender, receiver=receiver, payload=("x", n)
+    )
+
+
+def _deliver_record(process, message):
+    return WalRecord(
+        kind=EVENT,
+        body={
+            "t": 1.0,
+            "p": process,
+            "k": "deliver",
+            "m": codec.message_to_wire(message),
+            "cid": content_id(message),
+        },
+    )
+
+
+class TestWalCrossCheck:
+    def _write(self, root, process, records):
+        writer = SegmentWriter(os.path.join(root, "p%d" % process))
+        for record in records:
+            writer.append(record)
+        writer.close()
+
+    def test_clean_join_reports_no_loss(self):
+        with tempfile.TemporaryDirectory() as root:
+            delivered = _message(1, sender=0, receiver=1)
+            self._write(root, 0, [invoke_record(0.5, 0, delivered)])
+            self._write(root, 1, [_deliver_record(1, delivered)])
+            acked, lost, double = wal_cross_check(root, 2)
+            assert (acked, lost, double) == (1, [], [])
+
+    def test_missing_delivery_is_a_loss(self):
+        with tempfile.TemporaryDirectory() as root:
+            delivered = _message(1, sender=0, receiver=1)
+            vanished = _message(2, sender=0, receiver=1)
+            self._write(
+                root,
+                0,
+                [
+                    invoke_record(0.5, 0, delivered),
+                    invoke_record(0.6, 0, vanished),
+                ],
+            )
+            self._write(root, 1, [_deliver_record(1, delivered)])
+            acked, lost, double = wal_cross_check(root, 2)
+            assert acked == 2
+            assert lost == ["m2"]
+            assert double == []
+
+    def test_double_delivery_is_flagged(self):
+        with tempfile.TemporaryDirectory() as root:
+            message = _message(1, sender=0, receiver=1)
+            self._write(root, 0, [invoke_record(0.5, 0, message)])
+            self._write(
+                root,
+                1,
+                [_deliver_record(1, message), _deliver_record(1, message)],
+            )
+            acked, lost, double = wal_cross_check(root, 2)
+            assert (acked, lost, double) == (1, [], ["m1"])
+
+    def test_delivery_at_the_wrong_process_does_not_count(self):
+        with tempfile.TemporaryDirectory() as root:
+            message = _message(1, sender=0, receiver=1)
+            self._write(root, 0, [invoke_record(0.5, 0, message)])
+            self._write(root, 2, [_deliver_record(2, message)])
+            acked, lost, double = wal_cross_check(root, 3)
+            assert (acked, lost, double) == (1, ["m1"], [])
+
+    def test_absent_wal_directories_are_tolerated(self):
+        with tempfile.TemporaryDirectory() as root:
+            assert wal_cross_check(root, 3) == (0, [], [])
+
+
+class TestChaosReport:
+    def _report(self, **overrides):
+        base = dict(
+            protocol="fifo",
+            n_processes=3,
+            seed=0,
+            mode="inline",
+            plan=ChaosPlan.generate(0, 3, 3.0).to_json(),
+            reconverged=True,
+            links_up=True,
+        )
+        base.update(overrides)
+        return ChaosReport(**base)
+
+    def test_ok_requires_all_three_invariants(self):
+        assert self._report().ok
+        assert not self._report(violation="fifo: m2 before m1").ok
+        assert not self._report(acked_lost=["m1"]).ok
+        assert not self._report(double_delivered=["m1"]).ok
+        assert not self._report(reconverged=False).ok
+        assert not self._report(links_up=False).ok
+
+    def test_host_errors_inform_but_do_not_fail(self):
+        assert self._report(errors=["P1: transient redial noise"]).ok
+
+    def test_render_carries_the_verdict_and_plan(self):
+        text = self._report().render()
+        assert "verdict     OK" in text
+        assert "violation-free" in text
+        assert "no acked message lost" in text
+        bad = self._report(acked_lost=["m1", "m2"]).render()
+        assert "2 LOST" in bad
+        assert "verdict     FAILED" in bad
+
+    def test_to_json_is_serializable_and_carries_ok(self):
+        body = self._report().to_json()
+        assert body["ok"] is True
+        json.dumps(body)  # must be wire-clean
+
+
+class TestLiveChaos:
+    def test_inline_run_survives_link_severs(self):
+        # Seed 0 over 3 processes schedules link severs: the full loop --
+        # detector, supervised re-dial, ARQ resume, WAL cross-check --
+        # must come back with every invariant intact.
+        with tempfile.TemporaryDirectory() as root:
+            report = run_chaos_sync(
+                "fifo",
+                wal_root=root,
+                seed=0,
+                rate=80.0,
+                duration=2.0,
+                convergence_deadline=20.0,
+            )
+            assert report.mode == "inline"
+            assert any(
+                action["kind"] in ("sever", "blackhole", "kill")
+                for action in report.plan["actions"]
+            )
+            assert report.acked > 0
+            assert report.ok, report.render()

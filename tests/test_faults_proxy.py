@@ -1,0 +1,229 @@
+"""Socket-level fault proxy: forward, sever, blackhole, heal, sniff."""
+
+import asyncio
+
+import pytest
+
+from repro.faults.proxy import ANON, FaultProxy, proxied_ports
+from repro.net import codec
+from repro.net.cluster import free_ports
+
+
+async def _echo_upstream(port):
+    """A trivial upstream that echoes every byte it receives."""
+
+    async def handle(reader, writer):
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            if not writer.is_closing():
+                writer.close()
+
+    return await asyncio.start_server(handle, "127.0.0.1", port)
+
+
+def _hello(process, role="peer"):
+    return codec.encode_frame(
+        codec.HELLO, {"process": process, "role": role, "run": "t"}
+    )
+
+
+async def _dial(port, preamble=b""):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    if preamble:
+        writer.write(preamble)
+        await writer.drain()
+    return reader, writer
+
+
+class TestForwarding:
+    def test_bytes_flow_both_ways_and_hello_is_forwarded_verbatim(self):
+        async def scenario():
+            public, private = free_ports(2)
+            upstream = await _echo_upstream(private)
+            proxy = FaultProxy(public, private)
+            await proxy.start()
+            try:
+                hello = _hello(1)
+                reader, writer = await _dial(public, hello)
+                # The sniffer peeks the HELLO but the upstream (an echo
+                # server) must still receive it byte-for-byte.
+                echoed = await asyncio.wait_for(
+                    reader.readexactly(len(hello)), 5.0
+                )
+                assert echoed == hello
+                writer.write(b"more")
+                await writer.drain()
+                assert await asyncio.wait_for(reader.readexactly(4), 5.0) == (
+                    b"more"
+                )
+                assert proxy.accepted == 1
+                assert proxy.connections_from(1) == 1
+                # (the sniffed preamble is relayed out-of-band, so the
+                # counter covers the echo path plus the trailing bytes)
+                assert proxy.bytes_forwarded >= len(hello) + 8
+                writer.close()
+            finally:
+                await proxy.close()
+                upstream.close()
+                await upstream.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_non_hello_preamble_lands_in_the_anonymous_bucket(self):
+        async def scenario():
+            public, private = free_ports(2)
+            upstream = await _echo_upstream(private)
+            proxy = FaultProxy(public, private)
+            await proxy.start()
+            try:
+                ready = codec.encode_frame(codec.READY, {"process": 0})
+                reader, writer = await _dial(public, ready)
+                await asyncio.wait_for(reader.readexactly(len(ready)), 5.0)
+                assert proxy.connections_from(ANON) == 1
+                assert proxy.connections_from(0) == 0
+                writer.close()
+            finally:
+                await proxy.close()
+                upstream.close()
+                await upstream.wait_closed()
+
+        asyncio.run(scenario())
+
+
+class TestSever:
+    def test_sever_cuts_live_connections_and_refuses_new_ones(self):
+        async def scenario():
+            public, private = free_ports(2)
+            upstream = await _echo_upstream(private)
+            proxy = FaultProxy(public, private)
+            await proxy.start()
+            try:
+                hello = _hello(2)
+                reader, writer = await _dial(public, hello)
+                await asyncio.wait_for(reader.readexactly(len(hello)), 5.0)
+                assert proxy.sever(2) == 1  # one live connection died
+                # The peer sees EOF -- the cable-pull observable.
+                assert await asyncio.wait_for(reader.read(), 5.0) == b""
+                writer.close()
+                # New dials from the severed source are accept-then-close.
+                reader2, writer2 = await _dial(public, _hello(2))
+                assert await asyncio.wait_for(reader2.read(), 5.0) == b""
+                assert proxy.refused == 1
+                writer2.close()
+                # ... while another source still forwards.
+                hello3 = _hello(3)
+                reader3, writer3 = await _dial(public, hello3)
+                assert (
+                    await asyncio.wait_for(
+                        reader3.readexactly(len(hello3)), 5.0
+                    )
+                    == hello3
+                )
+                writer3.close()
+            finally:
+                await proxy.close()
+                upstream.close()
+                await upstream.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_heal_restores_forwarding(self):
+        async def scenario():
+            public, private = free_ports(2)
+            upstream = await _echo_upstream(private)
+            proxy = FaultProxy(public, private)
+            await proxy.start()
+            try:
+                proxy.sever()  # everything, including anonymous sources
+                assert proxy.mode_for(ANON) == "severed"
+                proxy.heal()
+                hello = _hello(1)
+                reader, writer = await _dial(public, hello)
+                assert (
+                    await asyncio.wait_for(
+                        reader.readexactly(len(hello)), 5.0
+                    )
+                    == hello
+                )
+                writer.close()
+            finally:
+                await proxy.close()
+                upstream.close()
+                await upstream.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_healing_one_source_under_a_global_fault(self):
+        proxy = FaultProxy(1, 2)
+        proxy.sever()
+        proxy.heal(src=1)
+        assert proxy.mode_for(1) == "forward"
+        assert proxy.mode_for(2) == "severed"
+
+
+class TestBlackhole:
+    def test_blackhole_discards_without_eof(self):
+        async def scenario():
+            public, private = free_ports(2)
+            upstream = await _echo_upstream(private)
+            proxy = FaultProxy(public, private)
+            await proxy.start()
+            try:
+                hello = _hello(1)
+                reader, writer = await _dial(public, hello)
+                await asyncio.wait_for(reader.readexactly(len(hello)), 5.0)
+                assert proxy.blackhole(1) == 1
+                writer.write(b"into the void")
+                await writer.drain()
+                # The bytes vanish: no echo and, critically, no EOF.
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(reader.read(1), 0.3)
+                assert proxy.bytes_discarded >= len(b"into the void")
+                writer.close()
+            finally:
+                await proxy.close()
+                upstream.close()
+                await upstream.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_new_connections_under_blackhole_are_accepted_then_starved(self):
+        async def scenario():
+            public, private = free_ports(2)
+            upstream = await _echo_upstream(private)
+            proxy = FaultProxy(public, private)
+            await proxy.start()
+            try:
+                proxy.blackhole(1)
+                reader, writer = await _dial(public, _hello(1))
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(reader.read(1), 0.3)
+                assert proxy.connections_from(1) == 1
+                writer.close()
+            finally:
+                await proxy.close()
+                upstream.close()
+                await upstream.wait_closed()
+
+        asyncio.run(scenario())
+
+
+class TestValidation:
+    def test_proxy_refuses_its_own_upstream_port(self):
+        with pytest.raises(ValueError, match="own upstream port"):
+            FaultProxy(9000, 9000)
+
+    def test_proxied_ports_pairs_and_validates(self):
+        assert proxied_ports([1, 2], [3, 4]) == [(1, 3), (2, 4)]
+        with pytest.raises(ValueError, match="differ in length"):
+            proxied_ports([1], [2, 3])
+        with pytest.raises(ValueError, match="both public and private"):
+            proxied_ports([1, 2], [2, 3])

@@ -67,6 +67,8 @@ def _sample_bodies():
             "text": "# EOF\n",
             "snapshot": {"messages.delivered": {"kind": "counter", "value": 7}},
         },
+        codec.HEARTBEAT: {"process": 0, "n": 42, "echo": True},
+        codec.BACKPRESSURE: {"process": 1, "state": "high", "pending": 5000},
     }
 
 
@@ -203,6 +205,59 @@ class TestStrictDecodeErrors:
         assert decoder.buffered > 0
         with pytest.raises(codec.FrameTruncated, match="incomplete frame"):
             decoder.eof()
+
+
+class TestFrameSizeBoundary:
+    """The limit is exact: MAX_FRAME_BYTES passes, one byte more fails."""
+
+    def _frame_of_exact_size(self, size):
+        # Pad the body so the advertised size (header + JSON payload)
+        # lands exactly on `size`.
+        probe = codec.encode_frame(codec.STATS, {"pad": ""})
+        (base,) = struct.unpack_from("!I", probe)
+        return codec.encode_frame(codec.STATS, {"pad": "x" * (size - base)})
+
+    def test_frame_at_the_limit_round_trips(self):
+        data = self._frame_of_exact_size(codec.MAX_FRAME_BYTES)
+        (size,) = struct.unpack_from("!I", data)
+        assert size == codec.MAX_FRAME_BYTES
+        frame, consumed = codec.decode_frame(data)
+        assert consumed == len(data)
+        assert len(frame.body["pad"]) == size - struct.unpack_from(
+            "!I", codec.encode_frame(codec.STATS, {"pad": ""})
+        )[0]
+
+    def test_one_byte_over_rejected_by_encode(self):
+        probe = codec.encode_frame(codec.STATS, {"pad": ""})
+        (base,) = struct.unpack_from("!I", probe)
+        with pytest.raises(codec.FrameOversized):
+            codec.encode_frame(
+                codec.STATS,
+                {"pad": "x" * (codec.MAX_FRAME_BYTES - base + 1)},
+            )
+
+    def test_limit_frame_survives_the_stream_reader(self):
+        data = self._frame_of_exact_size(codec.MAX_FRAME_BYTES)
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            frame = await codec.read_frame(reader)
+            assert frame is not None and frame.kind == codec.STATS
+            assert await codec.read_frame(reader) is None  # clean EOF
+            return frame
+
+        frame = asyncio.run(scenario())
+        assert len(codec.encode_frame(frame.kind, frame.body)) == len(data)
+
+    def test_decoder_respects_a_custom_limit(self):
+        decoder = codec.FrameDecoder(max_frame_bytes=64)
+        small = codec.encode_frame(codec.STATS, {"pad": ""})
+        assert [f.kind for f in decoder.feed(small)] == [codec.STATS]
+        big = self._frame_of_exact_size(65)
+        with pytest.raises(codec.FrameOversized):
+            decoder.feed(big)
 
 
 class TestStreamReadFrame:

@@ -179,3 +179,19 @@ class TestRenderTop:
         text = render_top([_pull(0, 10, stuck=3)], violation="fifo: m1 vs m2")
         assert "stuck=3" in text
         assert text.splitlines()[-1] == "VIOLATION: fifo: m1 vs m2"
+
+    def test_links_column_shows_detector_verdicts(self):
+        healthy = _pull(0, 10)
+        healthy.stats_body["links"] = {"1": "up", "2": "up"}
+        degraded = _pull(1, 10)
+        degraded.stats_body["links"] = {"0": "up", "2": "down"}
+        congested = _pull(2, 10)
+        congested.stats_body["links"] = {"0": "up", "1": "up"}
+        congested.stats_body["congested"] = True
+        bare = _pull(3, 10)  # no resilience layer: no links key at all
+        rows = render_top([healthy, degraded, congested, bare]).splitlines()
+        assert "links" in rows[0]
+        assert " up " in rows[1]
+        assert "2:down" in rows[2]
+        assert "up!" in rows[3]
+        assert " - " in rows[4]

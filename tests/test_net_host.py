@@ -148,6 +148,13 @@ def _fifo_factory():
     return catalogue()["fifo"].factory
 
 
+async def _wait_for_giveup(host, peer):
+    """Spin until ``host``'s reconnect supervisor for ``peer`` gives up."""
+    needle = "gave up re-dialing peer %d" % peer
+    while not any(needle in error for error in host.errors):
+        await asyncio.sleep(0.02)
+
+
 class TestNetHostLifecycle:
     def test_shutdown_cancels_outstanding_protocol_timers(self):
         """Under 100% drop the ARQ sublayer keeps a retransmit timer
@@ -226,6 +233,256 @@ class TestNetHostLifecycle:
 
         errors = asyncio.run(scenario())
         assert any("rejected connection" in error for error in errors)
+
+    def test_rendezvous_completes_with_a_late_joining_host(self):
+        """Host 1 sits behind a fault proxy whose upstream is not yet
+        listening: host 0's dial "succeeds" against the proxy, then dies
+        with an EOF.  The supervised re-dial path must run *pre-ready*
+        or the rendezvous deadlocks forever."""
+
+        async def scenario():
+            from repro.faults.proxy import FaultProxy
+            from repro.net.resilience import ReconnectPolicy, ResilienceConfig
+
+            resilience = ResilienceConfig(
+                heartbeat_interval=0.05,
+                reconnect=ReconnectPolicy(base=0.05, cap=0.2, deadline=10.0),
+            )
+            public0, public1, private1 = free_ports(3)
+            ports = [public0, public1]
+            proxy = FaultProxy(public1, private1)
+            await proxy.start()
+            early = NetHost(
+                _fifo_factory(),
+                0,
+                ports,
+                run_id="late",
+                resilience=resilience,
+            )
+            await early.start()
+            # Let host 0 burn its initial dial (and get the EOF) before
+            # the late joiner's listener exists.
+            await asyncio.sleep(0.3)
+            late = NetHost(
+                _fifo_factory(),
+                1,
+                ports,
+                run_id="late",
+                resilience=resilience,
+                listen_port=private1,
+            )
+            await late.start()
+            await asyncio.wait_for(
+                asyncio.gather(early.ready(), late.ready()), 15.0
+            )
+            late.invoke(Message(id="m1", sender=1, receiver=0))
+            for _ in range(400):
+                if early.stats.deliveries:
+                    break
+                await asyncio.sleep(0.005)
+            delivered = early.stats.deliveries
+            for host in (early, late):
+                await host.shutdown()
+            await proxy.close()
+            return delivered
+
+        assert asyncio.run(scenario()) == 1
+
+    def test_handshake_interrupted_mid_hello_leaves_host_serving(self):
+        async def scenario():
+            ports = free_ports(1)
+            host = NetHost(_fifo_factory(), 0, ports, run_id="torn")
+            await host.start()
+            await host.ready()
+            hello = codec.encode_frame(
+                codec.HELLO, {"process": -1, "role": "load", "run": "torn"}
+            )
+            # A dialer that dies mid-HELLO: half the frame, then EOF.
+            _, torn_writer = await asyncio.open_connection(
+                "127.0.0.1", ports[0]
+            )
+            torn_writer.write(hello[: len(hello) // 2])
+            await torn_writer.drain()
+            torn_writer.close()
+            await asyncio.sleep(0.05)
+            # The host logged the torn handshake and still serves.
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", ports[0]
+            )
+            writer.write(hello)
+            await writer.drain()
+            frame = await asyncio.wait_for(codec.read_frame(reader), 5.0)
+            writer.close()
+            errors = list(host.errors)
+            await host.shutdown()
+            return frame, errors
+
+        frame, errors = asyncio.run(scenario())
+        assert frame is not None and frame.kind == codec.READY
+        assert any("handshake:" in error for error in errors)
+
+    def test_duplicate_hello_from_stale_incarnation_rejected(self):
+        async def scenario():
+            ports = free_ports(2)
+            host = NetHost(_fifo_factory(), 0, ports, run_id="stale")
+            await host.start()  # peer 1 never starts: we play it by hand
+
+            def peer_hello(incarnation):
+                return codec.encode_frame(
+                    codec.HELLO,
+                    {
+                        "process": 1,
+                        "role": "peer",
+                        "run": "stale",
+                        "incarnation": incarnation,
+                    },
+                )
+
+            live_reader, live_writer = await asyncio.open_connection(
+                "127.0.0.1", ports[0]
+            )
+            live_writer.write(peer_hello(2))
+            await live_writer.drain()
+            await asyncio.sleep(0.05)
+            # A delayed duplicate from the peer's dead incarnation.
+            stale_reader, stale_writer = await asyncio.open_connection(
+                "127.0.0.1", ports[0]
+            )
+            stale_writer.write(peer_hello(1))
+            await stale_writer.drain()
+            closed = await asyncio.wait_for(codec.read_frame(stale_reader), 5.0)
+            stale_writer.close()
+            # The live session must be undisturbed: its heartbeats still
+            # echo on the same socket.
+            live_writer.write(
+                codec.encode_frame(codec.HEARTBEAT, {"process": 1, "n": 7})
+            )
+            await live_writer.drain()
+            echo = await asyncio.wait_for(codec.read_frame(live_reader), 5.0)
+            live_writer.close()
+            errors = list(host.errors)
+            await host.shutdown()
+            return closed, echo, errors
+
+        closed, echo, errors = asyncio.run(scenario())
+        assert closed is None  # the stale dialer was cut off
+        assert echo is not None and echo.kind == codec.HEARTBEAT
+        assert echo.body.get("echo") is True and echo.body.get("n") == 7
+        assert any("stale HELLO" in error for error in errors)
+
+    def test_drain_from_load_client_is_a_barrier_not_terminal(self):
+        """A load client's DRAIN quiesces *that run*.  Once the drained
+        client disconnects (without BYE -- the keep-serving flow), the
+        host must take invokes again and keep its resilience machinery
+        running, or the first completed load run freezes link repair
+        forever."""
+
+        async def scenario():
+            ports = free_ports(1)
+            host = NetHost(_fifo_factory(), 0, ports, run_id="barrier")
+            await host.start()
+            await host.ready()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", ports[0]
+            )
+            writer.write(
+                codec.encode_frame(
+                    codec.HELLO, {"process": -1, "role": "load", "run": "barrier"}
+                )
+            )
+            await writer.drain()
+            ready = await asyncio.wait_for(codec.read_frame(reader), 5.0)
+            assert ready is not None and ready.kind == codec.READY
+            writer.write(codec.encode_frame(codec.DRAIN, {}))
+            await writer.drain()
+            ack = await asyncio.wait_for(codec.read_frame(reader), 5.0)
+            assert ack is not None and ack.kind == codec.DRAIN
+            mid_drain = host.draining
+            writer.close()
+            for _ in range(200):
+                if not host.draining:
+                    break
+                await asyncio.sleep(0.005)
+            rearmed = not host.draining
+            host.invoke(Message(id="m1", sender=0, receiver=0))
+            await host.shutdown()
+            return mid_drain, rearmed
+
+        mid_drain, rearmed = asyncio.run(scenario())
+        assert mid_drain  # the barrier really was in force
+        assert rearmed  # ... and lifted when the client went away
+
+    def test_crashed_peer_rejoins_after_drain_and_giveup_deadline(self):
+        """The full outage shape `repro serve` hosts must survive: a load
+        run completes (DRAIN barrier), a peer dies and stays dead past
+        the reconnect give-up deadline, then comes back.  The survivor
+        must dial back on the returning peer's HELLO -- a drained run or
+        an exhausted supervisor must not leave the link down forever."""
+
+        async def scenario():
+            from repro.net.resilience import ReconnectPolicy, ResilienceConfig
+
+            resilience = ResilienceConfig(
+                heartbeat_interval=0.05,
+                reconnect=ReconnectPolicy(base=0.05, cap=0.2, deadline=0.5),
+            )
+            ports = free_ports(2)
+            survivor = NetHost(
+                _fifo_factory(), 0, ports, run_id="rejoin", resilience=resilience
+            )
+            victim = NetHost(
+                _fifo_factory(), 1, ports, run_id="rejoin", resilience=resilience
+            )
+            for host in (survivor, victim):
+                await host.start()
+            for host in (survivor, victim):
+                await host.ready()
+            # One completed load run against the survivor: DRAIN, ack,
+            # disconnect -- the sequence every `repro load` ends with.
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", ports[0]
+            )
+            writer.write(
+                codec.encode_frame(
+                    codec.HELLO, {"process": -1, "role": "load", "run": "rejoin"}
+                )
+            )
+            writer.write(codec.encode_frame(codec.DRAIN, {}))
+            await writer.drain()
+            for _ in range(2):  # READY then the DRAIN ack
+                assert await asyncio.wait_for(codec.read_frame(reader), 5.0)
+            writer.close()
+            await victim.crash()
+            # Stay dead until the survivor's supervisor gives up.
+            await asyncio.wait_for(_wait_for_giveup(survivor, peer=1), 10.0)
+            reborn = NetHost(
+                _fifo_factory(),
+                1,
+                ports,
+                run_id="rejoin",
+                resilience=resilience,
+                incarnation=1,
+            )
+            await reborn.start()
+            await asyncio.wait_for(
+                asyncio.gather(survivor.ready(), reborn.ready()), 15.0
+            )
+            survivor.invoke(Message(id="m1", sender=0, receiver=1))
+            for _ in range(400):
+                if reborn.stats.deliveries:
+                    break
+                await asyncio.sleep(0.005)
+            delivered = reborn.stats.deliveries
+            redials = survivor.redials
+            draining = survivor.draining
+            for host in (survivor, reborn):
+                await host.shutdown()
+            return delivered, redials, draining
+
+        delivered, redials, draining = asyncio.run(scenario())
+        assert delivered == 1  # the resumed session carries traffic
+        assert redials >= 1  # the survivor dialed back on the new HELLO
+        assert not draining  # the drain barrier did not outlive its run
 
     def test_retransmission_reuses_original_stamp(self):
         async def scenario():

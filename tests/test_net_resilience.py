@@ -1,0 +1,189 @@
+"""Failure-detector and reconnect-policy units (repro.net.resilience)."""
+
+import random
+
+import pytest
+
+from repro.net.resilience import (
+    LINK_DOWN,
+    LINK_SUSPECT,
+    LINK_UP,
+    LinkMonitor,
+    PhiAccrualDetector,
+    ReconnectPolicy,
+    ResilienceConfig,
+)
+
+
+class TestPhiAccrualDetector:
+    def test_fresh_detector_reports_zero_phi(self):
+        detector = PhiAccrualDetector(expected_interval=0.1)
+        detector.observe(10.0)
+        assert detector.phi(10.0) == 0.0
+
+    def test_phi_grows_with_silence(self):
+        detector = PhiAccrualDetector(expected_interval=0.1)
+        for beat in range(10):
+            detector.observe(10.0 + beat * 0.1)
+        quiet = detector.phi(11.0 + 0.1)
+        quieter = detector.phi(11.0 + 1.0)
+        assert 0.0 < quiet < quieter
+
+    def test_regular_heartbeats_keep_phi_low(self):
+        detector = PhiAccrualDetector(expected_interval=0.1)
+        now = 10.0
+        for beat in range(50):
+            detector.observe(now + beat * 0.1)
+        # Right after a beat, with history of perfect regularity.
+        assert detector.phi(now + 50 * 0.1 + 0.05) < 1.0
+
+    def test_jittery_heartbeats_tolerated(self):
+        rng = random.Random(7)
+        detector = PhiAccrualDetector(expected_interval=0.1)
+        now = 10.0
+        for _ in range(50):
+            now += 0.1 * rng.uniform(0.5, 1.5)
+            detector.observe(now)
+        assert detector.phi(now + 0.15) < 3.0
+
+    def test_mean_interval_floored_at_expected(self):
+        # A burst of nearly-simultaneous observations must not shrink
+        # the mean to ~0 and make phi explode on the next normal gap.
+        detector = PhiAccrualDetector(expected_interval=0.1)
+        for beat in range(10):
+            detector.observe(10.0 + beat * 0.001)
+        assert detector.phi(10.01 + 0.1) < 3.0
+
+    def test_window_bounds_history(self):
+        detector = PhiAccrualDetector(expected_interval=0.1, window=4)
+        # Ancient slow beats age out of the window: with a bounded
+        # history the mean converges to the recent cadence.
+        for beat in range(4):
+            detector.observe(10.0 + beat * 5.0)
+        now = 25.0
+        for beat in range(20):
+            now += 0.1
+            detector.observe(now)
+        assert detector.mean_interval == pytest.approx(0.1)
+
+
+class TestLinkMonitor:
+    def _monitor(self):
+        return ResilienceConfig(heartbeat_interval=0.1).monitor()
+
+    def test_watched_link_starts_up(self):
+        monitor = self._monitor()
+        monitor.watch(1, 10.0)
+        assert monitor.state(1) == LINK_UP
+        assert monitor.states() == {1: LINK_UP}
+
+    def test_silence_walks_up_suspect_down(self):
+        monitor = self._monitor()
+        monitor.watch(1, 10.0)
+        for beat in range(10):
+            monitor.observe(1, 10.0 + beat * 0.1)
+        seen = [LINK_UP]
+        now = 11.0
+        while monitor.state(1) != LINK_DOWN and now < 60.0:
+            now += 0.1
+            for peer, old, new in monitor.evaluate(now):
+                assert peer == 1
+                assert old == seen[-1]
+                seen.append(new)
+        assert seen == [LINK_UP, LINK_SUSPECT, LINK_DOWN]
+
+    def test_heartbeat_resurrects_a_suspect(self):
+        monitor = self._monitor()
+        monitor.watch(1, 10.0)
+        for beat in range(10):
+            monitor.observe(1, 10.0 + beat * 0.1)
+        now = 11.0
+        while monitor.state(1) != LINK_SUSPECT:
+            now += 0.1
+            monitor.evaluate(now)
+        monitor.observe(1, now)
+        transitions = monitor.evaluate(now + 0.05)
+        assert (1, LINK_SUSPECT, LINK_UP) in transitions
+        assert monitor.state(1) == LINK_UP
+
+    def test_mark_down_is_immediate_and_sticky_until_rewatch(self):
+        monitor = self._monitor()
+        monitor.watch(1, 10.0)
+        assert monitor.mark_down(1) == (LINK_UP, LINK_DOWN)
+        assert monitor.state(1) == LINK_DOWN
+        assert monitor.mark_down(1) is None  # already down: no edge
+        assert monitor.evaluate(20.0) == []  # down stays down silently
+        monitor.watch(1, 20.0)  # the re-dial path
+        assert monitor.state(1) == LINK_UP
+
+    def test_rewatch_resets_detector_history(self):
+        # A link that was down for 10s must not inherit that silence as
+        # "normal" when it comes back.
+        monitor = self._monitor()
+        monitor.watch(1, 10.0)
+        monitor.mark_down(1)
+        monitor.watch(1, 20.0)
+        monitor.observe(1, 20.1)
+        assert monitor.phi(1, 20.2) < 3.0
+
+    def test_forget_removes_the_link(self):
+        monitor = self._monitor()
+        monitor.watch(1, 10.0)
+        monitor.forget(1)
+        assert monitor.states() == {}
+
+
+class TestReconnectPolicy:
+    def test_first_attempt_is_immediate(self):
+        policy = ReconnectPolicy()
+        delays = list(policy.delays(random.Random(0)))
+        assert delays[0] == 0.0
+
+    def test_backoff_grows_and_caps(self):
+        policy = ReconnectPolicy(
+            base=0.1, multiplier=2.0, cap=0.4, jitter=0.0, deadline=10.0
+        )
+        delays = list(policy.delays(random.Random(0)))
+        assert delays[1] == pytest.approx(0.1)
+        assert delays[2] == pytest.approx(0.2)
+        assert delays[3] == pytest.approx(0.4)
+        assert all(d == pytest.approx(0.4) for d in delays[4:6])
+
+    def test_jitter_spreads_attempts(self):
+        policy = ReconnectPolicy(
+            base=0.1, multiplier=1.0, cap=0.1, jitter=0.5, deadline=3.0
+        )
+        delays = list(policy.delays(random.Random(1)))[1:]
+        assert len(set(delays)) > 1
+        # (the very last delay may be clamped to the deadline remainder)
+        for delay in delays[:-1]:
+            assert 0.05 <= delay <= 0.15
+
+    def test_deadline_bounds_total_sleep(self):
+        policy = ReconnectPolicy(base=0.1, cap=0.5, jitter=0.0, deadline=2.0)
+        delays = list(policy.delays(random.Random(0)))
+        assert sum(delays) <= 2.0 + 0.5  # one overshooting attempt at most
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReconnectPolicy(base=0.0)
+        with pytest.raises(ValueError):
+            ReconnectPolicy(cap=0.01, base=0.1)
+        with pytest.raises(ValueError):
+            ReconnectPolicy(jitter=1.5)
+
+
+class TestResilienceConfig:
+    def test_watermarks_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(high_watermark=10, low_watermark=20)
+
+    def test_phi_thresholds_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(suspect_phi=9.0, down_phi=3.0)
+
+    def test_monitor_inherits_the_config(self):
+        config = ResilienceConfig(heartbeat_interval=0.5, down_phi=10.0)
+        monitor = config.monitor()
+        assert isinstance(monitor, LinkMonitor)
+        assert monitor.down_phi == 10.0

@@ -78,7 +78,15 @@ class TestBus:
             "retx.send",
             "retx.ack",
             "retx.dup",
+            "retx.resume",
             "timer.fire",
+            "link.up",
+            "link.suspect",
+            "link.down",
+            "link.redial",
+            "link.giveup",
+            "net.shed",
+            "net.backpressure",
         }
 
 
