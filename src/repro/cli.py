@@ -347,12 +347,91 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+#: `repro serve --shards` / `repro load --shards` drive ordering-key
+#: lanes, not full protocol stacks; only protocols whose guarantee is a
+#: per-key lane discipline map onto the sharded runtime.
+_SHARD_LANE_KINDS = {
+    "fifo": "fifo",
+    "reliable-fifo": "fifo",
+    "causal": "causal",
+    "causal-rst": "causal",
+    "broken-fifo": "broken-fifo",
+}
+
+
+def _cmd_serve_sharded(args: argparse.Namespace) -> int:
+    """`repro serve <protocol> --shards N`: host a shard worker fleet.
+
+    Spawns one lane-worker OS process per shard (shard k's ingress on
+    port-base + k) and waits for them; each worker exits on BYE, which
+    `repro load --shards` sends at the end of a run unless
+    --keep-serving is passed.
+    """
+    from repro.net.shard import ShardWorkerConfig, spawn_worker
+
+    lane_kind = _SHARD_LANE_KINDS.get(args.protocol)
+    if lane_kind is None:
+        print(
+            "repro serve: protocol %r has no sharded lane mapping "
+            "(try: %s)" % (args.protocol, ", ".join(sorted(_SHARD_LANE_KINDS))),
+            file=sys.stderr,
+        )
+        return 2
+    workers = []
+    for shard in range(args.shards):
+        workers.append(
+            spawn_worker(
+                ShardWorkerConfig(
+                    shard=shard,
+                    n_shards=args.shards,
+                    n_processes=args.processes,
+                    port=args.port_base + shard,
+                    host=args.host,
+                    run_id=args.run_id,
+                    lane_kind=lane_kind,
+                    wal_dir=args.wal,  # worker namespaces <wal>/shard<k>
+                )
+            )
+        )
+    print(
+        "serving %d %s shard(s) x %d lane processes on %s:%d-%d (run %s)"
+        % (
+            args.shards,
+            lane_kind,
+            args.processes,
+            args.host,
+            args.port_base,
+            args.port_base + args.shards - 1,
+            args.run_id,
+        ),
+        flush=True,
+    )
+    exit_code = 0
+    try:
+        for worker in workers:
+            worker.join()
+            if worker.exitcode:
+                exit_code = 1
+    except KeyboardInterrupt:  # pragma: no cover - operator interrupt
+        for worker in workers:
+            worker.terminate()
+    return exit_code
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.mc.registry import resolve_protocol
     from repro.net import NetHost
 
+    if args.shards:
+        return _cmd_serve_sharded(args)
+    if args.process_id is None:
+        print(
+            "repro serve: --process-id is required (unless --shards)",
+            file=sys.stderr,
+        )
+        return 2
     factory = resolve_protocol(args.protocol)
     drop_rate = args.drop_rate or (0.05 if args.soak else 0.0)
     faults = None
@@ -441,6 +520,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 1 if host.errors else 0
 
 
+def _cmd_load_sharded(args: argparse.Namespace) -> int:
+    """`repro load --shards N`: drive keyed load at a running shard fleet."""
+    import asyncio
+
+    from repro.net import codec
+    from repro.net.shard import ShardCoordinator
+
+    coordinator = ShardCoordinator(
+        args.shards,
+        args.processes,
+        host=args.host,
+        port_base=args.port_base,
+        run_id=args.run_id,
+        seed=args.seed,
+    )
+
+    async def drive() -> int:
+        await coordinator.connect(timeout=args.quiesce_timeout)
+        metrics_text = None
+        try:
+            report = await coordinator.run(
+                args.rate,
+                args.duration,
+                keys=args.keys,
+                oracle=not args.no_monitor,
+            )
+            if args.metrics_out:
+                metrics_text = await coordinator.metrics()
+        finally:
+            if args.keep_serving:
+                for link in coordinator.links:
+                    await link.close()
+            else:
+                await coordinator.stop()
+        print(report.render(), flush=True)
+        if metrics_text is not None:
+            with open(args.metrics_out, "w") as handle:
+                handle.write(metrics_text)
+            print("metrics: %s" % args.metrics_out, flush=True)
+        return 0 if report.ok else 1
+
+    try:
+        return asyncio.run(drive())
+    except (ConnectionError, OSError, codec.CodecError) as exc:
+        print("repro load: %s" % _net_error(exc, args), file=sys.stderr)
+        return 1
+
+
 def _cmd_load(args: argparse.Namespace) -> int:
     import asyncio
     import json
@@ -449,6 +576,8 @@ def _cmd_load(args: argparse.Namespace) -> int:
     from repro.net import codec
     from repro.net.cluster import LiveObserver, LoadGenerator
 
+    if args.shards:
+        return _cmd_load_sharded(args)
     ports = [args.port_base + index for index in range(args.processes)]
     spec = None
     if not args.no_monitor:
@@ -782,7 +911,10 @@ def _cmd_top(args: argparse.Namespace) -> int:
     from repro.net import codec
     from repro.net.collector import ClusterCollector, render_top
 
-    ports = [args.port_base + index for index in range(args.processes)]
+    # Sharded fleets expose one ingress per *shard* (their stats carry a
+    # "shard" field, which render_top uses to pick the sharded view).
+    endpoints = args.shards or args.processes
+    ports = [args.port_base + index for index in range(endpoints)]
 
     async def watch() -> int:
         collector = ClusterCollector(ports, host=args.host, run_id=args.run_id)
@@ -1082,7 +1214,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="registry protocol name (fifo, causal-rst, reliable-fifo, ...)",
     )
     p_serve.add_argument(
-        "--process-id", type=int, required=True, help="this process's index"
+        "--process-id",
+        type=int,
+        default=None,
+        help="this process's index (required unless --shards)",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="host a sharded ordering-key lane fleet instead: N worker "
+        "OS processes (shard k's ingress on port-base + k), each "
+        "running every lane process for its keys; drive it with "
+        "`repro load --shards N`",
     )
     p_serve.add_argument(
         "--processes", type=int, default=3, help="total cluster size"
@@ -1189,6 +1334,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=5.0, help="load phase seconds"
     )
     p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="drive a `repro serve --shards N` fleet instead: keyed "
+        "rows routed by ordering key, per-key live lane checking, "
+        "end-of-run cross-key membership oracle",
+    )
+    p_load.add_argument(
+        "--keys",
+        type=int,
+        default=0,
+        metavar="K",
+        help="with --shards: draw ordering keys from a pool of K "
+        "(default 0: one key per sender/receiver pair)",
+    )
     p_load.add_argument(
         "--color-rate", type=float, default=0.0,
         help="fraction of messages colored red (exercises flush specs)",
@@ -1329,6 +1491,14 @@ def build_parser() -> argparse.ArgumentParser:
         "retransmissions, stuck messages, clock offsets",
     )
     p_top.add_argument("--processes", type=int, default=3)
+    p_top.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="watch a sharded fleet: dial N shard ingress ports and "
+        "render the per-lane-process aggregation with a shards column",
+    )
     p_top.add_argument("--port-base", type=int, default=9400)
     p_top.add_argument("--host", default="127.0.0.1")
     p_top.add_argument("--run-id", default="default")

@@ -149,7 +149,7 @@ def _quotient(predicate: ForbiddenPredicate, partition) -> ForbiddenPredicate:
         return EventTerm(representative[term.variable], term.kind)
 
     from repro.predicates.ast import Conjunct
-    from repro.predicates.guards import ColorGuard, ProcessGuard
+    from repro.predicates.guards import ColorGuard, KeyGuard, ProcessGuard
 
     conjuncts = []
     seen = set()
@@ -172,6 +172,14 @@ def _quotient(predicate: ForbiddenPredicate, partition) -> ForbiddenPredicate:
             guards.append(
                 ColorGuard(
                     representative[guard.variable], guard.color, equal=guard.equal
+                )
+            )
+        elif isinstance(guard, KeyGuard):
+            guards.append(
+                KeyGuard(
+                    representative[guard.left],
+                    representative[guard.right],
+                    equal=guard.equal,
                 )
             )
         else:  # pragma: no cover - no other guard types exist

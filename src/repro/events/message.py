@@ -38,6 +38,11 @@ class Message:
         :mod:`repro.broadcast`).
     payload:
         Opaque application payload; never inspected by the theory.
+    ordering_key:
+        Optional explicit ordering key (the sharded runtime's unit of
+        ordering, :mod:`repro.net.shard`).  When ``None`` the message's
+        *effective* key defaults to its channel -- the sender-destination
+        pair -- so unkeyed traffic degenerates to per-channel ordering.
     """
 
     id: MessageId
@@ -46,6 +51,7 @@ class Message:
     color: Optional[str] = None
     group: Optional[str] = None
     payload: Any = None
+    ordering_key: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.sender < 0 or self.receiver < 0:
@@ -59,11 +65,25 @@ class Message:
         """The ordered channel ``(sender, receiver)`` this message travels on."""
         return (self.sender, self.receiver)
 
+    @property
+    def effective_key(self) -> str:
+        """The ordering key this message is sequenced under.
+
+        An explicit ``ordering_key`` wins; otherwise the key is derived
+        from the channel (``"p<sender>-p<receiver>"``), which makes
+        per-key ordering coincide with per-channel (FIFO) ordering for
+        unkeyed traffic.
+        """
+        if self.ordering_key is not None:
+            return self.ordering_key
+        return "p%d-p%d" % (self.sender, self.receiver)
+
     def attribute(self, name: str) -> Any:
         """Look up a guard attribute by name.
 
         Supported names mirror the paper: ``sender`` (``process(x.s)``),
-        ``receiver`` (``process(x.r)``) and ``color``.
+        ``receiver`` (``process(x.r)``) and ``color``; ``key`` exposes
+        the sharded runtime's :attr:`effective_key`.
         """
         if name == "sender":
             return self.sender
@@ -73,6 +93,8 @@ class Message:
             return self.color
         if name == "group":
             return self.group
+        if name == "key":
+            return self.effective_key
         raise KeyError("unknown message attribute %r" % (name,))
 
 

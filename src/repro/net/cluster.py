@@ -309,6 +309,47 @@ class LiveObserver:
 # -- the load generator -------------------------------------------------------
 
 
+class Pacer:
+    """Absolute-deadline schedule for open-loop pacing.
+
+    The old scheme slept a fixed tick *relative to now* each iteration,
+    so sleep granularity and tick-body time compounded: at high rates a
+    few hundred microseconds of slop per tick accumulated into a load
+    phase that ran long and offered short.  A :class:`Pacer` instead
+    fixes every tick's deadline up front as ``start + k * tick`` --
+    each deadline is computed multiplicatively from ``k`` (never by
+    summing increments), so lateness on one tick is absorbed by the
+    next sleep instead of shifting the whole schedule.
+
+    ``due(k)`` is the cumulative message quota at tick ``k``; the final
+    tick's quota is exactly ``round(rate * duration)``, making the
+    offered count independent of scheduling slop.
+    """
+
+    def __init__(self, rate: float, duration: float, tick: float = 0.005) -> None:
+        if rate <= 0 or duration <= 0 or tick <= 0:
+            raise ValueError("rate, duration and tick must be positive")
+        import math
+
+        self.rate = rate
+        self.duration = duration
+        self.total = max(1, int(round(rate * duration)))
+        self.ticks = max(1, int(math.ceil(duration / tick)))
+        self.tick = duration / self.ticks
+
+    def deadline(self, k: int) -> float:
+        """Tick ``k``'s deadline as an offset from the phase start."""
+        return k * self.tick
+
+    def due(self, k: int) -> int:
+        """Messages that must have been offered once tick ``k`` fires."""
+        if k >= self.ticks:
+            return self.total
+        if k <= 0:
+            return 0
+        return min(self.total, int(round(k * self.tick * self.rate)))
+
+
 @dataclass
 class NetRunReport:
     """What one networked run measured (the ``repro load`` output)."""
@@ -409,6 +450,7 @@ class LoadGenerator:
         seed: int = 0,
         color_rate: float = 0.0,
         wal: Optional[Any] = None,
+        keys: Optional[int] = None,
     ) -> None:
         import random
 
@@ -418,6 +460,9 @@ class LoadGenerator:
         self.seed = seed
         self.rng = random.Random(seed)
         self.color_rate = color_rate
+        #: Draw each message's explicit ordering key from ``k0..k<keys-1>``
+        #: (``None`` leaves keys implicit, i.e. per-channel).
+        self.keys = keys
         self.requested = 0
         self.errors: List[str] = []
         #: Optional :class:`repro.wal.WalSink` for resumable soak runs:
@@ -518,8 +563,13 @@ class LoadGenerator:
             if self.color_rate and self.rng.random() < self.color_rate
             else None
         )
+        key = "k%d" % self.rng.randrange(self.keys) if self.keys else None
         return Message(
-            id="m%d" % self.requested, sender=sender, receiver=receiver, color=color
+            id="m%d" % self.requested,
+            sender=sender,
+            receiver=receiver,
+            color=color,
+            ordering_key=key,
         )
 
     async def run(
@@ -537,16 +587,14 @@ class LoadGenerator:
         if rate <= 0 or duration <= 0:
             raise ValueError("rate and duration must be positive")
         loop = asyncio.get_running_loop()
+        pacer = Pacer(rate, duration)
         start = loop.time()
         sent = 0
         batches: List[bytearray] = [bytearray() for _ in self.ports]
         #: Frames withheld from paused hosts (closed-loop mode).
         held: List[bytearray] = [bytearray() for _ in self.ports]
-        while True:
-            elapsed = loop.time() - start
-            if elapsed >= duration:
-                break
-            due = min(int(elapsed * rate) + 1, int(duration * rate))
+        for tick in range(1, pacer.ticks + 1):
+            due = pacer.due(tick)
             for batch in batches:
                 del batch[:]
             while sent < due:
@@ -572,12 +620,20 @@ class LoadGenerator:
                 if batch:
                     writer.write(bytes(batch))
             if throttled:
-                self.throttled_seconds += 0.005
+                self.throttled_seconds += pacer.tick
             if self.wal is not None:
                 self.wal.checkpoint(
-                    requested=self.requested, elapsed=elapsed, seed=self.seed
+                    requested=self.requested,
+                    elapsed=loop.time() - start,
+                    seed=self.seed,
                 )
-            await asyncio.sleep(0.005)
+            # Sleep to the *absolute* deadline: a late tick shortens the
+            # next sleep instead of pushing every later tick out.
+            delay = start + pacer.deadline(tick) - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            else:
+                await asyncio.sleep(0)  # yield so hosts keep reading
         # Release anything still held: the run is over, the hosts drain
         # at their own pace (withholding forever would lose messages).
         for index, (_, writer) in enumerate(self._streams):
@@ -755,6 +811,7 @@ async def run_cluster(
     wal_dir: Optional[str] = None,
     record_dir: Optional[str] = None,
     spec_name: Optional[str] = None,
+    keys: Optional[int] = None,
 ) -> NetRunReport:
     """One complete networked run with every role in this process.
 
@@ -812,7 +869,9 @@ async def run_cluster(
             },
         )
         recorder.attach_trace(observer.trace)
-    load = LoadGenerator(ports, run_id=run_id, seed=seed, color_rate=color_rate)
+    load = LoadGenerator(
+        ports, run_id=run_id, seed=seed, color_rate=color_rate, keys=keys
+    )
     started = time.monotonic()
     try:
         for host in hosts:

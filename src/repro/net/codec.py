@@ -28,8 +28,15 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.events import Message
 
-#: Wire protocol version; a peer speaking another version is rejected.
-WIRE_VERSION = 1
+#: Wire protocol version this build *emits*.  Version 2 added the
+#: optional ordering-key field on USER/INVOKE message bodies and the
+#: batch frame kinds the sharded runtime uses; bodies a version-1 peer
+#: produced are still decodable, so decoding accepts
+#: :data:`ACCEPTED_VERSIONS` while encoding always stamps the newest.
+WIRE_VERSION = 2
+
+#: Versions a frame may carry and still decode.
+ACCEPTED_VERSIONS = frozenset({1, 2})
 
 #: Upper bound on one frame's (version + kind + body) size.  Generous for
 #: protocol traffic (tags are tens of bytes) while still bounding the
@@ -56,6 +63,9 @@ TRACE = 11  # flight-recorder pull: request (empty) and dump reply
 METRICS = 12  # metrics pull: request (empty) and OpenMetrics reply
 HEARTBEAT = 13  # liveness probe on peer links: {process, nonce[, echo]}
 BACKPRESSURE = 14  # host -> load client: {process, state: "high"|"low"}
+USER_BATCH = 15  # shard runtime: one coalesced flush of user rows per peer
+INVOKE_BATCH = 16  # coordinator -> shard worker: {rows: [...]} invoke rows
+COLLECT = 17  # coordinator -> shard worker: per-key event rows for the oracle
 
 FRAME_KINDS = frozenset(
     {
@@ -73,6 +83,9 @@ FRAME_KINDS = frozenset(
         METRICS,
         HEARTBEAT,
         BACKPRESSURE,
+        USER_BATCH,
+        INVOKE_BATCH,
+        COLLECT,
     }
 )
 
@@ -91,6 +104,9 @@ KIND_NAMES = {
     METRICS: "metrics",
     HEARTBEAT: "heartbeat",
     BACKPRESSURE: "backpressure",
+    USER_BATCH: "user_batch",
+    INVOKE_BATCH: "invoke_batch",
+    COLLECT: "collect",
 }
 
 
@@ -110,7 +126,7 @@ class FrameOversized(CodecError):
 
 
 class UnknownVersion(CodecError):
-    """The frame's version byte is not :data:`WIRE_VERSION`."""
+    """The frame's version byte is not in :data:`ACCEPTED_VERSIONS`."""
 
 
 class UnknownFrameKind(CodecError):
@@ -188,8 +204,13 @@ def decode_value(value: Any) -> Any:
 
 
 def message_to_wire(message: Message) -> Dict[str, Any]:
-    """A :class:`~repro.events.Message` as a frame-body fragment."""
-    return {
+    """A :class:`~repro.events.Message` as a frame-body fragment.
+
+    The ordering key (a wire-version-2 addition) is only emitted when
+    explicitly set, so unkeyed bodies remain byte-identical to what a
+    version-1 build produced.
+    """
+    body = {
         "id": message.id,
         "sender": message.sender,
         "receiver": message.receiver,
@@ -197,6 +218,9 @@ def message_to_wire(message: Message) -> Dict[str, Any]:
         "group": message.group,
         "payload": encode_value(message.payload),
     }
+    if message.ordering_key is not None:
+        body["key"] = message.ordering_key
+    return body
 
 
 def message_from_wire(body: Dict[str, Any]) -> Message:
@@ -209,6 +233,7 @@ def message_from_wire(body: Dict[str, Any]) -> Message:
             color=body.get("color"),
             group=body.get("group"),
             payload=decode_value(body.get("payload")),
+            ordering_key=body.get("key"),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise MalformedFrame("bad message fields %r: %s" % (body, exc)) from exc
@@ -245,7 +270,7 @@ def encode_frame(kind: int, body: Optional[Dict[str, Any]] = None) -> bytes:
 
 
 def _decode_payload(kind: int, version: int, payload: bytes) -> Frame:
-    if version != WIRE_VERSION:
+    if version not in ACCEPTED_VERSIONS:
         raise UnknownVersion(
             "frame version %d is not supported (this build speaks %d)"
             % (version, WIRE_VERSION)

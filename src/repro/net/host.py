@@ -231,6 +231,7 @@ class NetHost:
         resilience: Optional[ResilienceConfig] = None,
         listen_port: Optional[int] = None,
         incarnation: Optional[int] = None,
+        shard: Optional[int] = None,
     ) -> None:
         n_processes = len(ports)
         if not 0 <= process_id < n_processes:
@@ -249,6 +250,10 @@ class NetHost:
         )
         self.bind_host = host
         self.run_id = run_id
+        #: Shard index when this host runs inside a sharded fleet
+        #: (:mod:`repro.net.shard`): stamped on STATS bodies and as an
+        #: OpenMetrics label so collectors can aggregate per shard.
+        self.shard = shard
         self.time_scale = time_scale
         self.dial_timeout = dial_timeout
         self.resilience = resilience if resilience is not None else ResilienceConfig()
@@ -1109,6 +1114,10 @@ class NetHost:
         body: Dict[str, Any] = {
             "process": self.process_id,
             "invoked": self._invoked_count,
+        }
+        if self.shard is not None:
+            body["shard"] = self.shard
+        body.update({
             "user_messages": stats.user_messages,
             "control_messages": stats.control_messages,
             "control_bytes": stats.control_bytes,
@@ -1138,7 +1147,7 @@ class NetHost:
             "heartbeats_sent": self.heartbeats_sent,
             "frames_queued": self.transport.pending_frames,
             "frames_shed": self.transport.user_shed + self.transport.control_shed,
-        }
+        })
         if self.watchdog is not None:
             protocols: List[Optional[object]] = [None] * self.n_processes
             protocols[self.process_id] = self.host.protocol
@@ -1195,15 +1204,19 @@ class NetHost:
         """OpenMetrics exposition text (plus raw snapshot) for METRICS."""
         if self.metrics is not None:
             registry = self.metrics.registry
-            text = render_openmetrics(
-                registry, {"process": str(self.process_id)}
-            )
+            labels = {"process": str(self.process_id)}
+            if self.shard is not None:
+                labels["shard"] = str(self.shard)
+            text = render_openmetrics(registry, labels)
             snapshot = registry.snapshot()
         else:
             text, snapshot = "", {}
-        return {
+        body = {
             "process": self.process_id,
             "wall": time.time(),
             "text": text,
             "snapshot": snapshot,
         }
+        if self.shard is not None:
+            body["shard"] = self.shard
+        return body

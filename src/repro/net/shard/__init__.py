@@ -1,0 +1,71 @@
+"""``repro.net.shard``: a multi-core net runtime sharded by ordering key.
+
+The single-process net runtime (:mod:`repro.net.host`) tops out around
+1.4k msgs/s because every message pays the full per-frame codec and
+per-event monitor cost on one core.  This package partitions traffic by
+**ordering key** (:attr:`repro.events.Message.effective_key`) onto
+worker *processes*:
+
+- :mod:`router <repro.net.shard.router>` -- seed-stable CRC-32 key
+  placement (the same key always lands on the same shard);
+- :mod:`lanes <repro.net.shard.lanes>` -- per-key O(1) live fifo/causal
+  checkers and per-key latency stats (no state shared between keys:
+  no cross-key head-of-line blocking);
+- :mod:`worker <repro.net.shard.worker>` -- one OS process per shard,
+  one asyncio loop, per-tick coalesced USER_BATCH frames, its own WAL
+  directory, flight recorder and shard-labelled metrics;
+- :mod:`coordinator <repro.net.shard.coordinator>` -- spawns the fleet,
+  drives paced keyed load, merges per-shard stats, and runs the
+  end-of-run **cross-key membership oracle** for the specs that
+  escalate to GENERAL across keys (cross-key causality, crown-freedom).
+
+The split mirrors the paper's classification: per-key scoped fifo and
+causal specs keep order-1 resolved cycles (TAGGED -- checkable locally
+with bounded tags, hence live and O(1) inside one shard), while their
+cross-key liftings contain 2-crowns (GENERAL -- need global knowledge,
+hence the coordinator's merged end-of-run oracle).  See
+``tests/test_shard_classification.py`` for the decision-procedure runs
+behind that table.
+"""
+
+from repro.net.shard.coordinator import (
+    ShardCoordinator,
+    ShardRunReport,
+    cross_key_oracle,
+    run_sharded,
+    run_sharded_sync,
+)
+from repro.net.shard.lanes import (
+    CausalLaneChecker,
+    FifoLaneChecker,
+    KeyStats,
+    LaneViolation,
+    lane_checker,
+)
+from repro.net.shard.router import ShardRouter, key_for, shard_for_key
+from repro.net.shard.worker import (
+    ShardWorker,
+    ShardWorkerConfig,
+    spawn_worker,
+    worker_main,
+)
+
+__all__ = [
+    "CausalLaneChecker",
+    "FifoLaneChecker",
+    "KeyStats",
+    "LaneViolation",
+    "ShardCoordinator",
+    "ShardRouter",
+    "ShardRunReport",
+    "ShardWorker",
+    "ShardWorkerConfig",
+    "cross_key_oracle",
+    "key_for",
+    "lane_checker",
+    "run_sharded",
+    "run_sharded_sync",
+    "shard_for_key",
+    "spawn_worker",
+    "worker_main",
+]

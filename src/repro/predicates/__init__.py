@@ -12,7 +12,7 @@ from repro.predicates.ast import (
     deliver_of,
     send_of,
 )
-from repro.predicates.guards import ColorGuard, Guard, ProcessGuard
+from repro.predicates.guards import ColorGuard, Guard, KeyGuard, ProcessGuard
 from repro.predicates.dsl import parse_predicate
 from repro.predicates.evaluation import (
     find_assignment,
@@ -30,6 +30,7 @@ __all__ = [
     "Guard",
     "ProcessGuard",
     "ColorGuard",
+    "KeyGuard",
     "parse_predicate",
     "find_assignment",
     "satisfying_assignments",

@@ -93,6 +93,39 @@ class ColorGuard(Guard):
 
 
 @dataclass(frozen=True)
+class KeyGuard(Guard):
+    """``key(x) = key(y)`` (or ``≠``) over effective ordering keys.
+
+    The sharded runtime (:mod:`repro.net.shard`) sequences messages per
+    *ordering key*; scoping a specification to one key attaches a
+    same-key guard to its predicate, while a cross-key lifting couples
+    variables through a different-key guard.  The key attribute is total
+    (unkeyed messages default to their channel key), so unlike
+    :class:`GroupGuard` absence can never falsify an equality.
+    """
+
+    left: str
+    right: str
+    equal: bool = True
+
+    def variables(self) -> Tuple[str, ...]:
+        """The variables the guard constrains."""
+        if self.left == self.right:
+            return (self.left,)
+        return (self.left, self.right)
+
+    def holds(self, assignment: Mapping[str, Message]) -> bool:
+        """Compare the two effective ordering keys."""
+        left_key = assignment[self.left].attribute("key")
+        right_key = assignment[self.right].attribute("key")
+        return (left_key == right_key) == self.equal
+
+    def __repr__(self) -> str:
+        op = "=" if self.equal else "!="
+        return "key(%s) %s key(%s)" % (self.left, op, self.right)
+
+
+@dataclass(frozen=True)
 class GroupGuard(Guard):
     """``group(x) = group(y)`` (or ``≠``), both groups being present.
 
@@ -159,6 +192,10 @@ def guards_satisfiable(guards: Tuple[Guard, ...]) -> bool:
                 color_not.setdefault(guard.variable, set()).add(guard.color)
         elif isinstance(guard, ProcessGuard) and guard.equal:
             union(guard.left, guard.right)
+        elif isinstance(guard, KeyGuard) and guard.equal:
+            # Key slots live in their own namespace ("#key" is not a
+            # process role), sharing the same union-find machinery.
+            union((guard.left, "#key"), (guard.right, "#key"))
 
     for variable, forbidden in color_not.items():
         if color_of.get(variable) in forbidden:
@@ -167,5 +204,8 @@ def guards_satisfiable(guards: Tuple[Guard, ...]) -> bool:
     for guard in guards:
         if isinstance(guard, ProcessGuard) and not guard.equal:
             if find(guard.left) == find(guard.right):
+                return False
+        elif isinstance(guard, KeyGuard) and not guard.equal:
+            if find((guard.left, "#key")) == find((guard.right, "#key")):
                 return False
     return True

@@ -1,0 +1,150 @@
+"""Per-ordering-key spec monitoring: one exact monitor per lane.
+
+The exact incremental monitor
+(:class:`~repro.verification.engine.SpecMonitor`) re-searches a growing
+trace and is quadratic per channel -- ~35ms per message by the time a
+channel holds a couple of thousand messages, which is three orders of
+magnitude too slow to run live inside the sharded runtime.  But the
+sharded runtime's unit of ordering is the **ordering key**
+(:attr:`repro.events.Message.effective_key`), and a spec scoped to one
+key only ever quantifies over that key's messages.  So the monitor can
+be *sharded the same way the traffic is*: one independent trace and one
+independent :class:`SpecMonitor` per key, each fed only its key's
+events.
+
+That keeps two properties the runtime depends on:
+
+exactness per key
+    within a key the monitor is the full decision machinery -- any
+    forbidden-predicate instance over the key's messages is found,
+    first-violation semantics included;
+
+independence across keys
+    no index, causality structure, or member set is shared between
+    keys, so one hot key cannot slow (or falsely implicate) another --
+    the verification-side mirror of the lanes' no-head-of-line-blocking
+    guarantee.
+
+What is *lost* is exactly what the classification predicts: predicate
+instances that mix messages of different keys (cross-key causality,
+cross-key crowns -- the liftings that classify GENERAL) are invisible
+here, and belong to the coordinator's end-of-run merged oracle
+(:func:`repro.net.shard.coordinator.cross_key_oracle`).
+``tests/test_shard.py`` cross-validates the runtime's O(1) lane
+checkers against this class on traces with injected violations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.events import Event, Message
+from repro.predicates import ForbiddenPredicate, Specification
+from repro.simulation.trace import Trace
+from repro.verification.engine import FirstViolation, SpecMonitor
+
+__all__ = ["KeyedSpecMonitor"]
+
+
+class KeyedSpecMonitor:
+    """Route events into per-key exact monitors (see module docstring).
+
+    Feed it with :meth:`observe_send` / :meth:`observe_deliver` (or the
+    lower-level :meth:`observe`); each event lands in the private trace
+    of its message's effective key and advances that key's monitor
+    alone.  A violation latches per key; :attr:`violation` surfaces the
+    earliest across keys.
+    """
+
+    def __init__(
+        self,
+        spec: Union[Specification, ForbiddenPredicate],
+        n_processes: int,
+    ) -> None:
+        self.spec = spec
+        self.n_processes = n_processes
+        self._traces: Dict[str, Trace] = {}
+        self._monitors: Dict[str, SpecMonitor] = {}
+        #: First violation latched per key (insertion order = discovery
+        #: order, so the first value is the run's first violation).
+        self.violations: Dict[str, FirstViolation] = {}
+
+    def lane(self, key: str) -> Tuple[Trace, SpecMonitor]:
+        """The (trace, monitor) pair of ``key``, created on first use."""
+        trace = self._traces.get(key)
+        if trace is None:
+            trace = Trace(self.n_processes)
+            self._traces[key] = trace
+            self._monitors[key] = SpecMonitor(self.spec)
+        return trace, self._monitors[key]
+
+    # -- feeding --------------------------------------------------------------
+
+    def observe(
+        self, time: float, process: int, event: Event, message: Message
+    ) -> Optional[FirstViolation]:
+        """Record one event against its message's key lane and check it."""
+        key = message.effective_key
+        trace, monitor = self.lane(key)
+        if trace.message(message.id) is None:
+            trace.register_message(message)
+        trace.record(time, process, event)
+        violation = monitor.advance(trace)
+        if violation is not None and key not in self.violations:
+            self.violations[key] = violation
+        return violation
+
+    def observe_send(
+        self, time: float, message: Message
+    ) -> Optional[FirstViolation]:
+        """Record a send (with its implied invoke, keeping the per-key
+        trace a well-formed system run)."""
+        key = message.effective_key
+        trace, _ = self.lane(key)
+        if trace.message(message.id) is None:
+            trace.register_message(message)
+        trace.record(time, message.sender, Event.invoke(message.id))
+        return self.observe(time, message.sender, Event.send(message.id), message)
+
+    def observe_deliver(
+        self, time: float, message: Message
+    ) -> Optional[FirstViolation]:
+        """Record a delivery (with its implied receive)."""
+        key = message.effective_key
+        trace, _ = self.lane(key)
+        if trace.message(message.id) is None:
+            trace.register_message(message)
+        trace.record(time, message.receiver, Event.receive(message.id))
+        return self.observe(
+            time, message.receiver, Event.deliver(message.id), message
+        )
+
+    # -- results --------------------------------------------------------------
+
+    @property
+    def violation(self) -> Optional[FirstViolation]:
+        """The first violation found across all keys, if any."""
+        for found in self.violations.values():
+            return found
+        return None
+
+    def violation_for(self, key: str) -> Optional[FirstViolation]:
+        """The latched first violation of ``key``'s lane, if any."""
+        return self.violations.get(key)
+
+    def keys(self) -> List[str]:
+        """Keys with at least one observed event, in first-seen order."""
+        return list(self._traces)
+
+    def events_checked(self) -> int:
+        """Total user events checked across every key's monitor."""
+        return sum(
+            monitor.stats.events_checked
+            for monitor in self._monitors.values()
+        )
+
+    def __repr__(self) -> str:
+        return "KeyedSpecMonitor(keys=%d, violations=%d)" % (
+            len(self._traces),
+            len(self.violations),
+        )

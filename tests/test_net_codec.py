@@ -69,6 +69,15 @@ def _sample_bodies():
         },
         codec.HEARTBEAT: {"process": 0, "n": 42, "echo": True},
         codec.BACKPRESSURE: {"process": 1, "state": "high", "pending": 5000},
+        codec.USER_BATCH: {
+            "src": 0,
+            "dst": 1,
+            "rows": [["m1", 0, 1, "k3", 0, 1700000000.0, 1700000000.1]],
+        },
+        codec.INVOKE_BATCH: {
+            "rows": [["m1", 0, 1, "k3", 0], ["m2", 1, 0, "k5", 0]],
+        },
+        codec.COLLECT: {"shard": 0, "rows": [], "done": True},
     }
 
 

@@ -1,0 +1,372 @@
+"""The sharded ordering-key runtime: routing, lanes, fleet runs.
+
+Three layers of evidence that ``repro.net.shard`` implements the
+paper's tagged/general split operationally:
+
+1. **routing** -- a key's shard is a seed-stable pure function of the
+   key string (CRC-32), so a lane lives on one worker forever;
+2. **lanes** -- the O(1) per-key checkers (fifo seq contiguity, causal
+   vector-clock acceptance) are verdict-equivalent to the exact
+   :class:`SpecMonitor` scoped per key
+   (:class:`~repro.verification.keyed.KeyedSpecMonitor`);
+3. **fleet** -- real multi-process runs quiesce clean for correct lane
+   kinds, flag a deliberately broken sender live, keep stalled keys
+   from blocking other keys, and hand the merged run to the cross-key
+   oracle, which sees exactly the violations per-key lanes cannot.
+"""
+
+import socket
+import zlib
+
+import pytest
+
+from repro.events import Event, Message
+from repro.net.collector import (
+    HostPull,
+    aggregate_shard_rows,
+    render_top_sharded,
+)
+from repro.net.shard import (
+    CausalLaneChecker,
+    FifoLaneChecker,
+    KeyStats,
+    ShardRouter,
+    cross_key_oracle,
+    key_for,
+    lane_checker,
+    run_sharded_sync,
+    shard_for_key,
+)
+from repro.predicates.catalog import FIFO_ORDERING
+from repro.verification import KeyedSpecMonitor
+
+
+def free_port_base(count):
+    """A base port with ``count`` contiguous free ports above it (the
+    coordinator dials ``port_base + shard``, so the run needs a run of
+    adjacent ports, which ``free_ports`` does not guarantee)."""
+    for base in range(7950, 9300, 16):
+        sockets = []
+        try:
+            for index in range(count):
+                sock = socket.socket()
+                sock.bind(("127.0.0.1", base + index))
+                sockets.append(sock)
+            return base
+        except OSError:
+            continue
+        finally:
+            for sock in sockets:
+                sock.close()
+    raise RuntimeError("no contiguous port range free")
+
+
+class TestRouting:
+    def test_shard_is_crc32_of_key(self):
+        for key in ("k0", "p0-p1", "orders", "🔑"):
+            expected = zlib.crc32(key.encode("utf-8")) % 8
+            assert shard_for_key(key, 8) == expected
+
+    def test_same_key_same_shard_always(self):
+        router = ShardRouter(4)
+        first = [router.shard_of("k%d" % k) for k in range(64)]
+        again = [router.shard_of("k%d" % k) for k in range(64)]
+        fresh = [ShardRouter(4).shard_of("k%d" % k) for k in range(64)]
+        assert first == again == fresh
+
+    def test_default_key_is_the_channel(self):
+        assert key_for(0, 2) == "p0-p2"
+        assert key_for(0, 2, explicit="orders") == "orders"
+        message = Message("m1", 0, 2)
+        assert key_for(0, 2) == message.effective_key
+        keyed = Message("m2", 0, 2, ordering_key="orders")
+        assert keyed.effective_key == "orders"
+
+    def test_keys_spread_over_shards(self):
+        router = ShardRouter(8)
+        spread = router.spread("k%d" % k for k in range(256))
+        assert len(spread) == 8  # every shard gets some keys
+        assert sum(len(keys) for keys in spread.values()) == 256
+
+    def test_shard_count_validated(self):
+        with pytest.raises(ValueError):
+            shard_for_key("k", 0)
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+
+class TestFifoLane:
+    def test_in_order_stream_is_clean(self):
+        checker = FifoLaneChecker()
+        for seq in range(5):
+            assert checker.on_deliver("m%d" % seq, 0, "k", seq) is None
+
+    def test_gap_and_inversion_flagged(self):
+        checker = FifoLaneChecker()
+        assert checker.on_deliver("m0", 0, "k", 0) is None
+        violation = checker.on_deliver("m2", 0, "k", 2)  # gap: skipped 1
+        assert violation is not None and violation.key == "k"
+        late = checker.on_deliver("m1", 0, "k", 1)  # the skipped one
+        assert late is not None and "expected 3" in late.detail
+
+    def test_streams_are_per_sender_and_per_key(self):
+        checker = FifoLaneChecker()
+        assert checker.on_deliver("a0", 0, "ka", 0) is None
+        assert checker.on_deliver("b0", 1, "ka", 0) is None  # other sender
+        assert checker.on_deliver("a1", 0, "kb", 0) is None  # other key
+        assert checker.on_deliver("a2", 0, "ka", 1) is None
+
+    def test_broken_fifo_kind_still_checks_fifo(self):
+        assert isinstance(lane_checker("broken-fifo", 4), FifoLaneChecker)
+
+
+class TestCausalLane:
+    def test_causal_order_respected_is_clean(self):
+        checker = CausalLaneChecker(3, receiver=2)
+        # p0 broadcasts m1 (vc [1,0,0]); p1 delivers it, then sends m2
+        # with vc [1,1,0]; receiver 2 sees them in causal order.
+        assert checker.on_deliver("m1", 0, "k", 0, vc=[1, 0, 0]) is None
+        assert checker.on_deliver("m2", 1, "k", 0, vc=[1, 1, 0]) is None
+
+    def test_missing_dependency_flagged(self):
+        checker = CausalLaneChecker(3, receiver=2)
+        violation = checker.on_deliver("m2", 1, "k", 0, vc=[1, 1, 0])
+        assert violation is not None and violation.kind == "causal"
+        assert "not deliverable" in violation.detail
+
+    def test_holdback_test_does_not_mutate(self):
+        checker = CausalLaneChecker(3, receiver=2)
+        assert not checker.deliverable(1, "k", [1, 1, 0])
+        assert checker.deliverable(0, "k", [1, 0, 0])
+        # The probe above must not have advanced the seen clock.
+        assert checker.on_deliver("m1", 0, "k", 0, vc=[1, 0, 0]) is None
+
+    def test_receiver_component_exempt(self):
+        # BSS formulation: p2 never delivers its own sends, so a clock
+        # that references p2's own messages must still be deliverable.
+        checker = CausalLaneChecker(3, receiver=2)
+        assert checker.on_deliver("m1", 0, "k", 0, vc=[1, 0, 4]) is None
+
+    def test_row_without_clock_flagged(self):
+        checker = CausalLaneChecker(3)
+        violation = checker.on_deliver("m1", 0, "k", 0, vc=None)
+        assert violation is not None and "vector clock" in violation.detail
+
+    def test_unknown_lane_kind_rejected(self):
+        with pytest.raises(ValueError):
+            lane_checker("total", 3)
+
+
+class TestVerdictEquivalence:
+    """The O(1) fifo checker agrees with the exact per-key monitor."""
+
+    def _both(self, deliveries):
+        """Run the same keyed stream through both checkers.
+
+        ``deliveries`` is a list of (message_id, seq) pairs, all p0->p1
+        on key "k"; sends happen in seq order, deliveries in list order.
+        """
+        fast = FifoLaneChecker()
+        exact = KeyedSpecMonitor(FIFO_ORDERING, 2)
+        in_seq = sorted(deliveries, key=lambda pair: pair[1])
+        for when, (message_id, seq) in enumerate(in_seq):
+            exact.observe_send(
+                float(when), Message(message_id, 0, 1, ordering_key="k")
+            )
+        fast_verdict = None
+        for when, (message_id, seq) in enumerate(deliveries):
+            found = fast.on_deliver(message_id, 0, "k", seq)
+            if found is not None and fast_verdict is None:
+                fast_verdict = found
+            exact.observe_deliver(
+                10.0 + when, Message(message_id, 0, 1, ordering_key="k")
+            )
+        return fast_verdict, exact.violation
+
+    def test_clean_stream_clean_on_both(self):
+        fast, exact = self._both([("m0", 0), ("m1", 1), ("m2", 2)])
+        assert fast is None and exact is None
+
+    def test_inversion_flagged_by_both(self):
+        fast, exact = self._both([("m1", 1), ("m0", 0), ("m2", 2)])
+        assert fast is not None
+        assert exact is not None
+
+    def test_keys_isolated_in_exact_monitor(self):
+        monitor = KeyedSpecMonitor(FIFO_ORDERING, 2)
+        # k1 inverted, k2 clean -- the violation must latch on k1 only.
+        for key, first, second in (("k1", "a", "b"), ("k2", "c", "d")):
+            monitor.observe_send(1.0, Message(first, 0, 1, ordering_key=key))
+            monitor.observe_send(2.0, Message(second, 0, 1, ordering_key=key))
+        monitor.observe_deliver(3.0, Message("b", 0, 1, ordering_key="k1"))
+        monitor.observe_deliver(4.0, Message("a", 0, 1, ordering_key="k1"))
+        monitor.observe_deliver(5.0, Message("c", 0, 1, ordering_key="k2"))
+        monitor.observe_deliver(6.0, Message("d", 0, 1, ordering_key="k2"))
+        assert monitor.violation_for("k1") is not None
+        assert monitor.violation_for("k2") is None
+        assert monitor.keys() == ["k1", "k2"]
+        assert monitor.events_checked() > 0
+
+
+class TestKeyStats:
+    def test_counts_exact_latency_sampled(self):
+        stats = KeyStats(sample=2)
+        for tick in range(8):
+            stats.on_deliver("k", 0.010)
+        wire = stats.to_wire()
+        assert wire["k"]["delivered"] == 8
+        assert wire["k"]["p50_ms"] == pytest.approx(10.0, rel=0.2)
+
+    def test_top_keys_only(self):
+        stats = KeyStats(sample=1)
+        for key in range(8):
+            for _ in range(key + 1):
+                stats.on_deliver("k%d" % key, 0.001)
+        wire = stats.to_wire(top=2)
+        assert set(wire) == {"k7", "k6"}
+
+
+class TestCrossKeyOracle:
+    def test_clean_rows_are_causally_ordered(self):
+        rows = [
+            ("m%d" % n, 0, 1, "k%d" % (n % 2), float(n), 10.0 + n)
+            for n in range(20)
+        ]
+        verdict = cross_key_oracle(rows, 2, sample=20)
+        assert verdict["sampled"] == 20 and verdict["keys"] == 2
+        assert verdict["memberships"]["async"] is True
+        assert verdict["memberships"]["co"] is True
+
+    def test_cross_key_inversion_visible_only_merged(self):
+        # m1 (key a) sent before m2 (key b), same channel, delivered
+        # inverted: each key alone is trivially fifo, but the merged
+        # run violates causal delivery -- the paper's escalation from
+        # per-key order 1 to cross-key GENERAL, and the reason the
+        # oracle exists at all.
+        rows = [
+            ("m1", 0, 1, "a", 1.0, 4.0),
+            ("m2", 0, 1, "b", 2.0, 3.0),
+        ]
+        for key in ("a", "b"):
+            checker = FifoLaneChecker()
+            assert checker.on_deliver("m", 0, key, 0) is None
+        verdict = cross_key_oracle(rows, 2, sample=10)
+        assert verdict["memberships"]["co"] is False
+
+    def test_sampling_keeps_most_recent(self):
+        rows = [
+            ("m%d" % n, 0, 1, "k", float(n), 100.0 + n) for n in range(50)
+        ]
+        verdict = cross_key_oracle(rows, 2, sample=10)
+        assert verdict["total"] == 50 and verdict["sampled"] == 10
+
+
+class TestShardedFleet:
+    """Real multi-process runs over loopback ingress sockets."""
+
+    def test_fifo_fleet_quiesces_clean(self):
+        report = run_sharded_sync(
+            2,
+            rate=800.0,
+            duration=0.5,
+            n_processes=3,
+            keys=6,
+            port_base=free_port_base(2),
+        )
+        assert report.ok, report.render()
+        assert report.delivered == report.offered == report.invoked
+        assert report.pending == 0
+        assert report.oracle is not None
+        assert report.oracle["memberships"]["async"] is True
+        assert report.oracle["memberships"]["co"] is True
+        assert {body["shard"] for body in report.per_shard} == {0, 1}
+        assert report.per_key  # per-key stats came back
+
+    def test_causal_fleet_fans_out_and_quiesces(self):
+        report = run_sharded_sync(
+            2,
+            rate=300.0,
+            duration=0.5,
+            n_processes=3,
+            keys=4,
+            lane_kind="causal",
+            port_base=free_port_base(2),
+        )
+        assert report.ok, report.render()
+        # Causal lanes broadcast: each row delivers at n_processes - 1
+        # receivers.
+        assert report.delivered == report.offered * 2
+
+    def test_broken_sender_is_flagged_live(self):
+        report = run_sharded_sync(
+            2,
+            rate=800.0,
+            duration=0.5,
+            n_processes=3,
+            keys=4,
+            lane_kind="broken-fifo",
+            port_base=free_port_base(2),
+            oracle=False,
+        )
+        assert not report.ok
+        assert report.violation is not None and "seq" in report.violation
+
+    def test_stalled_key_does_not_block_others(self):
+        report = run_sharded_sync(
+            2,
+            rate=600.0,
+            duration=0.5,
+            n_processes=3,
+            keys=4,
+            stall_key="k0",
+            stall_seconds=0.3,
+            port_base=free_port_base(2),
+            oracle=False,
+        )
+        assert report.ok, report.render()
+        stalled = report.per_key["k0"]["p99_ms"]
+        others = [
+            row["p99_ms"]
+            for key, row in report.per_key.items()
+            if key != "k0"
+        ]
+        assert stalled >= 250.0
+        assert others and max(others) < 100.0
+
+
+class TestShardedTopView:
+    def _pull(self, shard, per_process, pending=0, violation=None):
+        return HostPull(
+            process=shard,
+            stats_body={
+                "shard": shard,
+                "shards": 2,
+                "pending": pending,
+                "violation": violation,
+                "per_process": [
+                    {"process": p, "invoked": i, "deliveries": d}
+                    for p, i, d in per_process
+                ],
+            },
+        )
+
+    def test_rows_collapse_per_logical_process(self):
+        pulls = [
+            self._pull(0, [(0, 10, 9), (1, 5, 6)]),
+            self._pull(1, [(0, 3, 4), (1, 0, 0)]),
+        ]
+        rows = aggregate_shard_rows(pulls)
+        assert rows[0] == {"invoked": 13, "delivered": 13, "shards": {0, 1}}
+        # Shard 1 moved no traffic for process 1: not in its shards set.
+        assert rows[1]["shards"] == {0}
+
+    def test_render_has_shards_column_and_sum(self):
+        pulls = [
+            self._pull(0, [(0, 10, 10)]),
+            self._pull(1, [(0, 5, 5)], violation="lane k0 ..."),
+        ]
+        text = render_top_sharded(pulls)
+        assert "shards" in text.splitlines()[0]
+        assert "2/2" in text
+        assert "sum" in text and "2 shards" in text
+        assert "VIOLATION" in text
